@@ -1,0 +1,231 @@
+//! Thorup–Zwick approximate distance oracles (\[30\] in the paper — the
+//! machinery behind the labeled scheme \[29\] that Theorem 1 is measured
+//! against).
+//!
+//! For a parameter `k ≥ 1`: preprocessing stores `Õ(k·n^{1/k})` words
+//! per node (pivots + *bunch* distances), and a query returns an
+//! estimate `d(u,v) ≤ d̃(u,v) ≤ (2k−1)·d(u,v)` in `O(k)` time by the
+//! classic pivot-swapping walk. Included because a routing library's
+//! users routinely need distance *estimates* alongside routes, and
+//! because experiment X2's labeled column builds on the same bunches.
+
+use std::collections::HashMap;
+
+use graphkit::bits::{bits_for_distance, bits_for_node};
+use graphkit::{Cost, DistMatrix, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A Thorup–Zwick approximate distance oracle.
+pub struct DistanceOracle {
+    k: usize,
+    /// `pivots[u][i]` = (p_i(u), d(u, p_i(u))).
+    pivots: Vec<Vec<(u32, Cost)>>,
+    /// `bunch[u]`: w → d(u, w) for every w in B(u).
+    bunch: Vec<HashMap<u32, Cost>>,
+}
+
+impl DistanceOracle {
+    /// Preprocess from a distance matrix (the oracle keeps only the
+    /// sampled structures, not the matrix).
+    pub fn build(d: &DistMatrix, k: usize, seed: u64) -> Self {
+        assert!(k >= 1);
+        let n = d.n();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let p = (n as f64).powf(-1.0 / k as f64);
+        // A_0 ⊇ … ⊇ A_{k−1}, A_{k−1} forced nonempty.
+        let mut levels: Vec<Vec<u32>> = vec![(0..n as u32).collect()];
+        for _ in 1..k {
+            let next: Vec<u32> =
+                levels.last().unwrap().iter().copied().filter(|_| rng.gen_bool(p)).collect();
+            levels.push(next);
+        }
+        if levels[k - 1].is_empty() {
+            let seed_node =
+                levels.iter().rev().find(|l| !l.is_empty()).map(|l| l[0]).unwrap_or(0);
+            for level in levels.iter_mut().skip(1) {
+                if level.is_empty() {
+                    level.push(seed_node);
+                }
+            }
+        }
+        let mut level_of = vec![0usize; n];
+        for (i, level) in levels.iter().enumerate() {
+            for &w in level {
+                level_of[w as usize] = i;
+            }
+        }
+        // Pivots (closest member per level, ties by id).
+        let mut pivots = Vec::with_capacity(n);
+        for u in 0..n as u32 {
+            let row = d.row(NodeId(u));
+            let per_level: Vec<(u32, Cost)> = (0..k)
+                .map(|i| {
+                    let w = *levels[i]
+                        .iter()
+                        .min_by_key(|&&w| (row[w as usize], w))
+                        .expect("level nonempty");
+                    (w, row[w as usize])
+                })
+                .collect();
+            pivots.push(per_level);
+        }
+        // Bunches: w ∈ B(u) iff d(u,w) < d(u, p_{level(w)+1}(u)); the
+        // top level joins every bunch.
+        let mut bunch: Vec<HashMap<u32, Cost>> = (0..n).map(|_| HashMap::new()).collect();
+        for u in 0..n as u32 {
+            let row = d.row(NodeId(u));
+            for w in 0..n as u32 {
+                let i = level_of[w as usize];
+                let member = if i >= k - 1 {
+                    true
+                } else {
+                    row[w as usize] < pivots[u as usize][i + 1].1
+                };
+                if member {
+                    bunch[u as usize].insert(w, row[w as usize]);
+                }
+            }
+        }
+        DistanceOracle { k, pivots, bunch }
+    }
+
+    /// The trade-off parameter.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Size of `B(u)`.
+    pub fn bunch_size(&self, u: NodeId) -> usize {
+        self.bunch[u.idx()].len()
+    }
+
+    /// The classic O(k) query: estimate `d(u, v)` within factor 2k−1.
+    pub fn query(&self, u: NodeId, v: NodeId) -> Cost {
+        if u == v {
+            return 0;
+        }
+        let (mut u, mut v) = (u, v);
+        // Invariant: w = p_i(u) and duw = d(u, w), maintained from the
+        // pivot table (w need not be in u's bunch).
+        let mut w = u.0;
+        let mut duw: Cost = 0;
+        let mut i = 0usize;
+        loop {
+            if let Some(&dvw) = self.bunch[v.idx()].get(&w) {
+                return duw + dvw;
+            }
+            i += 1;
+            debug_assert!(i < self.k, "top-level pivot must be in every bunch");
+            std::mem::swap(&mut u, &mut v);
+            let (pw, pd) = self.pivots[u.idx()][i];
+            w = pw;
+            duw = pd;
+        }
+    }
+
+    /// Storage bits at `u`: pivots + bunch entries.
+    pub fn node_bits(&self, u: NodeId, n: usize) -> u64 {
+        let id = bits_for_node(n);
+        let mut bits = self.pivots[u.idx()]
+            .iter()
+            .map(|&(_, d)| id + bits_for_distance(d))
+            .sum::<u64>();
+        for (_, &d) in &self.bunch[u.idx()] {
+            bits += id + bits_for_distance(d);
+        }
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphkit::gen::Family;
+    use graphkit::metrics::apsp;
+
+    fn check(fam: Family, n: usize, k: usize, seed: u64) {
+        let g = fam.generate(n, seed);
+        let d = apsp(&g);
+        let oracle = DistanceOracle::build(&d, k, seed);
+        let bound = (2 * k - 1) as f64;
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                let est = oracle.query(NodeId(u), NodeId(v));
+                let exact = d.d(NodeId(u), NodeId(v));
+                assert!(est >= exact, "{}: underestimate {est} < {exact}", fam.label());
+                assert!(
+                    est as f64 <= bound * exact as f64 + 1e-9,
+                    "{}: {u}->{v} est {est} > (2k-1)*{exact}",
+                    fam.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn within_2k_minus_1_on_families() {
+        for fam in [Family::Geometric, Family::ErdosRenyi, Family::ExpRing] {
+            for k in [1usize, 2, 3] {
+                check(fam, 80, k, 0xD0 + k as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn k1_is_exact() {
+        let g = Family::Grid.generate(49, 0xD5);
+        let d = apsp(&g);
+        let oracle = DistanceOracle::build(&d, 1, 0xD5);
+        for u in 0..49u32 {
+            for v in 0..49u32 {
+                assert_eq!(oracle.query(NodeId(u), NodeId(v)), d.d(NodeId(u), NodeId(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn bunches_shrink_with_k() {
+        let g = Family::Geometric.generate(300, 0xD6);
+        let d = apsp(&g);
+        let o1 = DistanceOracle::build(&d, 1, 0xD6);
+        let o3 = DistanceOracle::build(&d, 3, 0xD6);
+        let mean = |o: &DistanceOracle| -> f64 {
+            (0..300u32).map(|u| o.bunch_size(NodeId(u))).sum::<usize>() as f64 / 300.0
+        };
+        assert_eq!(mean(&o1), 300.0, "k=1 bunch is everything");
+        assert!(
+            mean(&o3) < 120.0,
+            "k=3 bunches should be far below n: {}",
+            mean(&o3)
+        );
+    }
+
+    #[test]
+    fn query_symmetric_enough() {
+        // The estimate need not be symmetric in theory, but must obey
+        // the bound both ways; sanity-check both directions.
+        let g = Family::PrefAttach.generate(100, 0xD7);
+        let d = apsp(&g);
+        let oracle = DistanceOracle::build(&d, 2, 0xD7);
+        for u in (0..100u32).step_by(7) {
+            for v in (0..100u32).step_by(11) {
+                let a = oracle.query(NodeId(u), NodeId(v));
+                let b = oracle.query(NodeId(v), NodeId(u));
+                let exact = d.d(NodeId(u), NodeId(v));
+                assert!(a >= exact && b >= exact);
+                assert!(a <= 3 * exact && b <= 3 * exact);
+            }
+        }
+    }
+
+    #[test]
+    fn storage_accounted() {
+        let g = Family::Geometric.generate(120, 0xD8);
+        let d = apsp(&g);
+        let oracle = DistanceOracle::build(&d, 3, 0xD8);
+        for u in 0..120u32 {
+            assert!(oracle.node_bits(NodeId(u), 120) > 0);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! B3 — scale-free landmark chaining with exponential stretch
+//! (in the spirit of Awerbuch–Bar-Noy–Linial–Peleg \[7, 8\] and
+//! Arias et al. \[6\]).
+//!
+//! Before this paper, the only scale-free name-independent schemes paid
+//! `O(2^k)` stretch. This baseline reproduces that *shape* with the
+//! classic mechanism: a `k`-level landmark hierarchy where every node
+//! registers its location at its closest level-`i` landmark, and a
+//! search climbs landmark to landmark. Each climb leg is bounded by the
+//! distance to the next-level landmark of the *current* position, so
+//! the search drifts — and the worst-case accumulated drift doubles
+//! per level: exponential stretch, independent of Δ.
+//!
+//! Experiment X1 plots this scheme's stretch against the paper's O(k).
+
+use graphkit::bits::{bits_for_distance, bits_for_node};
+use graphkit::{dijkstra, DistMatrix, Graph, NodeId};
+use landmarks::LandmarkHierarchy;
+use sim::{RouteTrace, Router};
+
+/// Registration record: the full path from a landmark to a node.
+struct Registration {
+    node: u32,
+    /// Path from the landmark to the node (inclusive endpoints).
+    path: Vec<u32>,
+    cost: u64,
+}
+
+/// Per-node state: paths to its landmark of each level.
+struct NodeState {
+    /// `up[i]` = (landmark id, path from this node to it, cost).
+    up: Vec<(u32, Vec<u32>, u64)>,
+}
+
+/// The exponential-stretch landmark-chaining scheme.
+pub struct LandmarkChaining {
+    g: Graph,
+    k: usize,
+    /// Registrations stored *at* each landmark, sorted by node id.
+    registry: Vec<Vec<Registration>>,
+    nodes: Vec<NodeState>,
+}
+
+impl LandmarkChaining {
+    /// Build with a fresh hierarchy; the top level is collapsed to a
+    /// single deterministic root so searches always terminate.
+    pub fn build(g: Graph, k: usize, seed: u64) -> Self {
+        let d = graphkit::apsp(&g);
+        Self::build_with_matrix(g, &d, k, seed)
+    }
+
+    /// Build reusing a distance matrix.
+    pub fn build_with_matrix(g: Graph, d: &DistMatrix, k: usize, seed: u64) -> Self {
+        assert!(d.connected(), "landmark chaining requires a connected graph");
+        let n = g.n();
+        let hier = LandmarkHierarchy::sample(n, k.max(2), seed);
+        // Levels 1..k−1 from the hierarchy; level k = a single root
+        // (the global min-id member of the last nonempty level).
+        let mut level_sets: Vec<Vec<u32>> = Vec::new();
+        for i in 1..k {
+            let mut l = hier.level(i).to_vec();
+            if l.is_empty() {
+                l = vec![0];
+            }
+            level_sets.push(l);
+        }
+        let root = level_sets.last().map(|l| l[0]).unwrap_or(0);
+        level_sets.push(vec![root]);
+        // Closest landmark per level per node (ties by id).
+        let sps: Vec<_> = graphkit::metrics::par_per_node(&g, |u| dijkstra::dijkstra(&g, u));
+        let closest = |u: u32, set: &[u32]| -> u32 {
+            *set.iter()
+                .min_by_key(|&&c| (d.d(NodeId(u), NodeId(c)), c))
+                .expect("level set nonempty")
+        };
+        let mut nodes = Vec::with_capacity(n);
+        let mut registry: Vec<Vec<Registration>> = (0..n).map(|_| Vec::new()).collect();
+        for u in 0..n as u32 {
+            let mut up = Vec::with_capacity(level_sets.len());
+            for set in &level_sets {
+                let l = closest(u, set);
+                let path: Vec<u32> =
+                    sps[u as usize].path_to(NodeId(l)).unwrap().iter().map(|x| x.0).collect();
+                let cost = d.d(NodeId(u), NodeId(l));
+                // Register u at l (path from l to u = reverse).
+                let mut rp: Vec<u32> = path.clone();
+                rp.reverse();
+                up.push((l, path, cost));
+                registry[l as usize].push(Registration { node: u, path: rp, cost });
+            }
+            nodes.push(NodeState { up });
+        }
+        for r in &mut registry {
+            r.sort_unstable_by_key(|x| x.node);
+        }
+        LandmarkChaining { g, k: level_sets.len(), registry, nodes }
+    }
+
+    fn lookup(&self, landmark: u32, node: u32) -> Option<&Registration> {
+        let regs = &self.registry[landmark as usize];
+        regs.binary_search_by_key(&node, |r| r.node).ok().map(|i| &regs[i])
+    }
+}
+
+impl Router for LandmarkChaining {
+    fn route(&self, src: NodeId, dst: NodeId) -> RouteTrace {
+        if src == dst {
+            return RouteTrace::trivial(src);
+        }
+        let mut path = vec![src];
+        let mut cost = 0u64;
+        let mut at = src;
+        for level in 0..self.k {
+            // Walk from the current position to its level-`level` landmark.
+            let (lm, walk, c) = &self.nodes[at.idx()].up[level];
+            for &x in &walk[1..] {
+                path.push(NodeId(x));
+            }
+            cost += c;
+            at = NodeId(*lm);
+            // Does this landmark know the destination?
+            if at == dst {
+                return RouteTrace { path, cost, delivered: true };
+            }
+            if let Some(reg) = self.lookup(at.0, dst.0) {
+                for &x in &reg.path[1..] {
+                    path.push(NodeId(x));
+                }
+                cost += reg.cost;
+                return RouteTrace { path, cost, delivered: true };
+            }
+        }
+        RouteTrace { path, cost, delivered: false }
+    }
+
+    fn name(&self) -> &str {
+        "landmark-chaining-exp"
+    }
+
+    fn node_storage_bits(&self, v: NodeId) -> u64 {
+        let id = bits_for_node(self.g.n());
+        // Upward paths.
+        let mut bits = 0;
+        for (_, walk, cost) in &self.nodes[v.idx()].up {
+            bits += id + walk.len() as u64 * id + bits_for_distance(*cost);
+        }
+        // Registrations held at v.
+        for reg in &self.registry[v.idx()] {
+            bits += id + reg.path.len() as u64 * id + bits_for_distance(reg.cost);
+        }
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphkit::gen::Family;
+    use graphkit::metrics::apsp;
+    use sim::{evaluate, pairs, StorageAudit};
+
+    #[test]
+    fn delivers_all_pairs() {
+        for fam in [Family::Geometric, Family::ExpRing] {
+            let g = fam.generate(70, 50);
+            let d = apsp(&g);
+            let r = LandmarkChaining::build_with_matrix(g.clone(), &d, 3, 50);
+            let stats = evaluate(&g, &d, &r, &pairs::all(g.n()));
+            assert_eq!(stats.failures, 0, "{}", fam.label());
+        }
+    }
+
+    #[test]
+    fn stretch_worse_than_constant() {
+        // The chaining detour must actually show up (stretch > 1 on
+        // average pairs; the X1 experiment quantifies the growth in k).
+        let g = Family::Geometric.generate(120, 51);
+        let d = apsp(&g);
+        let r = LandmarkChaining::build_with_matrix(g.clone(), &d, 4, 51);
+        let stats = evaluate(&g, &d, &r, &pairs::all(g.n()));
+        assert!(stats.max_stretch > 1.5, "implausibly good: {}", stats.max_stretch);
+    }
+
+    #[test]
+    fn storage_is_scale_free() {
+        // Mean storage must not blow up with Δ (contrast with B2).
+        let small = Family::Ring.generate(48, 52);
+        let big = Family::ExpRing.generate(48, 52);
+        let rs = LandmarkChaining::build(small.clone(), 3, 52);
+        let rb = LandmarkChaining::build(big.clone(), 3, 52);
+        let a = StorageAudit::collect(&rs, 48).mean_bits();
+        let b = StorageAudit::collect(&rb, 48).mean_bits();
+        assert!(b < 3.0 * a, "storage should be Δ-independent: {a} vs {b}");
+    }
+
+    #[test]
+    fn root_terminates_every_search() {
+        let g = Family::PrefAttach.generate(60, 53);
+        let d = apsp(&g);
+        let r = LandmarkChaining::build_with_matrix(g.clone(), &d, 2, 53);
+        for v in 0..60u32 {
+            let t = r.route(NodeId(0), NodeId(v));
+            assert!(t.delivered);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! B1 — trivial shortest-path routing tables.
+//!
+//! Every node stores the next hop of an all-pairs shortest path for all
+//! `n−1` destinations: stretch exactly 1 at `Ω(n log n)` bits per node.
+//! This is the paper's opening strawman ("this solution is very
+//! expensive") and the stretch floor every scheme is measured against.
+
+use graphkit::bits::bits_for_node;
+use graphkit::{dijkstra, Graph, NodeId};
+use sim::{RouteTrace, Router};
+
+/// Full next-hop tables.
+pub struct ShortestPathTables {
+    g: Graph,
+    /// `next[u * n + v]` = neighbor of `u` on a shortest path to `v`.
+    next: Vec<u32>,
+}
+
+impl ShortestPathTables {
+    /// Build by one Dijkstra per node (parallel).
+    pub fn build(g: Graph) -> Self {
+        let n = g.n();
+        let rows = graphkit::metrics::par_per_node(&g, |u| {
+            let sp = dijkstra::dijkstra(&g, u);
+            // next[v]: first node after u on the path u -> v, computed by
+            // child-propagation over the SPT parent pointers.
+            let mut next = vec![u32::MAX; n];
+            next[u.idx()] = u.0;
+            // Order nodes by distance so parents resolve before children.
+            let mut order: Vec<u32> = (0..n as u32).collect();
+            order.sort_unstable_by_key(|&v| sp.dist[v as usize]);
+            for v in order {
+                if v == u.0 || !sp.reachable(NodeId(v)) {
+                    continue;
+                }
+                let p = sp.parent[v as usize];
+                next[v as usize] = if p == u.0 { v } else { next[p as usize] };
+            }
+            next
+        });
+        let mut next = Vec::with_capacity(n * n);
+        for row in rows {
+            next.extend(row);
+        }
+        ShortestPathTables { g, next }
+    }
+
+    /// Next hop at `u` toward `v`.
+    pub fn next_hop(&self, u: NodeId, v: NodeId) -> Option<NodeId> {
+        let x = self.next[u.idx() * self.g.n() + v.idx()];
+        if x == u32::MAX {
+            None
+        } else {
+            Some(NodeId(x))
+        }
+    }
+}
+
+impl Router for ShortestPathTables {
+    fn route(&self, src: NodeId, dst: NodeId) -> RouteTrace {
+        if src == dst {
+            return RouteTrace::trivial(src);
+        }
+        let mut path = vec![src];
+        let mut cost = 0;
+        let mut at = src;
+        while at != dst {
+            let Some(nx) = self.next_hop(at, dst) else {
+                return RouteTrace { path, cost, delivered: false };
+            };
+            cost += self.g.edge_weight(at, nx).expect("next hop must be a neighbor");
+            at = nx;
+            path.push(at);
+            debug_assert!(path.len() <= self.g.n(), "next-hop loop");
+        }
+        RouteTrace { path, cost, delivered: true }
+    }
+
+    fn name(&self) -> &str {
+        "shortest-path-tables"
+    }
+
+    fn node_storage_bits(&self, _v: NodeId) -> u64 {
+        // n−1 entries of ⌈log n⌉ bits (ports would be smaller; we charge
+        // node ids, as the paper's Ω(n log n) strawman does).
+        (self.g.n() as u64 - 1) * bits_for_node(self.g.n())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphkit::gen::Family;
+    use graphkit::metrics::apsp;
+    use sim::{evaluate, pairs};
+
+    #[test]
+    fn stretch_exactly_one() {
+        for fam in [Family::Geometric, Family::ExpRing] {
+            let g = fam.generate(90, 30);
+            let d = apsp(&g);
+            let r = ShortestPathTables::build(g.clone());
+            let stats = evaluate(&g, &d, &r, &pairs::all(g.n()));
+            assert!((stats.max_stretch - 1.0).abs() < 1e-12, "{}", fam.label());
+        }
+    }
+
+    #[test]
+    fn storage_is_n_log_n() {
+        let g = Family::Ring.generate(64, 31);
+        let r = ShortestPathTables::build(g);
+        assert_eq!(r.node_storage_bits(NodeId(0)), 63 * 6);
+    }
+
+    #[test]
+    fn self_route() {
+        let g = Family::Ring.generate(16, 32);
+        let r = ShortestPathTables::build(g);
+        let t = r.route(NodeId(3), NodeId(3));
+        assert!(t.delivered);
+        assert_eq!(t.hops(), 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Criterion bench for the graph substrate: Dijkstra, bounded balls,
+//! parallel APSP — the preprocessing costs everything else pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphkit::gen::Family;
+use graphkit::{ball, dijkstra, metrics, NodeId};
+
+fn sssp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/dijkstra");
+    for n in [1024usize, 4096] {
+        let g = Family::Geometric.generate(n, 9);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}")), &n, |b, _| {
+            let mut s = 0u32;
+            b.iter(|| {
+                s = (s + 97) % g.n() as u32;
+                std::hint::black_box(dijkstra::dijkstra(&g, NodeId(s)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn balls(c: &mut Criterion) {
+    let g = Family::Geometric.generate(4096, 10);
+    c.bench_function("substrate/ball_r100", |b| {
+        let mut s = 0u32;
+        b.iter(|| {
+            s = (s + 97) % g.n() as u32;
+            std::hint::black_box(ball(&g, NodeId(s), 100))
+        });
+    });
+}
+
+fn apsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/apsp");
+    group.sample_size(10);
+    for n in [256usize, 512] {
+        let g = Family::Geometric.generate(n, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}")), &n, |b, _| {
+            b.iter(|| std::hint::black_box(metrics::apsp(&g)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sssp, balls, apsp);
+criterion_main!(benches);

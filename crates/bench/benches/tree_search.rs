@@ -1,0 +1,50 @@
+//! Criterion bench for experiment L4: j-bounded searches on the
+//! Lemma 4 error-reporting trees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphkit::gen::{self, WeightDist};
+use graphkit::{dijkstra, NodeId, Tree};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use treeroute::laing::ErrorReportingTree;
+
+fn bounded_search(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let g = gen::random_tree(2000, WeightDist::UniformInt { lo: 1, hi: 16 }, &mut rng);
+    let sp = dijkstra::dijkstra(&g, NodeId(0));
+    let tree = Tree::from_sssp(&g, &sp, g.nodes());
+    let ert = ErrorReportingTree::new(tree, 3, 2);
+    let mut group = c.benchmark_group("lemma4/search");
+    for j in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("j{j}")), &j, |b, &j| {
+            let mut t = 0u32;
+            b.iter(|| {
+                t = (t + 1) % 2000;
+                std::hint::black_box(ert.search(NodeId(t), j))
+            });
+        });
+    }
+    // Miss path: absent ids trigger the full negative-response walk.
+    group.bench_function("miss/j3", |b| {
+        b.iter(|| std::hint::black_box(ert.search(NodeId(5_000_000), 3)));
+    });
+    group.finish();
+}
+
+fn build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma4/build");
+    group.sample_size(10);
+    for m in [500usize, 2000] {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = gen::random_tree(m, WeightDist::Unit, &mut rng);
+        let sp = dijkstra::dijkstra(&g, NodeId(0));
+        let tree = Tree::from_sssp(&g, &sp, g.nodes());
+        group.bench_with_input(BenchmarkId::from_parameter(format!("m{m}")), &m, |b, _| {
+            b.iter(|| std::hint::black_box(ErrorReportingTree::new(tree.clone(), 3, 4)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bounded_search, build);
+criterion_main!(benches);

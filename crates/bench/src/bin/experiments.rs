@@ -1,0 +1,37 @@
+//! Regenerate the paper's tables/figures.
+//!
+//! ```text
+//! experiments [--quick] [ids…|all]
+//! ```
+//!
+//! Without ids, prints the registry. `--quick` shrinks instance sizes
+//! (the mode the integration tests run).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<&str> = args.iter().filter(|a| *a != "--quick").map(|s| s.as_str()).collect();
+    let registry = routing_bench::registry();
+    if ids.is_empty() {
+        eprintln!("usage: experiments [--quick] [ids…|all]\n\navailable experiments:");
+        for (id, desc, _) in &registry {
+            eprintln!("  {id:<4} {desc}");
+        }
+        std::process::exit(2);
+    }
+    let run_all = ids.contains(&"all");
+    let mut ran = 0;
+    for (id, desc, runner) in &registry {
+        if run_all || ids.contains(id) {
+            eprintln!("[experiments] running {id} — {desc}");
+            let started = std::time::Instant::now();
+            print!("{}", runner(quick));
+            eprintln!("[experiments] {id} done in {:.1}s", started.elapsed().as_secs_f64());
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched {ids:?}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,305 @@
+//! The paper's §4 extension: routing on strongly connected **directed**
+//! graphs ("this extension will appear in the full paper").
+//!
+//! Directed name-independent routing is measured against the
+//! **round-trip metric** `rt(u,v) = d→(u,v) + d→(v,u)` — with one-way
+//! stretch no compact scheme exists (a single arc's absence can only
+//! be discovered by paying the return trip). Our reconstruction of the
+//! unpublished extension:
+//!
+//! 1. build the *support graph* `H`: an undirected edge `{u,v}` for
+//!    every arc pair endpoint, weighted by the exact round-trip
+//!    distance `rt(u,v)`;
+//! 2. run the whole Theorem 1 machinery on `H` (its shortest-path
+//!    metric dominates `rt` pointwise and coincides on support edges);
+//! 3. *realize* each undirected hop `{x, y}` of the resulting route as
+//!    the directed shortest path `x → y`, using per-node next-hop
+//!    state for incident support edges.
+//!
+//! The walk the message takes is a genuine directed walk; its cost is
+//! audited arc by arc. Stretch is reported against `rt`; the measured
+//! envelope stays within the same `O(k)` band as the undirected scheme
+//! (experiment + tests below), at the cost of the support graph's
+//! metric distortion `d_H / rt ≥ 1`, which the build reports.
+
+use graphkit::digraph::DiGraph;
+use graphkit::{Cost, GraphBuilder, NodeId, INFINITY};
+use sim::RouteTrace;
+
+use crate::scheme::{Scheme, SchemeParams};
+
+/// The directed scheme: Theorem 1 over the round-trip support graph.
+pub struct DirectedScheme {
+    dg: DiGraph,
+    inner: Scheme,
+    /// Forward next-hop tables, one row per node (realizing support
+    /// hops as directed paths). `next[u][v]` = first arc target on a
+    /// shortest directed path `u → v`.
+    next: Vec<Vec<u32>>,
+    /// Round-trip metric (kept for stretch evaluation).
+    rt: graphkit::DistMatrix,
+    /// Worst-case `d_H(u,v) / rt(u,v)` distortion of the support graph.
+    max_distortion: f64,
+}
+
+impl DirectedScheme {
+    /// Build from a strongly connected digraph.
+    pub fn build(dg: DiGraph, params: SchemeParams) -> Self {
+        assert!(dg.strongly_connected(), "the directed scheme requires strong connectivity");
+        let n = dg.n();
+        let rt = dg.round_trip_matrix();
+        // Support graph: one undirected edge per arc-connected pair,
+        // weighted with the exact round-trip distance.
+        let mut b = GraphBuilder::with_nodes(n);
+        let mut seen = std::collections::HashSet::new();
+        for u in 0..n as u32 {
+            for (v, _) in dg.out_arcs(NodeId(u)) {
+                let key = (u.min(v.0), u.max(v.0));
+                if seen.insert(key) {
+                    b.add_edge(NodeId(key.0), NodeId(key.1), rt.d(NodeId(u), v));
+                }
+            }
+        }
+        let h = b.build();
+        let dh = graphkit::apsp(&h);
+        assert!(dh.connected(), "support graph of a strongly connected digraph is connected");
+        let mut max_distortion = 1.0f64;
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                if u == v {
+                    continue;
+                }
+                let ratio = dh.d(NodeId(u), NodeId(v)) as f64 / rt.d(NodeId(u), NodeId(v)) as f64;
+                max_distortion = max_distortion.max(ratio);
+            }
+        }
+        let inner = Scheme::build_with_matrix(h, &dh, params);
+        let next = (0..n as u32).map(|u| dg.next_hops(NodeId(u))).collect();
+        DirectedScheme { dg, inner, next, rt, max_distortion }
+    }
+
+    /// The underlying digraph.
+    pub fn digraph(&self) -> &DiGraph {
+        &self.dg
+    }
+
+    /// The round-trip metric the guarantees are stated against.
+    pub fn round_trip(&self) -> &graphkit::DistMatrix {
+        &self.rt
+    }
+
+    /// Worst-case support-graph distortion `d_H / rt` on this instance
+    /// (the constant the reduction costs over the undirected scheme).
+    pub fn max_distortion(&self) -> f64 {
+        self.max_distortion
+    }
+
+    /// The inner undirected scheme (for storage audits — the directed
+    /// realization adds the next-hop rows for incident support edges).
+    pub fn inner(&self) -> &Scheme {
+        &self.inner
+    }
+
+    /// Route a message along directed arcs only. The returned trace's
+    /// path is a directed walk; `cost` sums traversed arc weights.
+    pub fn route_directed(&self, src: NodeId, dst: NodeId) -> RouteTrace {
+        if src == dst {
+            return RouteTrace::trivial(src);
+        }
+        let support_trace = self.inner.route_message(src, dst);
+        if !support_trace.delivered {
+            return RouteTrace { path: vec![src], cost: 0, delivered: false };
+        }
+        // Realize each support hop {x, y} as the directed path x -> y.
+        let mut path = vec![src];
+        let mut cost: Cost = 0;
+        for win in support_trace.path.windows(2) {
+            let (x, y) = (win[0], win[1]);
+            let mut at = x;
+            let mut guard = 0;
+            while at != y {
+                let h = self.next[at.idx()][y.idx()];
+                debug_assert_ne!(h, u32::MAX);
+                let w = self
+                    .dg
+                    .arc_weight(at, NodeId(h))
+                    .expect("next hop must be an arc");
+                cost += w;
+                at = NodeId(h);
+                path.push(at);
+                guard += 1;
+                assert!(guard <= self.dg.n(), "directed realization looped");
+            }
+        }
+        debug_assert_eq!(*path.last().unwrap(), dst);
+        RouteTrace { path, cost, delivered: true }
+    }
+
+    /// Round-trip stretch of a delivered route: the directed cost of
+    /// going there, doubled-back conceptually, over `rt(src, dst)`.
+    /// Following the directed-routing literature we charge the one-way
+    /// walk against the round-trip distance's forward share by using
+    /// `2·cost / rt` (a closed-loop walk src→dst→src through the same
+    /// support hops costs exactly the sum of both directions).
+    pub fn rt_stretch(&self, src: NodeId, dst: NodeId, trace: &RouteTrace) -> f64 {
+        let rt = self.rt.d(src, dst);
+        if rt == 0 {
+            return 1.0;
+        }
+        2.0 * trace.cost as f64 / rt as f64
+    }
+}
+
+/// Validate that a trace is a genuine directed walk with honest costs.
+pub fn validate_directed_trace(
+    dg: &DiGraph,
+    src: NodeId,
+    dst: NodeId,
+    trace: &RouteTrace,
+) -> Result<(), String> {
+    let Some(&first) = trace.path.first() else {
+        return Err("empty path".into());
+    };
+    if first != src {
+        return Err(format!("starts at {first:?}, not {src:?}"));
+    }
+    let mut cost: Cost = 0;
+    for win in trace.path.windows(2) {
+        match dg.arc_weight(win[0], win[1]) {
+            Some(w) => cost += w,
+            None => return Err(format!("{:?} -> {:?} is not an arc", win[0], win[1])),
+        }
+    }
+    if cost != trace.cost {
+        return Err(format!("claimed cost {} but walked {}", trace.cost, cost));
+    }
+    if trace.delivered && *trace.path.last().unwrap() != dst {
+        return Err("delivered to the wrong node".into());
+    }
+    let _ = INFINITY;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphkit::digraph::random_strongly_connected;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn instance(n: usize, extra: usize, seed: u64) -> DiGraph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        random_strongly_connected(n, extra, 1, 16, &mut rng)
+    }
+
+    #[test]
+    fn delivers_all_pairs_directed() {
+        let dg = instance(60, 180, 1);
+        let scheme = DirectedScheme::build(dg, SchemeParams::new(3, 1));
+        for s in 0..60u32 {
+            for t in 0..60u32 {
+                let trace = scheme.route_directed(NodeId(s), NodeId(t));
+                assert!(trace.delivered, "{s}->{t} failed");
+                validate_directed_trace(scheme.digraph(), NodeId(s), NodeId(t), &trace)
+                    .expect("invalid directed walk");
+            }
+        }
+    }
+
+    #[test]
+    fn rt_stretch_bounded() {
+        let dg = instance(80, 240, 2);
+        let scheme = DirectedScheme::build(dg, SchemeParams::new(2, 2));
+        let mut worst = 0.0f64;
+        for s in (0..80u32).step_by(3) {
+            for t in (0..80u32).step_by(5) {
+                if s == t {
+                    continue;
+                }
+                let trace = scheme.route_directed(NodeId(s), NodeId(t));
+                worst = worst.max(scheme.rt_stretch(NodeId(s), NodeId(t), &trace));
+            }
+        }
+        // O(k) envelope times the instance's support distortion.
+        let bound = 24.0 * scheme.max_distortion();
+        assert!(worst <= bound, "rt stretch {worst} > {bound}");
+    }
+
+    #[test]
+    fn distortion_is_modest_on_random_instances() {
+        for seed in [3u64, 4, 5] {
+            let dg = instance(50, 150, seed);
+            let scheme = DirectedScheme::build(dg, SchemeParams::new(2, seed));
+            assert!(
+                scheme.max_distortion() < 3.0,
+                "support distortion {} implausibly large",
+                scheme.max_distortion()
+            );
+        }
+    }
+
+    #[test]
+    fn asymmetric_weights_handled() {
+        // A digraph where the two directions differ by 50x.
+        let mut b = graphkit::digraph::DiGraphBuilder::with_nodes(4);
+        for (u, v, w) in [(0u32, 1u32, 1u64), (1, 0, 50), (1, 2, 1), (2, 1, 50),
+                          (2, 3, 1), (3, 2, 50), (3, 0, 1), (0, 3, 50)] {
+            b.add_arc(NodeId(u), NodeId(v), w);
+        }
+        let dg = b.build();
+        let scheme = DirectedScheme::build(dg, SchemeParams::new(2, 6));
+        for s in 0..4u32 {
+            for t in 0..4u32 {
+                let trace = scheme.route_directed(NodeId(s), NodeId(t));
+                assert!(trace.delivered);
+                validate_directed_trace(scheme.digraph(), NodeId(s), NodeId(t), &trace)
+                    .unwrap();
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strong connectivity")]
+    fn rejects_weakly_connected() {
+        let mut b = graphkit::digraph::DiGraphBuilder::with_nodes(3);
+        b.add_arc(NodeId(0), NodeId(1), 1);
+        b.add_arc(NodeId(1), NodeId(2), 1);
+        DirectedScheme::build(b.build(), SchemeParams::new(2, 7));
+    }
+
+    #[test]
+    fn validator_catches_fake_walks() {
+        let dg = instance(10, 20, 8);
+        let bogus = RouteTrace {
+            path: vec![NodeId(0), NodeId(9)],
+            cost: 1,
+            delivered: true,
+        };
+        // Unless 0->9 happens to be an arc with weight 1, this fails;
+        // check the error paths explicitly on a constructed case.
+        let mut b = graphkit::digraph::DiGraphBuilder::with_nodes(3);
+        b.add_arc(NodeId(0), NodeId(1), 2);
+        b.add_arc(NodeId(1), NodeId(2), 2);
+        b.add_arc(NodeId(2), NodeId(0), 2);
+        let tiny = b.build();
+        assert!(validate_directed_trace(&tiny, NodeId(0), NodeId(2), &RouteTrace {
+            path: vec![NodeId(0), NodeId(2)],
+            cost: 2,
+            delivered: true
+        })
+        .is_err(), "0->2 is not an arc");
+        assert!(validate_directed_trace(&tiny, NodeId(0), NodeId(2), &RouteTrace {
+            path: vec![NodeId(0), NodeId(1), NodeId(2)],
+            cost: 3,
+            delivered: true
+        })
+        .is_err(), "cost fraud");
+        assert!(validate_directed_trace(&tiny, NodeId(0), NodeId(2), &RouteTrace {
+            path: vec![NodeId(0), NodeId(1), NodeId(2)],
+            cost: 4,
+            delivered: true
+        })
+        .is_ok());
+        let _ = (dg, bogus);
+    }
+}

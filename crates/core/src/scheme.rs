@@ -1,0 +1,598 @@
+//! The full AGM SPAA'06 routing scheme (§3): preprocessing, the
+//! iterative phase router, and bit-level storage accounting.
+
+use std::collections::HashMap;
+
+use decomposition::Decomposition;
+use graphkit::bits::{bits_for_node, bits_for_universe};
+use graphkit::{
+    apsp, dijkstra, induced_subgraph, Cost, DistMatrix, Graph, NodeId, Tree, TreeIx,
+};
+use landmarks::LandmarkHierarchy;
+use sim::{Router, RouteTrace};
+use treeroute::cover_router::{CoverOutcome, CoverTreeRouter};
+use treeroute::laing::{ErrorReportingTree, SearchOutcome};
+
+/// Ablation switch (experiment A1): disable one side of the
+/// sparse/dense decomposition to show why the paper needs both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ForceMode {
+    /// Treat every level as sparse (landmark trees only). Storage
+    /// blows up: the S-set budgets must absorb dense neighborhoods.
+    AllSparse,
+    /// Treat every level as dense (cover trees only). Delivery breaks:
+    /// sparse levels' targets may not participate at the search scale.
+    AllDense,
+}
+
+/// How the landmark hierarchy is constructed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum HierarchySource {
+    /// Randomized sampling with per-instance Claims 1–2 verification
+    /// and re-seeding (§2.3's construction, the default).
+    #[default]
+    SampledVerified,
+    /// The deterministic greedy hitting-set construction
+    /// ([`landmarks::greedy_hierarchy`]) — the effective counterpart of
+    /// the paper's derandomization remark. Slower to build; use on
+    /// moderate n.
+    Greedy,
+}
+
+/// Construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SchemeParams {
+    /// The space-stretch trade-off parameter `k ≥ 1`.
+    pub k: usize,
+    /// Seed for the landmark hierarchy and the tree hash functions.
+    pub seed: u64,
+    /// Re-sampling attempts for a Claims-1/2-verified hierarchy.
+    pub landmark_attempts: u32,
+    /// Extra S-set slots beyond the instance-tuned requirement (margin
+    /// against the tie-break edge; ≥ 1 recommended).
+    pub s_margin: usize,
+    /// Ablation override (None = the paper's decomposition).
+    pub force_mode: Option<ForceMode>,
+    /// Landmark construction: randomized-verified or deterministic.
+    pub hierarchy: HierarchySource,
+}
+
+impl SchemeParams {
+    /// Defaults: verified sampling with 16 attempts, margin 2.
+    pub fn new(k: usize, seed: u64) -> Self {
+        SchemeParams {
+            k,
+            seed,
+            landmark_attempts: 16,
+            s_margin: 2,
+            force_mode: None,
+            hierarchy: HierarchySource::default(),
+        }
+    }
+
+    /// Builder-style ablation switch.
+    pub fn with_force_mode(mut self, mode: ForceMode) -> Self {
+        self.force_mode = Some(mode);
+        self
+    }
+
+    /// Builder-style deterministic-landmark switch.
+    pub fn with_greedy_landmarks(mut self) -> Self {
+        self.hierarchy = HierarchySource::Greedy;
+        self
+    }
+}
+
+/// Per-node storage split by component (experiment T2).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StorageBreakdown {
+    /// Level plans: dense flags, ranges, centers, b-values, root ids.
+    pub plans_bits: u64,
+    /// Sparse machinery: τ(T(c), v) over landmark trees containing v.
+    pub landmark_bits: u64,
+    /// Dense machinery: φ(T, v) over cover trees containing v.
+    pub cover_bits: u64,
+}
+
+impl StorageBreakdown {
+    /// Sum of all components.
+    pub fn total(&self) -> u64 {
+        self.plans_bits + self.landmark_bits + self.cover_bits
+    }
+}
+
+/// Per-(node, level) routing plan.
+#[derive(Clone, Copy, Debug)]
+struct LevelPlan {
+    /// Dense or sparse strategy for this level.
+    dense: bool,
+    /// The range `a(u, i)` (the dense strategy's scale).
+    a: u32,
+    /// Sparse: the center `c(u, i)` (host id). Dense: unused.
+    center: u32,
+    /// Sparse: the bounded-search level `b(u, i)`.
+    b: u8,
+}
+
+/// A landmark tree `T(c)` with the Lemma 4 scheme attached.
+struct CenterTree {
+    ert: ErrorReportingTree,
+    /// host node id -> tree index (u32::MAX when absent).
+    ix_of: Vec<u32>,
+}
+
+/// All cover trees of one scale `i` (over the subgraph `G_i`).
+struct ScaleCover {
+    routers: Vec<CoverEntry>,
+    /// host node id -> index of its home router (u32::MAX outside G_i).
+    home: Vec<u32>,
+}
+
+/// One cover tree with the Lemma 7 scheme attached.
+struct CoverEntry {
+    router: CoverTreeRouter,
+    /// host node id -> tree index.
+    ix: HashMap<u32, TreeIx>,
+}
+
+/// Diagnostics accumulated during preprocessing (experiment F2 reads
+/// these; violations should be zero on verified hierarchies).
+#[derive(Clone, Debug, Default)]
+pub struct BuildStats {
+    /// (u, i, v) triples where Lemma 3 failed: `v ∈ E(u,i)` but the
+    /// center's tree does not contain `v`.
+    pub lemma3_violations: usize,
+    /// Sparse (u, i, v) membership triples checked.
+    pub lemma3_checked: usize,
+    /// Instance-tuned S-set budget per landmark level.
+    pub s_budgets: Vec<usize>,
+    /// Number of distinct centers (= landmark trees built).
+    pub num_center_trees: usize,
+    /// Number of scales with cover collections.
+    pub num_scales: usize,
+    /// Total cover trees across scales.
+    pub num_cover_trees: usize,
+}
+
+/// The scale-free name-independent routing scheme of Theorem 1.
+pub struct Scheme {
+    g: Graph,
+    params: SchemeParams,
+    dec: Decomposition,
+    hier: LandmarkHierarchy,
+    plans: Vec<Vec<LevelPlan>>,
+    center_trees: HashMap<u32, CenterTree>,
+    scale_covers: HashMap<u32, ScaleCover>,
+    stats: BuildStats,
+}
+
+impl Scheme {
+    /// Build the scheme, computing APSP internally.
+    pub fn build(g: Graph, params: SchemeParams) -> Self {
+        let d = apsp(&g);
+        Self::build_with_matrix(g, &d, params)
+    }
+
+    /// Build the scheme reusing a precomputed distance matrix (the
+    /// matrix is used for *preprocessing only*; routing reads only the
+    /// constructed per-node structures).
+    pub fn build_with_matrix(g: Graph, d: &DistMatrix, params: SchemeParams) -> Self {
+        assert!(params.k >= 1);
+        assert!(d.connected(), "the scheme requires a connected graph");
+        let n = g.n();
+        let k = params.k;
+        let dec = Decomposition::build(d, k);
+        let hier = match params.hierarchy {
+            HierarchySource::SampledVerified => {
+                LandmarkHierarchy::sample_verified(d, k, params.seed, params.landmark_attempts)
+            }
+            HierarchySource::Greedy => landmarks::greedy_hierarchy(d, k),
+        };
+        let mut stats = BuildStats::default();
+
+        // ---- per-(u, i) classification and centers -------------------
+        let mut plans: Vec<Vec<LevelPlan>> = Vec::with_capacity(n);
+        for u in 0..n as u32 {
+            let u_id = NodeId(u);
+            let mut row = Vec::with_capacity(k);
+            for i in 0..k {
+                let a = dec.a(u_id, i);
+                let dense = match params.force_mode {
+                    None => dec.is_dense(u_id, i),
+                    Some(ForceMode::AllDense) => true,
+                    Some(ForceMode::AllSparse) => false,
+                };
+                let center = if dense {
+                    u32::MAX
+                } else {
+                    hier.center(d, u_id, dec.ball_radius(u_id, i)).0
+                };
+                row.push(LevelPlan { dense, a, center, b: 1 });
+            }
+            plans.push(row);
+        }
+
+        // ---- instance-tuned S budgets (see DESIGN.md) ----------------
+        // sorted_levels[v][l] = C_l members ordered by (d(v,·), id).
+        let sorted_levels: Vec<Vec<Vec<(u64, u32)>>> = (0..n as u32)
+            .map(|v| {
+                let row = d.row(NodeId(v));
+                (0..k)
+                    .map(|l| {
+                        let mut m: Vec<(u64, u32)> = hier
+                            .level(l)
+                            .iter()
+                            .map(|&c| (row[c as usize], c))
+                            .collect();
+                        m.sort_unstable();
+                        m
+                    })
+                    .collect()
+            })
+            .collect();
+        let position = |v: u32, l: usize, c: u32| -> usize {
+            let key = (d.d(NodeId(v), NodeId(c)), c);
+            sorted_levels[v as usize][l].partition_point(|&e| e < key)
+        };
+        let mut budgets = vec![1usize; k];
+        for u in 0..n as u32 {
+            #[allow(clippy::needless_range_loop)] // parallel-array indexing by level
+            for i in 0..k {
+                let plan = plans[u as usize][i];
+                if plan.dense {
+                    continue;
+                }
+                let c = plan.center;
+                let l = hier.rank(NodeId(c));
+                for v in dec.e_members(d, NodeId(u), i) {
+                    let pos = position(v, l, c);
+                    budgets[l] = budgets[l].max(pos + 1 + params.s_margin);
+                }
+            }
+        }
+        // Never exceed the paper's budget (it is the proven bound).
+        let paper_budget = hier.s_budget();
+        for b in &mut budgets {
+            *b = (*b).min(paper_budget);
+        }
+        stats.s_budgets = budgets.clone();
+
+        // ---- landmark trees for the distinct centers -----------------
+        // membership: v stores τ(T(c), v) iff c ∈ S(v) under the tuned
+        // budgets, i.e. c is among the first budgets[rank(c)] members of
+        // v's sorted C_{rank(c)} list.
+        let mut centers: Vec<u32> = plans
+            .iter()
+            .flatten()
+            .filter(|p| !p.dense)
+            .map(|p| p.center)
+            .collect();
+        centers.sort_unstable();
+        centers.dedup();
+        let in_s = |v: u32, c: u32| -> bool {
+            let l = hier.rank(NodeId(c));
+            position(v, l, c) < budgets[l]
+        };
+        let sigma = graphkit::ids::nth_root_ceil(n as u64, k as u32).max(2);
+        let center_list: Vec<(u32, CenterTree)> = graphkit::metrics::par_per_node(&g, |u| {
+            // par_per_node iterates all nodes; skip non-centers cheaply.
+            if centers.binary_search(&u.0).is_err() {
+                return None;
+            }
+            let c = u.0;
+            let members: Vec<NodeId> = (0..n as u32)
+                .filter(|&v| in_s(v, c))
+                .map(NodeId)
+                .collect();
+            let sp = dijkstra::dijkstra(&g, NodeId(c));
+            let tree = Tree::from_sssp(&g, &sp, members);
+            let ix_of = tree.index_map(n);
+            let ert = ErrorReportingTree::with_sigma(
+                tree,
+                k,
+                sigma,
+                params.seed ^ (c as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
+            Some((c, CenterTree { ert, ix_of }))
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        let center_trees: HashMap<u32, CenterTree> = center_list.into_iter().collect();
+        stats.num_center_trees = center_trees.len();
+
+        // ---- b(u, i) + Lemma 3 verification --------------------------
+        for u in 0..n as u32 {
+            #[allow(clippy::needless_range_loop)] // parallel-array indexing by level
+            for i in 0..k {
+                let plan = plans[u as usize][i];
+                if plan.dense {
+                    continue;
+                }
+                let ct = &center_trees[&plan.center];
+                let mut b = 1usize;
+                for v in dec.e_members(d, NodeId(u), i) {
+                    stats.lemma3_checked += 1;
+                    let ix = ct.ix_of[v as usize];
+                    if ix == u32::MAX {
+                        stats.lemma3_violations += 1;
+                        b = k; // fall back to the deepest search
+                        continue;
+                    }
+                    let rank = ct.ert.rank(ix) as usize;
+                    b = b.max(ct.ert.naming().level_of_rank(rank).max(1));
+                }
+                plans[u as usize][i].b = b.min(k).max(1) as u8;
+            }
+        }
+
+        // ---- cover trees per dense scale -----------------------------
+        let mut scales: Vec<u32> = plans
+            .iter()
+            .flatten()
+            .filter(|p| p.dense)
+            .map(|p| p.a)
+            .collect();
+        scales.sort_unstable();
+        scales.dedup();
+        let mut scale_covers: HashMap<u32, ScaleCover> = HashMap::new();
+        for &s in &scales {
+            let members: Vec<u32> =
+                (0..n as u32).filter(|&v| dec.in_extended_range(NodeId(v), s)).collect();
+            let sub = induced_subgraph(&g, &members);
+            let rho = 1u64
+                .checked_shl(s)
+                .expect("scale exponent exceeds u64 — weights out of supported range");
+            let cover = covers::build_cover(&sub.graph, k, rho);
+            let mut home = vec![u32::MAX; n];
+            for (local, &t) in cover.home.iter().enumerate() {
+                home[sub.to_host[local] as usize] = t;
+            }
+            let routers: Vec<CoverEntry> = cover
+                .trees
+                .iter()
+                .enumerate()
+                .map(|(ti, t)| {
+                    let host_tree = remap_tree(t, &sub.to_host);
+                    let ix: HashMap<u32, TreeIx> = host_tree
+                        .graph_ids()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &gid)| (gid, i as TreeIx))
+                        .collect();
+                    let router = CoverTreeRouter::new(
+                        host_tree,
+                        sigma,
+                        params.seed ^ ((s as u64) << 32 | ti as u64),
+                    );
+                    CoverEntry { router, ix }
+                })
+                .collect();
+            stats.num_cover_trees += routers.len();
+            scale_covers.insert(s, ScaleCover { routers, home });
+        }
+        stats.num_scales = scale_covers.len();
+
+        Scheme { g, params, dec, hier, plans, center_trees, scale_covers, stats }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    /// Construction parameters.
+    pub fn params(&self) -> &SchemeParams {
+        &self.params
+    }
+
+    /// Preprocessing diagnostics.
+    pub fn stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// The decomposition (exposed for experiments F1/F2/A1).
+    pub fn decomposition(&self) -> &Decomposition {
+        &self.dec
+    }
+
+    /// The landmark hierarchy (exposed for experiments C1/C2).
+    pub fn hierarchy(&self) -> &LandmarkHierarchy {
+        &self.hier
+    }
+
+    /// Route a message (§3.7): phases `i = 0..k`, each using the dense
+    /// or sparse strategy of level `i`, until the destination is found.
+    pub fn route_message(&self, src: NodeId, dst: NodeId) -> RouteTrace {
+        if src == dst {
+            return RouteTrace::trivial(src);
+        }
+        let mut path = vec![src];
+        let mut cost: Cost = 0;
+        for i in 0..self.params.k {
+            let plan = self.plans[src.idx()][i];
+            let found = if plan.dense {
+                self.dense_phase(src, dst, plan, &mut path, &mut cost)
+            } else {
+                self.sparse_phase(src, dst, plan, &mut path, &mut cost)
+            };
+            if found {
+                return RouteTrace { path, cost, delivered: true };
+            }
+            debug_assert_eq!(*path.last().unwrap(), src, "phase must end at the source");
+        }
+        RouteTrace { path, cost, delivered: false }
+    }
+
+    /// Dense strategy (§3.6): look up `dst` in the home cover tree
+    /// `W(u, i)` at scale `a(u, i)`. Returns true when delivered.
+    fn dense_phase(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        plan: LevelPlan,
+        path: &mut Vec<NodeId>,
+        cost: &mut Cost,
+    ) -> bool {
+        let sc = &self.scale_covers[&plan.a];
+        let home = sc.home[src.idx()];
+        debug_assert_ne!(home, u32::MAX, "source must participate at its own scale");
+        let entry = &sc.routers[home as usize];
+        let from = entry.ix[&src.0];
+        let (outcome, tpath) = entry.router.route(from, dst);
+        append_tree_path(entry.router.labeled().tree(), &tpath, path);
+        *cost += outcome.cost();
+        matches!(outcome, CoverOutcome::Found { .. })
+    }
+
+    /// Sparse strategy (§3.3): climb to the center `c(u, i)`, run a
+    /// `b(u, i)`-bounded search on `T(c(u, i))`, and come back on a miss.
+    fn sparse_phase(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        plan: LevelPlan,
+        path: &mut Vec<NodeId>,
+        cost: &mut Cost,
+    ) -> bool {
+        let ct = &self.center_trees[&plan.center];
+        let tree = ct.ert.labeled().tree();
+        let src_ix = ct.ix_of[src.idx()];
+        debug_assert_ne!(src_ix, u32::MAX, "source must be in its own center's tree");
+        // Climb to the root along tree parents.
+        let mut climb = vec![src_ix];
+        let mut at = src_ix;
+        while let Some(p) = tree.parent(at) {
+            *cost += tree.parent_weight(at);
+            at = p;
+            climb.push(at);
+        }
+        append_tree_path(tree, &climb, path);
+        // Bounded search from the root.
+        let (outcome, tpath) = ct.ert.search(dst, plan.b as usize);
+        append_tree_path(tree, &tpath, path);
+        *cost += outcome.cost();
+        match outcome {
+            SearchOutcome::Found { .. } => true,
+            SearchOutcome::NotFound { .. } => {
+                // Back down to the source for the next phase.
+                for &t in climb.iter().rev().skip(1) {
+                    *cost += tree.parent_weight(t);
+                    path.push(tree.graph_id(t));
+                }
+                false
+            }
+        }
+    }
+
+    /// Storage bits at node `v`: level plans, landmark-tree state
+    /// `τ(T(c), v)` for every tree containing `v`, and cover-tree state
+    /// `φ(T, v)` plus the home-root pointer for every scale in `R(v)`.
+    pub fn storage_bits(&self, v: NodeId) -> u64 {
+        self.storage_breakdown(v).total()
+    }
+
+    /// Storage bits at `v`, split by component (experiment T2).
+    pub fn storage_breakdown(&self, v: NodeId) -> StorageBreakdown {
+        let n = self.g.n();
+        let id = bits_for_node(n);
+        let mut b = StorageBreakdown {
+            // Plans: dense flag + range + center + b per level.
+            plans_bits: self.params.k as u64
+                * (1 + bits_for_universe(self.dec.log_delta() as u64 + 1)
+                    + id
+                    + bits_for_universe(self.params.k as u64 + 1)),
+            ..Default::default()
+        };
+        for ct in self.center_trees.values() {
+            let ix = ct.ix_of[v.idx()];
+            if ix != u32::MAX {
+                b.landmark_bits += id + ct.ert.node_bits(ix); // center id + τ
+            }
+        }
+        for sc in self.scale_covers.values() {
+            for entry in &sc.routers {
+                if let Some(&ix) = entry.ix.get(&v.0) {
+                    b.cover_bits += id + entry.router.node_bits(ix); // root id + φ
+                }
+            }
+        }
+        b
+    }
+
+    /// Theorem 1's per-node bound in explicit form (with the Lemma 11
+    /// exponent; see DESIGN.md): `k² · n^{3/k} · log³ n` bits, constant
+    /// 64.
+    pub fn theorem1_bound(&self) -> f64 {
+        let n = self.g.n() as f64;
+        let k = self.params.k as f64;
+        64.0 * k * k * n.powf(3.0 / k) * n.log2().powi(3)
+    }
+
+    /// Worst-case header size in bits — the paper's `Õ(1)` claim made
+    /// concrete. A message carries: the destination id, the phase index,
+    /// the search round, and (while walking a tree) the largest label of
+    /// any tree in the scheme plus a return label for error reporting —
+    /// O(log² n) total.
+    pub fn header_bits_bound(&self) -> u64 {
+        let n = self.g.n();
+        let id = bits_for_node(n);
+        let phase = bits_for_universe(self.params.k as u64 + 1);
+        let mut max_label = 0u64;
+        for ct in self.center_trees.values() {
+            let lt = ct.ert.labeled();
+            for t in 0..lt.tree().size() as u32 {
+                max_label = max_label.max(lt.label_bits(t));
+            }
+        }
+        for sc in self.scale_covers.values() {
+            for entry in &sc.routers {
+                let lt = entry.router.labeled();
+                for t in 0..lt.tree().size() as u32 {
+                    max_label = max_label.max(lt.label_bits(t));
+                }
+            }
+        }
+        id + 2 * phase + 2 * max_label
+    }
+}
+
+/// Relabel a tree's node ids through a host map (used to lift subgraph
+/// cover trees into host-graph ids).
+fn remap_tree(t: &Tree, to_host: &[u32]) -> Tree {
+    let ids: Vec<u32> = t.graph_ids().iter().map(|&l| to_host[l as usize]).collect();
+    let parents: Vec<u32> =
+        (0..t.size() as u32).map(|x| t.parent(x).unwrap_or(u32::MAX)).collect();
+    let weights: Vec<u64> = (0..t.size() as u32).map(|x| t.parent_weight(x)).collect();
+    Tree::from_parents(ids, parents, weights)
+}
+
+/// Append a tree-index walk to a host-id path, skipping the first node
+/// (it must equal the path's current tail).
+fn append_tree_path(tree: &Tree, tpath: &[TreeIx], path: &mut Vec<NodeId>) {
+    if tpath.is_empty() {
+        return;
+    }
+    debug_assert_eq!(
+        tree.graph_id(tpath[0]),
+        *path.last().unwrap(),
+        "tree walk must continue from the current node"
+    );
+    for &t in &tpath[1..] {
+        path.push(tree.graph_id(t));
+    }
+}
+
+impl Router for Scheme {
+    fn route(&self, src: NodeId, dst: NodeId) -> RouteTrace {
+        self.route_message(src, dst)
+    }
+
+    fn name(&self) -> &str {
+        "agm-scale-free"
+    }
+
+    fn node_storage_bits(&self, v: NodeId) -> u64 {
+        self.storage_bits(v)
+    }
+}

@@ -1,0 +1,474 @@
+#![warn(missing_docs)]
+//! # covers — sparse tree covers `TC_{k,ρ}(G)` (Lemma 6)
+//!
+//! The Awerbuch–Peleg sparse-partition construction (\[9\]) with the
+//! cover-tree packaging of \[3\], used by the dense-level routing
+//! strategy. For every weighted graph `G` and integers `k, ρ ≥ 1` it
+//! produces a collection of rooted trees such that:
+//!
+//! 1. **Cover** — for every `v`, some tree fully contains `B(v, ρ)`
+//!    (that tree is `v`'s *home tree*);
+//! 2. **Sparse** — no node appears in more than `2k·n^{1/k}` trees;
+//! 3. **Small radius** — every tree has `rad(T) ≤ (2k−1)·ρ`;
+//! 4. **Small edges** — every tree edge has weight `≤ 2ρ`.
+//!
+//! The construction repeatedly grabs an unserved ball and inflates it
+//! by merging the balls of unserved centers it contains, until the
+//! node count stops growing by the factor `n^{1/k}`; the inflation can
+//! repeat at most `k` times, which caps the radius. All four
+//! properties are *verified* per instance ([`verify_cover`], test
+//! suite, experiment L6).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use graphkit::ids::nth_root_ceil;
+use graphkit::{Cost, Graph, NodeId, Tree, Weight, INFINITY};
+
+/// A sparse tree cover of one graph.
+#[derive(Clone, Debug)]
+pub struct TreeCover {
+    /// The cover radius parameter ρ.
+    pub rho: u64,
+    /// The trade-off parameter k.
+    pub k: usize,
+    /// The cover trees; `graph_id`s refer to the host graph.
+    pub trees: Vec<Tree>,
+    /// `home[v]` = index into `trees` of the tree containing `B(v, ρ)`.
+    pub home: Vec<u32>,
+}
+
+impl TreeCover {
+    /// Number of trees containing node `v`.
+    pub fn overlap(&self, v: NodeId) -> usize {
+        self.trees.iter().filter(|t| t.find(v).is_some()).count()
+    }
+
+    /// The home tree of `v` (the tree covering `B(v, ρ)`).
+    pub fn home_tree(&self, v: NodeId) -> &Tree {
+        &self.trees[self.home[v.idx()] as usize]
+    }
+
+    /// Largest tree radius in the cover.
+    pub fn max_radius(&self) -> Cost {
+        self.trees.iter().map(Tree::radius).max().unwrap_or(0)
+    }
+
+    /// Heaviest tree edge in the cover.
+    pub fn max_edge(&self) -> Weight {
+        self.trees.iter().map(Tree::max_edge).max().unwrap_or(0)
+    }
+}
+
+/// Build `TC_{k,ρ}(G)`. The graph may be disconnected; each component
+/// is covered independently (as the paper prescribes for the `G_i`).
+pub fn build_cover(g: &Graph, k: usize, rho: u64) -> TreeCover {
+    assert!(k >= 1 && rho >= 1);
+    let n = g.n();
+    if k == 1 {
+        // Radius bound (2k−1)ρ = ρ forbids any inflation: the cover is
+        // one tree per ball (overlap ≤ n = 2k·n^{1/k}/2 is within spec).
+        let mut scratch = BallScratch::new(n);
+        let mut trees = Vec::with_capacity(n);
+        let mut home = Vec::with_capacity(n);
+        for v in 0..n as u32 {
+            let members = scratch.ball(g, NodeId(v), rho);
+            home.push(v);
+            trees.push(cluster_tree(g, NodeId(v), &members, rho));
+        }
+        return TreeCover { rho, k, trees, home };
+    }
+    let mut served = vec![false; n];
+    let mut home = vec![u32::MAX; n];
+    let mut trees: Vec<Tree> = Vec::new();
+    // Scratch buffers reused across clusters.
+    let mut ball_scratch = BallScratch::new(n);
+    // Process unserved centers in id order for determinism.
+    for v in 0..n as u32 {
+        if served[v as usize] {
+            continue;
+        }
+        let (members, merged_centers) =
+            grow_cluster(g, NodeId(v), rho, k, &served, &mut ball_scratch);
+        let tree_ix = trees.len() as u32;
+        trees.push(cluster_tree(g, NodeId(v), &members, rho));
+        for w in merged_centers {
+            debug_assert!(!served[w as usize]);
+            served[w as usize] = true;
+            home[w as usize] = tree_ix;
+        }
+    }
+    debug_assert!(home.iter().all(|&h| h != u32::MAX));
+    TreeCover { rho, k, trees, home }
+}
+
+/// One Awerbuch–Peleg cluster: start from `B(v,ρ)`, repeatedly merge
+/// the balls of *unserved* centers inside the current kernel `Y`, stop
+/// when `|Z| ≤ n^{1/k}·|Y|`. Returns the final member set `Z` and the
+/// centers whose balls were merged (they become served).
+fn grow_cluster(
+    g: &Graph,
+    v: NodeId,
+    rho: u64,
+    k: usize,
+    served: &[bool],
+    scratch: &mut BallScratch,
+) -> (Vec<u32>, Vec<u32>) {
+    let n = g.n() as u64;
+    let sigma = nth_root_ceil(n, k as u32); // ⌈n^{1/k}⌉
+    let mut z: Vec<u32> = scratch.ball(g, v, rho);
+    let mut merged: Vec<u32> = Vec::new();
+    loop {
+        let y = z.clone();
+        // Centers to merge: unserved nodes inside Y not yet merged.
+        let mut new_centers: Vec<u32> = y
+            .iter()
+            .copied()
+            .filter(|&w| !served[w as usize] && !merged.contains(&w))
+            .collect();
+        new_centers.sort_unstable();
+        if new_centers.is_empty() && !merged.is_empty() {
+            // Nothing new to absorb: Z is stable.
+            return (z, merged);
+        }
+        for &w in &new_centers {
+            let b = scratch.ball(g, NodeId(w), rho);
+            z.extend(b);
+        }
+        z.sort_unstable();
+        z.dedup();
+        merged.extend(new_centers);
+        // Stop when the n^{1/k} growth failed: |Z| ≤ σ·|Y|.
+        if z.len() as u64 <= sigma.saturating_mul(y.len() as u64) {
+            return (z, merged);
+        }
+    }
+}
+
+/// Shortest-path tree spanning a cluster, rooted at its seed, built in
+/// the subgraph induced by the members *with edges ≤ 2ρ* (which is what
+/// bounds `maxE(T)`). Falls back to unfiltered induced edges for any
+/// member unreachable through light edges (never observed on the
+/// workloads; the verifier would flag the resulting heavy edge).
+fn cluster_tree(g: &Graph, root: NodeId, members: &[u32], rho: u64) -> Tree {
+    let tree = restricted_sssp_tree(g, root, members, Some(2 * rho));
+    if tree.size() == members.len() {
+        return tree;
+    }
+    restricted_sssp_tree(g, root, members, None)
+}
+
+/// Dijkstra restricted to `members` (sorted host ids) and to edges of
+/// weight ≤ `max_edge`; returns the SPT of the reached members.
+fn restricted_sssp_tree(
+    g: &Graph,
+    root: NodeId,
+    members: &[u32],
+    max_edge: Option<u64>,
+) -> Tree {
+    let n = g.n();
+    let mut dist = vec![INFINITY; n];
+    let mut parent = vec![u32::MAX; n];
+    let in_set = {
+        let mut v = vec![false; n];
+        for &m in members {
+            v[m as usize] = true;
+        }
+        v
+    };
+    debug_assert!(in_set[root.idx()]);
+    let mut heap: BinaryHeap<Reverse<(Cost, u32)>> = BinaryHeap::new();
+    dist[root.idx()] = 0;
+    heap.push(Reverse((0, root.0)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for (w, wt) in g.edges_of(NodeId(u)) {
+            if !in_set[w.idx()] {
+                continue;
+            }
+            if let Some(me) = max_edge {
+                if wt > me {
+                    continue;
+                }
+            }
+            let nd = d + wt;
+            let dw = &mut dist[w.idx()];
+            if nd < *dw || (nd == *dw && u < parent[w.idx()]) {
+                let improved = nd < *dw;
+                *dw = nd;
+                parent[w.idx()] = u;
+                if improved {
+                    heap.push(Reverse((nd, w.0)));
+                }
+            }
+        }
+    }
+    // Assemble the tree over reached members, ordered by (dist, id).
+    let mut reached: Vec<u32> =
+        members.iter().copied().filter(|&m| dist[m as usize] != INFINITY).collect();
+    reached.sort_unstable_by_key(|&m| (dist[m as usize], m));
+    debug_assert_eq!(reached[0], root.0);
+    let mut local = vec![u32::MAX; n];
+    for (i, &m) in reached.iter().enumerate() {
+        local[m as usize] = i as u32;
+    }
+    let mut parents = Vec::with_capacity(reached.len());
+    let mut weights = Vec::with_capacity(reached.len());
+    for &m in &reached {
+        if m == root.0 {
+            parents.push(u32::MAX);
+            weights.push(0);
+        } else {
+            let p = parent[m as usize];
+            debug_assert_ne!(p, u32::MAX);
+            parents.push(local[p as usize]);
+            weights.push(g.edge_weight(NodeId(p), NodeId(m)).expect("SPT edge"));
+        }
+    }
+    Tree::from_parents(reached, parents, weights)
+}
+
+/// Reusable bounded-Dijkstra scratch to avoid O(n) allocs per ball.
+struct BallScratch {
+    dist: Vec<Cost>,
+    touched: Vec<u32>,
+}
+
+impl BallScratch {
+    fn new(n: usize) -> Self {
+        BallScratch { dist: vec![INFINITY; n], touched: Vec::new() }
+    }
+
+    /// Members of `B(u, r)`, sorted by id.
+    fn ball(&mut self, g: &Graph, u: NodeId, r: u64) -> Vec<u32> {
+        for &t in &self.touched {
+            self.dist[t as usize] = INFINITY;
+        }
+        self.touched.clear();
+        let mut heap: BinaryHeap<Reverse<(Cost, u32)>> = BinaryHeap::new();
+        self.dist[u.idx()] = 0;
+        self.touched.push(u.0);
+        heap.push(Reverse((0, u.0)));
+        let mut out = Vec::new();
+        while let Some(Reverse((d, x))) = heap.pop() {
+            if d > self.dist[x as usize] {
+                continue;
+            }
+            out.push(x);
+            for (w, wt) in g.edges_of(NodeId(x)) {
+                let nd = d + wt;
+                if nd <= r && nd < self.dist[w.idx()] {
+                    if self.dist[w.idx()] == INFINITY {
+                        self.touched.push(w.0);
+                    }
+                    self.dist[w.idx()] = nd;
+                    heap.push(Reverse((nd, w.0)));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Result of checking Lemma 6's four properties.
+#[derive(Clone, Debug, Default)]
+pub struct CoverReport {
+    /// Nodes whose ball `B(v,ρ)` is *not* inside their home tree.
+    pub cover_violations: usize,
+    /// Largest number of trees any node belongs to.
+    pub max_overlap: usize,
+    /// The sparsity bound `2k·n^{1/k}`.
+    pub overlap_bound: u64,
+    /// Largest tree radius.
+    pub max_radius: Cost,
+    /// The radius bound `(2k−1)·ρ`.
+    pub radius_bound: Cost,
+    /// Heaviest tree edge.
+    pub max_edge: Weight,
+    /// The edge bound `2ρ`.
+    pub edge_bound: Weight,
+}
+
+impl CoverReport {
+    /// All four properties hold?
+    pub fn ok(&self) -> bool {
+        self.cover_violations == 0
+            && (self.max_overlap as u64) <= self.overlap_bound
+            && self.max_radius <= self.radius_bound
+            && self.max_edge <= self.edge_bound
+    }
+}
+
+/// Check all four Lemma 6 properties of a cover.
+pub fn verify_cover(g: &Graph, cover: &TreeCover) -> CoverReport {
+    let n = g.n();
+    let k = cover.k;
+    let mut report = CoverReport {
+        overlap_bound: 2 * k as u64 * nth_root_ceil(n as u64, k as u32),
+        radius_bound: (2 * k as u64 - 1) * cover.rho,
+        edge_bound: 2 * cover.rho,
+        max_radius: cover.max_radius(),
+        max_edge: cover.max_edge(),
+        ..Default::default()
+    };
+    // Cover: B(v,ρ) ⊆ home tree.
+    let mut scratch = BallScratch::new(n);
+    for v in 0..n as u32 {
+        let ball = scratch.ball(g, NodeId(v), cover.rho);
+        let map = cover.home_tree(NodeId(v)).index_map(n);
+        if ball.iter().any(|&m| map[m as usize] == u32::MAX) {
+            report.cover_violations += 1;
+        }
+    }
+    // Sparsity.
+    let mut count = vec![0usize; n];
+    for t in &cover.trees {
+        for &gid in t.graph_ids() {
+            count[gid as usize] += 1;
+        }
+    }
+    report.max_overlap = count.into_iter().max().unwrap_or(0);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphkit::gen::Family;
+    use graphkit::metrics::apsp;
+
+    fn check(fam: Family, n: usize, k: usize, rho: u64, seed: u64) -> CoverReport {
+        let g = fam.generate(n, seed);
+        let cover = build_cover(&g, k, rho);
+        let rep = verify_cover(&g, &cover);
+        assert_eq!(rep.cover_violations, 0, "{}: cover violated", fam.label());
+        assert!(
+            rep.max_radius <= rep.radius_bound,
+            "{}: rad {} > {}",
+            fam.label(),
+            rep.max_radius,
+            rep.radius_bound
+        );
+        assert!(
+            rep.max_edge <= rep.edge_bound,
+            "{}: edge {} > {}",
+            fam.label(),
+            rep.max_edge,
+            rep.edge_bound
+        );
+        assert!(
+            rep.max_overlap as u64 <= rep.overlap_bound,
+            "{}: overlap {} > {}",
+            fam.label(),
+            rep.max_overlap,
+            rep.overlap_bound
+        );
+        rep
+    }
+
+    #[test]
+    fn lemma6_on_rings() {
+        for rho in [1u64, 2, 8] {
+            check(Family::Ring, 80, 2, rho, 61);
+            check(Family::Ring, 80, 3, rho, 61);
+        }
+    }
+
+    #[test]
+    fn lemma6_on_grids() {
+        for k in [1usize, 2, 3] {
+            check(Family::Grid, 100, k, 3, 62);
+        }
+    }
+
+    #[test]
+    fn lemma6_on_er_and_geometric() {
+        check(Family::ErdosRenyi, 150, 2, 4, 63);
+        check(Family::Geometric, 150, 3, 50, 64);
+    }
+
+    #[test]
+    fn lemma6_on_pref_attach() {
+        check(Family::PrefAttach, 120, 2, 3, 65);
+    }
+
+    #[test]
+    fn lemma6_with_huge_rho_single_tree() {
+        // ρ ≥ diameter: the first cluster swallows everything.
+        let g = Family::Grid.generate(64, 66);
+        let d = apsp(&g);
+        let cover = build_cover(&g, 2, d.diameter());
+        assert_eq!(cover.trees.len(), 1);
+        assert_eq!(cover.trees[0].size(), 64);
+        assert!(verify_cover(&g, &cover).ok());
+    }
+
+    #[test]
+    fn lemma6_rho_one_on_unit_ring() {
+        // ρ = 1 on a unit ring: balls are 3 nodes; check everything.
+        let rep = check(Family::Ring, 30, 2, 1, 67);
+        assert!(rep.max_radius <= 3);
+    }
+
+    #[test]
+    fn k1_cover_is_fine_too() {
+        // k = 1: σ = n, so the very first size test passes and clusters
+        // stay one inflation round; radius ≤ (2·1−1)ρ means plain balls.
+        check(Family::Ring, 40, 1, 4, 68);
+    }
+
+    #[test]
+    fn disconnected_graph_covered_per_component() {
+        use graphkit::graph_from_edges;
+        let g = graph_from_edges(
+            6,
+            &[(0, 1, 1), (1, 2, 1), (3, 4, 1), (4, 5, 1)],
+        );
+        let cover = build_cover(&g, 2, 2);
+        let rep = verify_cover(&g, &cover);
+        assert_eq!(rep.cover_violations, 0);
+        // No tree mixes the two components.
+        for t in &cover.trees {
+            let has_low = t.graph_ids().iter().any(|&v| v <= 2);
+            let has_high = t.graph_ids().iter().any(|&v| v >= 3);
+            assert!(!(has_low && has_high));
+        }
+    }
+
+    #[test]
+    fn home_tree_contains_ball() {
+        let g = Family::Geometric.generate(100, 69);
+        let cover = build_cover(&g, 3, 40);
+        let mut scratch = BallScratch::new(g.n());
+        for v in 0..g.n() as u32 {
+            let home = cover.home_tree(NodeId(v));
+            for m in scratch.ball(&g, NodeId(v), cover.rho) {
+                assert!(home.find(NodeId(m)).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn every_tree_is_rooted_spanning_its_members() {
+        let g = Family::ErdosRenyi.generate(90, 70);
+        let cover = build_cover(&g, 2, 3);
+        for t in &cover.trees {
+            // Tree depths respect edge weights (consistency checked by
+            // Tree::from_parents), and radius is finite.
+            assert!(t.radius() < INFINITY);
+            assert!(t.size() >= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let g = Family::Geometric.generate(80, 71);
+        let a = build_cover(&g, 2, 25);
+        let b = build_cover(&g, 2, 25);
+        assert_eq!(a.trees.len(), b.trees.len());
+        assert_eq!(a.home, b.home);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for sparse tree covers on random graphs and
+//! radii: the four Lemma 6 invariants plus structural sanity of the
+//! cluster trees themselves.
+
+use covers::{build_cover, verify_cover};
+use graphkit::gen::WeightDist;
+use graphkit::metrics::apsp;
+use graphkit::NodeId;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_graph() -> impl Strategy<Value = graphkit::Graph> {
+    (5usize..50, any::<u64>(), 0.0f64..0.25, 1u64..64).prop_map(|(n, seed, p, hi)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        graphkit::gen::erdos_renyi(n, p, WeightDist::UniformInt { lo: 1, hi }, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// All four Lemma 6 properties on arbitrary (graph, k, ρ).
+    #[test]
+    fn lemma6_invariants(g in arb_graph(), k in 1usize..5, rho in 1u64..100) {
+        let cover = build_cover(&g, k, rho);
+        let rep = verify_cover(&g, &cover);
+        prop_assert!(rep.ok(), "violated: {:?} (k={}, rho={})", rep, k, rho);
+    }
+
+    /// Every node has a home tree, and the home tree contains the node
+    /// itself at depth ≤ (2k−1)ρ.
+    #[test]
+    fn home_trees_contain_owner(g in arb_graph(), k in 1usize..4, rho in 1u64..50) {
+        let cover = build_cover(&g, k, rho);
+        for v in 0..g.n() as u32 {
+            let home = cover.home_tree(NodeId(v));
+            let ix = home.find(NodeId(v)).expect("home tree must contain its owner");
+            prop_assert!(home.depth(ix) <= (2 * k as u64 - 1) * rho);
+        }
+    }
+
+    /// Cluster-tree depths are realizable graph distances: depth(x) ≥
+    /// d_G(root, x) (tree paths are walks in G).
+    #[test]
+    fn tree_depths_dominate_graph_distance(g in arb_graph(), rho in 1u64..40) {
+        let d = apsp(&g);
+        let cover = build_cover(&g, 2, rho);
+        for t in &cover.trees {
+            let root = t.graph_id(t.root());
+            for ix in 0..t.size() as u32 {
+                prop_assert!(t.depth(ix) >= d.d(root, t.graph_id(ix)));
+            }
+        }
+    }
+
+    /// Tree membership accounting matches overlap counting.
+    #[test]
+    fn overlap_consistency(g in arb_graph(), rho in 1u64..40) {
+        let cover = build_cover(&g, 2, rho);
+        let mut counts = vec![0usize; g.n()];
+        for t in &cover.trees {
+            for &gid in t.graph_ids() {
+                counts[gid as usize] += 1;
+            }
+        }
+        for v in 0..g.n() as u32 {
+            prop_assert_eq!(cover.overlap(NodeId(v)), counts[v as usize]);
+            prop_assert!(counts[v as usize] >= 1, "node {} in no tree", v);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the sparse/dense decomposition on random
+//! weighted graphs: Definition 1 exactness, Lemma 2, and the O(k)
+//! extended-range bound at arbitrary aspect ratios.
+
+use decomposition::{verify_lemma2, Decomposition};
+use graphkit::gen::WeightDist;
+use graphkit::metrics::apsp;
+use graphkit::NodeId;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_instance() -> impl Strategy<Value = (graphkit::Graph, usize)> {
+    (6usize..50, 1usize..5, any::<u64>(), 0u32..30).prop_map(|(n, k, seed, wexp)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Tree backbone + a few extras; power-of-two weights sweep the
+        // aspect ratio up to 2^30 within the strategy.
+        let g = graphkit::gen::erdos_renyi(
+            n,
+            0.05,
+            WeightDist::PowerOfTwo { max_exp: wexp },
+            &mut rng,
+        );
+        (g, k)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Definition 1: a(u,0)=0; each a(u,i+1) is minimal for the
+    /// n^{1/k} growth unless capped; the final range hits the cap.
+    #[test]
+    fn ranges_well_formed((g, k) in arb_instance()) {
+        let d = apsp(&g);
+        if !d.connected() { return Ok(()); }
+        let dec = Decomposition::build(&d, k);
+        let n = g.n() as f64;
+        let factor = n.powf(1.0 / k as f64);
+        for u in 0..g.n() as u32 {
+            let u = NodeId(u);
+            prop_assert_eq!(dec.a(u, 0), 0);
+            prop_assert_eq!(dec.a(u, k), dec.log_delta(), "top range must be capped");
+            for i in 0..k {
+                prop_assert!(dec.a(u, i) <= dec.a(u, i + 1));
+                let a_next = dec.a(u, i + 1);
+                if a_next < dec.log_delta() {
+                    // Growth achieved (with float slack on the boundary).
+                    let prev = dec.ball_size(&d, u, i) as f64;
+                    let next = d.ball_size(u, 1 << a_next) as f64;
+                    prop_assert!(next + 1e-9 >= factor * prev,
+                        "growth failed at u={:?} i={}", u, i);
+                }
+            }
+        }
+    }
+
+    /// Lemma 2 and |R(u)| ≤ 6(k+1) on arbitrary aspect ratios.
+    #[test]
+    fn lemma2_and_range_bound((g, k) in arb_instance()) {
+        let d = apsp(&g);
+        if !d.connected() { return Ok(()); }
+        let dec = Decomposition::build(&d, k);
+        let rep = verify_lemma2(&d, &dec);
+        prop_assert_eq!(rep.violations, 0);
+        prop_assert!(rep.max_extended_range <= 6 * (k + 1));
+    }
+
+    /// E(u,i) ⊆ A(u,i+1) and F(u,i) ⊆ A(u,i); u belongs to both.
+    #[test]
+    fn guarantee_regions_nest((g, k) in arb_instance()) {
+        let d = apsp(&g);
+        if !d.connected() { return Ok(()); }
+        let dec = Decomposition::build(&d, k);
+        for u in (0..g.n() as u32).step_by(3) {
+            let u = NodeId(u);
+            for i in 0..k {
+                let e = dec.e_members(&d, u, i);
+                prop_assert!(e.contains(&u.0));
+                for &v in &e {
+                    prop_assert!(d.d(u, NodeId(v)) <= dec.ball_radius(u, i + 1));
+                }
+                if i >= 1 {
+                    let f = dec.f_members(&d, u, i);
+                    prop_assert!(f.contains(&u.0));
+                    for &v in &f {
+                        prop_assert!(d.d(u, NodeId(v)) <= dec.ball_radius(u, i));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The level-k ball covers the whole (connected) graph: coverage
+    /// of the phase router's final level.
+    #[test]
+    fn top_level_covers_graph((g, k) in arb_instance()) {
+        let d = apsp(&g);
+        if !d.connected() { return Ok(()); }
+        let dec = Decomposition::build(&d, k);
+        for u in (0..g.n() as u32).step_by(5) {
+            let u = NodeId(u);
+            // E(u, k−1) uses a(u,k) = cap, with 2^cap ≥ 8·diam:
+            // every node satisfies 6·d ≤ 2^cap.
+            let e = dec.e_members(&d, u, k - 1);
+            prop_assert_eq!(e.len(), g.n(), "E(u,k-1) must be V");
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Bit-level storage accounting.
+//!
+//! Theorem 1 is a statement about *bits per node*, so every routing-table
+//! component in the workspace implements [`StorageCost`] and reports an
+//! information-theoretic bit count (ids at `ceil(log2 n)` bits, distances
+//! at `ceil(log2(1 + value))` bits, and so on) rather than Rust struct
+//! sizes, which would be dominated by alignment and capacity slack.
+
+/// Anything whose routing-table footprint can be audited in bits.
+pub trait StorageCost {
+    /// Total bits a faithful encoded representation would occupy.
+    fn storage_bits(&self) -> u64;
+}
+
+impl<T: StorageCost> StorageCost for Option<T> {
+    fn storage_bits(&self) -> u64 {
+        1 + self.as_ref().map_or(0, StorageCost::storage_bits)
+    }
+}
+
+impl<T: StorageCost> StorageCost for Vec<T> {
+    fn storage_bits(&self) -> u64 {
+        // Length prefix + elements.
+        64 + self.iter().map(StorageCost::storage_bits).sum::<u64>()
+    }
+}
+
+/// Bits to store one value from a universe of `universe` possibilities.
+#[inline]
+pub fn bits_for_universe(universe: u64) -> u64 {
+    crate::ids::ceil_log2(universe.max(1)) as u64
+}
+
+/// Bits to store a node id in an n-node graph.
+#[inline]
+pub fn bits_for_node(n: usize) -> u64 {
+    bits_for_universe(n as u64).max(1)
+}
+
+/// Bits to store a distance value `d` (variable-length, gamma-style:
+/// `2*ceil(log2(d+2))` covers length + payload).
+#[inline]
+pub fn bits_for_distance(d: u64) -> u64 {
+    2 * crate::ids::ceil_log2(d.saturating_add(2)) as u64
+}
+
+/// Pretty-print a bit count as `B / KiB / MiB` for experiment tables.
+pub fn fmt_bits(bits: u64) -> String {
+    let bytes = bits as f64 / 8.0;
+    if bytes < 1024.0 {
+        format!("{bytes:.0} B")
+    } else if bytes < 1024.0 * 1024.0 {
+        format!("{:.1} KiB", bytes / 1024.0)
+    } else {
+        format!("{:.2} MiB", bytes / (1024.0 * 1024.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(u64);
+    impl StorageCost for Fixed {
+        fn storage_bits(&self) -> u64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn option_adds_presence_bit() {
+        assert_eq!(None::<Fixed>.storage_bits(), 1);
+        assert_eq!(Some(Fixed(10)).storage_bits(), 11);
+    }
+
+    #[test]
+    fn vec_adds_length_prefix() {
+        let v = vec![Fixed(3), Fixed(4)];
+        assert_eq!(v.storage_bits(), 64 + 7);
+        assert_eq!(Vec::<Fixed>::new().storage_bits(), 64);
+    }
+
+    #[test]
+    fn universe_bits() {
+        assert_eq!(bits_for_universe(1), 0);
+        assert_eq!(bits_for_universe(2), 1);
+        assert_eq!(bits_for_universe(1024), 10);
+        assert_eq!(bits_for_node(1024), 10);
+        assert_eq!(bits_for_node(1), 1); // at least one bit
+    }
+
+    #[test]
+    fn distance_bits_monotone() {
+        let mut prev = 0;
+        for d in [0u64, 1, 5, 100, 1 << 20, 1 << 40] {
+            let b = bits_for_distance(d);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn fmt_bits_units() {
+        assert_eq!(fmt_bits(8), "1 B");
+        assert!(fmt_bits(8 * 2048).contains("KiB"));
+        assert!(fmt_bits(8 * 3 * 1024 * 1024).contains("MiB"));
+    }
+}

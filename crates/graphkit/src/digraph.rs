@@ -1,0 +1,400 @@
+//! Directed-graph substrate for the paper's §4 extension ("our routing
+//! scheme can be adopted to work on strongly connected directed
+//! graphs").
+//!
+//! Directed compact routing is measured against the **round-trip
+//! metric** `rt(u,v) = d→(u,v) + d→(v,u)` (one-way distances admit no
+//! sublinear scheme); this module provides the directed CSR graph,
+//! forward/backward Dijkstra, strong-connectivity checking, round-trip
+//! distance matrices, and a strongly connected random generator.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::Rng;
+
+use crate::ids::{cost_add, Cost, NodeId, Weight, INFINITY};
+use crate::metrics::DistMatrix;
+
+/// Mutable directed graph under construction.
+#[derive(Clone, Debug, Default)]
+pub struct DiGraphBuilder {
+    n: u32,
+    arcs: Vec<(u32, u32, Weight)>,
+}
+
+impl DiGraphBuilder {
+    /// Start with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize);
+        DiGraphBuilder { n: n as u32, arcs: Vec::new() }
+    }
+
+    /// Add an arc `u → v` of weight `w ≥ 1`. Parallel arcs keep the
+    /// lightest at freeze time.
+    pub fn add_arc(&mut self, u: NodeId, v: NodeId, w: Weight) {
+        assert!(u.0 < self.n && v.0 < self.n, "arc endpoint out of range");
+        assert_ne!(u, v, "self-loops are not allowed");
+        assert!(w >= 1, "arc weights must be >= 1");
+        self.arcs.push((u.0, v.0, w));
+    }
+
+    /// Freeze into CSR form (out-adjacency + in-adjacency).
+    pub fn build(mut self) -> DiGraph {
+        let n = self.n as usize;
+        self.arcs.sort_unstable();
+        self.arcs.dedup_by(|next, keep| {
+            if next.0 == keep.0 && next.1 == keep.1 {
+                keep.2 = keep.2.min(next.2);
+                true
+            } else {
+                false
+            }
+        });
+        let build_csr = |pairs: &[(u32, u32, Weight)]| {
+            let mut deg = vec![0u32; n];
+            for &(u, _, _) in pairs {
+                deg[u as usize] += 1;
+            }
+            let mut offsets = vec![0u32; n + 1];
+            for i in 0..n {
+                offsets[i + 1] = offsets[i] + deg[i];
+            }
+            let mut targets = vec![0u32; pairs.len()];
+            let mut weights = vec![0 as Weight; pairs.len()];
+            let mut cursor = offsets[..n].to_vec();
+            for &(u, v, w) in pairs {
+                let c = cursor[u as usize] as usize;
+                targets[c] = v;
+                weights[c] = w;
+                cursor[u as usize] += 1;
+            }
+            (offsets, targets, weights)
+        };
+        let (out_offsets, out_targets, out_weights) = build_csr(&self.arcs);
+        let mut rev: Vec<(u32, u32, Weight)> =
+            self.arcs.iter().map(|&(u, v, w)| (v, u, w)).collect();
+        rev.sort_unstable();
+        let (in_offsets, in_sources, in_weights) = build_csr(&rev);
+        DiGraph {
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_sources,
+            in_weights,
+            num_arcs: self.arcs.len(),
+        }
+    }
+}
+
+/// Frozen directed weighted graph (CSR both directions).
+#[derive(Clone, Debug)]
+pub struct DiGraph {
+    out_offsets: Vec<u32>,
+    out_targets: Vec<u32>,
+    out_weights: Vec<Weight>,
+    in_offsets: Vec<u32>,
+    in_sources: Vec<u32>,
+    in_weights: Vec<Weight>,
+    num_arcs: usize,
+}
+
+impl DiGraph {
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of arcs.
+    pub fn m(&self) -> usize {
+        self.num_arcs
+    }
+
+    /// Out-neighbors of `u` with weights.
+    pub fn out_arcs(&self, u: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+        let (s, e) =
+            (self.out_offsets[u.idx()] as usize, self.out_offsets[u.idx() + 1] as usize);
+        self.out_targets[s..e]
+            .iter()
+            .copied()
+            .map(NodeId)
+            .zip(self.out_weights[s..e].iter().copied())
+    }
+
+    /// In-neighbors of `u` with weights.
+    pub fn in_arcs(&self, u: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+        let (s, e) =
+            (self.in_offsets[u.idx()] as usize, self.in_offsets[u.idx() + 1] as usize);
+        self.in_sources[s..e]
+            .iter()
+            .copied()
+            .map(NodeId)
+            .zip(self.in_weights[s..e].iter().copied())
+    }
+
+    /// Weight of the arc `u → v`, if present.
+    pub fn arc_weight(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        let (s, e) =
+            (self.out_offsets[u.idx()] as usize, self.out_offsets[u.idx() + 1] as usize);
+        self.out_targets[s..e]
+            .binary_search(&v.0)
+            .ok()
+            .map(|i| self.out_weights[s + i])
+    }
+
+    /// Forward single-source shortest paths (along arc directions).
+    /// `reverse = true` follows arcs backwards (distances *to* src).
+    pub fn dijkstra(&self, src: NodeId, reverse: bool) -> DiSssp {
+        let n = self.n();
+        let mut dist = vec![INFINITY; n];
+        let mut parent = vec![u32::MAX; n];
+        let mut heap: BinaryHeap<Reverse<(Cost, u32)>> = BinaryHeap::new();
+        dist[src.idx()] = 0;
+        heap.push(Reverse((0, src.0)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            let relax = |heap: &mut BinaryHeap<Reverse<(Cost, u32)>>,
+                         dist: &mut [Cost],
+                         parent: &mut [u32],
+                         v: NodeId,
+                         w: Weight| {
+                let nd = cost_add(d, w);
+                if nd < dist[v.idx()] || (nd == dist[v.idx()] && u < parent[v.idx()]) {
+                    let improved = nd < dist[v.idx()];
+                    dist[v.idx()] = nd;
+                    parent[v.idx()] = u;
+                    if improved {
+                        heap.push(Reverse((nd, v.0)));
+                    }
+                }
+            };
+            if reverse {
+                for (v, w) in self.in_arcs(NodeId(u)) {
+                    relax(&mut heap, &mut dist, &mut parent, v, w);
+                }
+            } else {
+                for (v, w) in self.out_arcs(NodeId(u)) {
+                    relax(&mut heap, &mut dist, &mut parent, v, w);
+                }
+            }
+        }
+        DiSssp { source: src, reverse, dist, parent }
+    }
+
+    /// Is the graph strongly connected?
+    pub fn strongly_connected(&self) -> bool {
+        if self.n() == 0 {
+            return true;
+        }
+        let fwd = self.dijkstra(NodeId(0), false);
+        let bwd = self.dijkstra(NodeId(0), true);
+        fwd.dist.iter().all(|&d| d != INFINITY) && bwd.dist.iter().all(|&d| d != INFINITY)
+    }
+
+    /// All-pairs *forward* distances (row u = distances from u).
+    pub fn apsp_directed(&self) -> Vec<Vec<Cost>> {
+        (0..self.n() as u32).map(|u| self.dijkstra(NodeId(u), false).dist).collect()
+    }
+
+    /// The round-trip metric `rt(u,v) = d→(u,v) + d→(v,u)` as a
+    /// symmetric [`DistMatrix`].
+    pub fn round_trip_matrix(&self) -> DistMatrix {
+        let fwd = self.apsp_directed();
+        let n = self.n();
+        let mut flat = vec![INFINITY; n * n];
+        for u in 0..n {
+            for v in 0..n {
+                flat[u * n + v] = cost_add(fwd[u][v], fwd[v][u]);
+            }
+        }
+        DistMatrix::from_raw(n, flat)
+    }
+
+    /// Next-hop table from `src` along forward shortest paths:
+    /// `next[v]` = first node after `src` on a shortest path `src → v`.
+    pub fn next_hops(&self, src: NodeId) -> Vec<u32> {
+        let sp = self.dijkstra(src, false);
+        let n = self.n();
+        let mut next = vec![u32::MAX; n];
+        next[src.idx()] = src.0;
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by_key(|&v| sp.dist[v as usize]);
+        for v in order {
+            if v == src.0 || sp.dist[v as usize] == INFINITY {
+                continue;
+            }
+            let p = sp.parent[v as usize];
+            next[v as usize] = if p == src.0 { v } else { next[p as usize] };
+        }
+        next
+    }
+}
+
+/// Result of a directed single-source run.
+#[derive(Clone, Debug)]
+pub struct DiSssp {
+    /// Source node.
+    pub source: NodeId,
+    /// Whether arcs were followed backwards.
+    pub reverse: bool,
+    /// Distances (from source forward, or to source if `reverse`).
+    pub dist: Vec<Cost>,
+    /// Predecessor in the search tree.
+    pub parent: Vec<u32>,
+}
+
+/// Random strongly connected digraph: a directed Hamiltonian backbone
+/// cycle (guaranteeing strong connectivity) plus `extra` random arcs,
+/// all with weights from `lo..=hi` drawn independently per direction.
+pub fn random_strongly_connected(
+    n: usize,
+    extra: usize,
+    lo: Weight,
+    hi: Weight,
+    rng: &mut impl Rng,
+) -> DiGraph {
+    assert!(n >= 2 && lo >= 1 && hi >= lo);
+    let mut b = DiGraphBuilder::with_nodes(n);
+    // Shuffled backbone cycle.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    use rand::seq::SliceRandom;
+    order.shuffle(rng);
+    for i in 0..n {
+        b.add_arc(
+            NodeId(order[i]),
+            NodeId(order[(i + 1) % n]),
+            rng.gen_range(lo..=hi),
+        );
+    }
+    let mut added = 0;
+    let mut guard = 0;
+    while added < extra && guard < extra * 20 {
+        guard += 1;
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v {
+            b.add_arc(NodeId(u), NodeId(v), rng.gen_range(lo..=hi));
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn triangle() -> DiGraph {
+        // 0 -> 1 (1), 1 -> 2 (2), 2 -> 0 (3), plus shortcut 0 -> 2 (10).
+        let mut b = DiGraphBuilder::with_nodes(3);
+        b.add_arc(NodeId(0), NodeId(1), 1);
+        b.add_arc(NodeId(1), NodeId(2), 2);
+        b.add_arc(NodeId(2), NodeId(0), 3);
+        b.add_arc(NodeId(0), NodeId(2), 10);
+        b.build()
+    }
+
+    #[test]
+    fn forward_distances_respect_direction() {
+        let g = triangle();
+        let sp = g.dijkstra(NodeId(0), false);
+        assert_eq!(sp.dist, vec![0, 1, 3]); // 0->1->2 beats the shortcut
+        let sp1 = g.dijkstra(NodeId(1), false);
+        assert_eq!(sp1.dist, vec![5, 0, 2]); // 1->2->0
+    }
+
+    #[test]
+    fn reverse_dijkstra_gives_distances_to_source() {
+        let g = triangle();
+        let bwd = g.dijkstra(NodeId(0), true);
+        // d->(v, 0): from 1: 1->2->0 = 5; from 2: 3.
+        assert_eq!(bwd.dist, vec![0, 5, 3]);
+    }
+
+    #[test]
+    fn strong_connectivity() {
+        let g = triangle();
+        assert!(g.strongly_connected());
+        let mut b = DiGraphBuilder::with_nodes(3);
+        b.add_arc(NodeId(0), NodeId(1), 1);
+        b.add_arc(NodeId(1), NodeId(2), 1);
+        assert!(!b.build().strongly_connected());
+    }
+
+    #[test]
+    fn round_trip_metric_axioms() {
+        let mut rng = SmallRng::seed_from_u64(70);
+        let g = random_strongly_connected(40, 80, 1, 20, &mut rng);
+        assert!(g.strongly_connected());
+        let m = g.round_trip_matrix();
+        for u in 0..40u32 {
+            assert_eq!(m.d(NodeId(u), NodeId(u)), 0);
+            for v in 0..40u32 {
+                // Symmetry.
+                assert_eq!(m.d(NodeId(u), NodeId(v)), m.d(NodeId(v), NodeId(u)));
+                if u != v {
+                    assert!(m.d(NodeId(u), NodeId(v)) >= 1);
+                }
+                // Triangle inequality.
+                for w in 0..40u32 {
+                    assert!(
+                        m.d(NodeId(u), NodeId(v))
+                            <= m.d(NodeId(u), NodeId(w)) + m.d(NodeId(w), NodeId(v))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_hops_follow_arcs() {
+        let mut rng = SmallRng::seed_from_u64(71);
+        let g = random_strongly_connected(30, 60, 1, 9, &mut rng);
+        let fwd = g.apsp_directed();
+        for u in 0..30u32 {
+            let next = g.next_hops(NodeId(u));
+            for v in 0..30u32 {
+                if u == v {
+                    continue;
+                }
+                let h = next[v as usize];
+                assert_ne!(h, u32::MAX);
+                let w = g.arc_weight(NodeId(u), NodeId(h)).expect("next hop must be an arc");
+                // Taking the hop makes exact progress.
+                assert_eq!(w + fwd[h as usize][v as usize], fwd[u as usize][v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_arcs_keep_min() {
+        let mut b = DiGraphBuilder::with_nodes(2);
+        b.add_arc(NodeId(0), NodeId(1), 9);
+        b.add_arc(NodeId(0), NodeId(1), 4);
+        let g = b.build();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.arc_weight(NodeId(0), NodeId(1)), Some(4));
+        assert_eq!(g.arc_weight(NodeId(1), NodeId(0)), None);
+    }
+
+    #[test]
+    fn in_arcs_mirror_out_arcs() {
+        let g = triangle();
+        let ins: Vec<(u32, u64)> = g.in_arcs(NodeId(2)).map(|(v, w)| (v.0, w)).collect();
+        assert_eq!(ins, vec![(0, 10), (1, 2)]);
+    }
+
+    #[test]
+    fn generator_deterministic() {
+        let mut r1 = SmallRng::seed_from_u64(72);
+        let mut r2 = SmallRng::seed_from_u64(72);
+        let a = random_strongly_connected(25, 50, 1, 5, &mut r1);
+        let b = random_strongly_connected(25, 50, 1, 5, &mut r2);
+        assert_eq!(a.m(), b.m());
+    }
+}

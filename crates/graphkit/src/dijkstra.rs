@@ -1,0 +1,307 @@
+//! Single-source shortest paths, bounded variants, and m-closest queries.
+//!
+//! Ties are broken by node id everywhere (the paper fixes an arbitrary
+//! lexicographic order on nodes; we use the integer order of ids). This
+//! makes `N(u, m, Z)` — the m closest nodes of `Z` to `u` — a unique,
+//! deterministic set, which several lemmas rely on.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::graph::Graph;
+use crate::ids::{cost_add, Cost, NodeId, INFINITY};
+
+/// Result of a single-source run: distances and parent pointers.
+#[derive(Clone, Debug)]
+pub struct Sssp {
+    /// Source node.
+    pub source: NodeId,
+    /// `dist[v]` = d(source, v), `INFINITY` if unreachable.
+    pub dist: Vec<Cost>,
+    /// `parent[v]` = predecessor of `v` on a shortest path from the
+    /// source; `u32::MAX` for the source itself and unreachable nodes.
+    pub parent: Vec<u32>,
+}
+
+impl Sssp {
+    /// Distance to `v`.
+    #[inline(always)]
+    pub fn d(&self, v: NodeId) -> Cost {
+        self.dist[v.idx()]
+    }
+
+    /// Is `v` reachable from the source?
+    #[inline(always)]
+    pub fn reachable(&self, v: NodeId) -> bool {
+        self.dist[v.idx()] != INFINITY
+    }
+
+    /// Parent of `v` in the shortest-path tree, if any.
+    pub fn parent_of(&self, v: NodeId) -> Option<NodeId> {
+        let p = self.parent[v.idx()];
+        if p == u32::MAX {
+            None
+        } else {
+            Some(NodeId(p))
+        }
+    }
+
+    /// Reconstruct the shortest path source -> v (inclusive); `None` if
+    /// unreachable.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if !self.reachable(v) {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent_of(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path[0], self.source);
+        Some(path)
+    }
+}
+
+/// Full Dijkstra from `source`.
+///
+/// Tie-break: when two relaxations yield equal distance, the parent with
+/// the smaller id wins, so shortest-path trees are canonical.
+pub fn dijkstra(g: &Graph, source: NodeId) -> Sssp {
+    dijkstra_bounded(g, source, INFINITY)
+}
+
+/// Dijkstra that never settles nodes at distance `> radius`.
+/// Nodes beyond the radius report `INFINITY`.
+pub fn dijkstra_bounded(g: &Graph, source: NodeId, radius: Cost) -> Sssp {
+    let n = g.n();
+    let mut dist = vec![INFINITY; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut heap: BinaryHeap<Reverse<(Cost, u32)>> = BinaryHeap::new();
+    dist[source.idx()] = 0;
+    heap.push(Reverse((0, source.0)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue; // stale entry
+        }
+        let u_id = NodeId(u);
+        for (v, w) in g.edges_of(u_id) {
+            let nd = cost_add(d, w);
+            if nd > radius {
+                continue;
+            }
+            let dv = &mut dist[v.idx()];
+            if nd < *dv || (nd == *dv && u < parent[v.idx()]) {
+                let improved = nd < *dv;
+                *dv = nd;
+                parent[v.idx()] = u;
+                if improved {
+                    heap.push(Reverse((nd, v.0)));
+                }
+            }
+        }
+    }
+    Sssp { source, dist, parent }
+}
+
+/// Settle nodes in nondecreasing distance order until `m` nodes from the
+/// candidate set `in_set` have been found (or the graph is exhausted).
+/// Returns the settled members of the set, ordered by `(distance, id)`.
+///
+/// This is the paper's `N(u, m, Z)` primitive. It runs a truncated
+/// Dijkstra, so the cost is proportional to the ball that contains the m
+/// closest members of `Z`, not to the whole graph.
+pub fn m_closest_in_set(
+    g: &Graph,
+    source: NodeId,
+    m: usize,
+    in_set: impl Fn(NodeId) -> bool,
+) -> Vec<(NodeId, Cost)> {
+    let n = g.n();
+    if m == 0 {
+        return Vec::new();
+    }
+    let mut dist = vec![INFINITY; n];
+    let mut heap: BinaryHeap<Reverse<(Cost, u32)>> = BinaryHeap::new();
+    dist[source.idx()] = 0;
+    heap.push(Reverse((0, source.0)));
+    let mut found: Vec<(NodeId, Cost)> = Vec::with_capacity(m.min(n));
+    // We must settle *all* nodes at the threshold distance before we can
+    // apply the (distance, id) tie-break, so we collect candidates and
+    // trim at the end.
+    let mut settled: Vec<(Cost, u32)> = Vec::new();
+    let mut members_seen = 0usize;
+    let mut cutoff: Option<Cost> = None;
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        if let Some(c) = cutoff {
+            if d > c {
+                break;
+            }
+        }
+        if in_set(NodeId(u)) {
+            settled.push((d, u));
+            members_seen += 1;
+            if members_seen >= m && cutoff.is_none() {
+                // Finish everything at this same distance to break ties
+                // deterministically, then stop.
+                cutoff = Some(d);
+            }
+        }
+        for (v, w) in g.edges_of(NodeId(u)) {
+            let nd = cost_add(d, w);
+            if nd < dist[v.idx()] {
+                dist[v.idx()] = nd;
+                heap.push(Reverse((nd, v.0)));
+            }
+        }
+    }
+    settled.sort_unstable();
+    for (d, u) in settled.into_iter().take(m) {
+        found.push((NodeId(u), d));
+    }
+    found
+}
+
+/// All nodes within distance `r` of `u`, with distances, ordered by
+/// `(distance, id)`. The paper's ball `B(u, r)`.
+pub fn ball(g: &Graph, u: NodeId, r: Cost) -> Vec<(NodeId, Cost)> {
+    let sp = dijkstra_bounded(g, u, r);
+    let mut out: Vec<(Cost, u32)> = sp
+        .dist
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != INFINITY && d <= r)
+        .map(|(v, &d)| (d, v as u32))
+        .collect();
+    out.sort_unstable();
+    out.into_iter().map(|(d, v)| (NodeId(v), d)).collect()
+}
+
+/// Size of `B(u, r)` without materializing it.
+pub fn ball_size(g: &Graph, u: NodeId, r: Cost) -> usize {
+    let sp = dijkstra_bounded(g, u, r);
+    sp.dist.iter().filter(|&&d| d != INFINITY && d <= r).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::graph_from_edges;
+
+    /// Path graph 0-1-2-3-4 with unit weights.
+    fn path5() -> Graph {
+        graph_from_edges(5, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1)])
+    }
+
+    fn weighted() -> Graph {
+        // Square with a costly diagonal and a pendant.
+        graph_from_edges(
+            5,
+            &[(0, 1, 2), (1, 2, 2), (2, 3, 2), (3, 0, 2), (0, 2, 10), (3, 4, 7)],
+        )
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = path5();
+        let sp = dijkstra(&g, NodeId(0));
+        assert_eq!(sp.dist, vec![0, 1, 2, 3, 4]);
+        assert_eq!(sp.path_to(NodeId(4)).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn distances_weighted() {
+        let g = weighted();
+        let sp = dijkstra(&g, NodeId(0));
+        assert_eq!(sp.d(NodeId(2)), 4); // around the square, not the diagonal
+        assert_eq!(sp.d(NodeId(4)), 9);
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let g = graph_from_edges(4, &[(0, 1, 1), (2, 3, 1)]);
+        let sp = dijkstra(&g, NodeId(0));
+        assert!(sp.reachable(NodeId(1)));
+        assert!(!sp.reachable(NodeId(2)));
+        assert_eq!(sp.path_to(NodeId(3)), None);
+    }
+
+    #[test]
+    fn bounded_truncates() {
+        let g = path5();
+        let sp = dijkstra_bounded(&g, NodeId(0), 2);
+        assert_eq!(sp.d(NodeId(2)), 2);
+        assert_eq!(sp.d(NodeId(3)), INFINITY);
+    }
+
+    #[test]
+    fn path_reconstruction_is_shortest() {
+        let g = weighted();
+        let sp = dijkstra(&g, NodeId(1));
+        let p = sp.path_to(NodeId(4)).unwrap();
+        assert_eq!(p.first(), Some(&NodeId(1)));
+        assert_eq!(p.last(), Some(&NodeId(4)));
+        // Cost along reconstructed path equals reported distance.
+        let mut cost = 0;
+        for win in p.windows(2) {
+            cost += g.edge_weight(win[0], win[1]).unwrap();
+        }
+        assert_eq!(cost, sp.d(NodeId(4)));
+    }
+
+    #[test]
+    fn ball_contents() {
+        let g = path5();
+        let b = ball(&g, NodeId(2), 1);
+        let ids: Vec<u32> = b.iter().map(|(v, _)| v.0).collect();
+        assert_eq!(ids, vec![2, 1, 3]); // ordered by (dist, id)
+        assert_eq!(ball_size(&g, NodeId(2), 2), 5);
+        assert_eq!(ball_size(&g, NodeId(0), 0), 1);
+    }
+
+    #[test]
+    fn m_closest_basic() {
+        let g = path5();
+        let c = m_closest_in_set(&g, NodeId(0), 3, |_| true);
+        let ids: Vec<u32> = c.iter().map(|(v, _)| v.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn m_closest_respects_set() {
+        let g = path5();
+        // Only odd nodes are candidates.
+        let c = m_closest_in_set(&g, NodeId(0), 2, |v| v.0 % 2 == 1);
+        let ids: Vec<u32> = c.iter().map(|(v, _)| v.0).collect();
+        assert_eq!(ids, vec![1, 3]);
+    }
+
+    #[test]
+    fn m_closest_tie_break_by_id() {
+        // Star: center 0, leaves 1..=4 all at distance 5.
+        let g = graph_from_edges(5, &[(0, 1, 5), (0, 2, 5), (0, 3, 5), (0, 4, 5)]);
+        let c = m_closest_in_set(&g, NodeId(0), 3, |v| v.0 != 0);
+        let ids: Vec<u32> = c.iter().map(|(v, _)| v.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn m_closest_more_than_available() {
+        let g = path5();
+        let c = m_closest_in_set(&g, NodeId(0), 100, |v| v.0 >= 3);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn canonical_parents_under_ties() {
+        // Two equal-length routes to node 3: via 1 and via 2.
+        let g = graph_from_edges(4, &[(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1)]);
+        let sp = dijkstra(&g, NodeId(0));
+        // Parent must be the smaller-id predecessor.
+        assert_eq!(sp.parent_of(NodeId(3)), Some(NodeId(1)));
+    }
+}

@@ -1,0 +1,182 @@
+//! Deterministic graph families: paths, rings, stars, grids, tori,
+//! complete graphs, and the exponential-weight ring used by the
+//! scale-free experiments.
+
+use rand::Rng;
+
+use crate::gen::weights::WeightDist;
+use crate::graph::{Graph, GraphBuilder};
+use crate::ids::NodeId;
+
+/// Path on `n` nodes with constant weight `w`.
+pub fn path(n: usize, w: u64) -> Graph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::with_nodes(n);
+    for i in 1..n {
+        b.add_edge(NodeId((i - 1) as u32), NodeId(i as u32), w);
+    }
+    b.build()
+}
+
+/// Cycle on `n >= 3` nodes with constant weight `w`.
+pub fn ring(n: usize, w: u64) -> Graph {
+    assert!(n >= 3, "ring needs at least 3 nodes");
+    let mut b = GraphBuilder::with_nodes(n);
+    for i in 0..n {
+        b.add_edge(NodeId(i as u32), NodeId(((i + 1) % n) as u32), w);
+    }
+    b.build()
+}
+
+/// Star with `n - 1` leaves attached to node 0, constant weight `w`.
+pub fn star(n: usize, w: u64) -> Graph {
+    assert!(n >= 2);
+    let mut b = GraphBuilder::with_nodes(n);
+    for i in 1..n {
+        b.add_edge(NodeId(0), NodeId(i as u32), w);
+    }
+    b.build()
+}
+
+/// `w x h` grid; node `(x, y)` has id `y * w + x`.
+pub fn grid(w: usize, h: usize, dist: WeightDist, rng: &mut impl Rng) -> Graph {
+    assert!(w >= 1 && h >= 1 && w * h >= 2);
+    let mut b = GraphBuilder::with_nodes(w * h);
+    let id = |x: usize, y: usize| NodeId((y * w + x) as u32);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.add_edge(id(x, y), id(x + 1, y), dist.sample(rng));
+            }
+            if y + 1 < h {
+                b.add_edge(id(x, y), id(x, y + 1), dist.sample(rng));
+            }
+        }
+    }
+    b.build()
+}
+
+/// `w x h` torus (grid with wraparound rows/columns). Requires `w, h >= 3`
+/// so wrap edges are not parallel to grid edges.
+pub fn torus(w: usize, h: usize, dist: WeightDist, rng: &mut impl Rng) -> Graph {
+    assert!(w >= 3 && h >= 3, "torus needs sides >= 3");
+    let mut b = GraphBuilder::with_nodes(w * h);
+    let id = |x: usize, y: usize| NodeId((y * w + x) as u32);
+    for y in 0..h {
+        for x in 0..w {
+            b.add_edge(id(x, y), id((x + 1) % w, y), dist.sample(rng));
+            b.add_edge(id(x, y), id(x, (y + 1) % h), dist.sample(rng));
+        }
+    }
+    b.build()
+}
+
+/// Complete graph K_n with weights from `dist`.
+pub fn complete(n: usize, dist: WeightDist, rng: &mut impl Rng) -> Graph {
+    assert!(n >= 2);
+    let mut b = GraphBuilder::with_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(NodeId(i as u32), NodeId(j as u32), dist.sample(rng));
+        }
+    }
+    b.build()
+}
+
+/// Ring whose edge `i` has weight `2^(i * max_exp / n)`: distances span
+/// `[1, 2^max_exp]`, giving aspect ratio around `2^max_exp` with only `n`
+/// edges. The canonical adversary for schemes whose storage scales with
+/// `log Δ` — each node sees geometrically spread ball radii.
+pub fn exponential_ring(n: usize, max_exp: u32) -> Graph {
+    assert!(n >= 3);
+    assert!(max_exp <= 50);
+    let mut b = GraphBuilder::with_nodes(n);
+    for i in 0..n {
+        let e = (i as u64 * max_exp as u64 / n as u64) as u32;
+        b.add_edge(NodeId(i as u32), NodeId(((i + 1) % n) as u32), 1u64 << e);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::apsp;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5, 2);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.degree(NodeId(0)), 1);
+        assert_eq!(g.degree(NodeId(2)), 2);
+    }
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(6, 1);
+        assert_eq!(g.m(), 6);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 2);
+        }
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7, 3);
+        assert_eq!(g.degree(NodeId(0)), 6);
+        assert_eq!(g.m(), 6);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = grid(4, 3, WeightDist::Unit, &mut rng);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 4 * 2 + 3 * 3); // h*(w-1) + w*(h-1) = 8+9... recompute
+        let m = apsp(&g);
+        assert!(m.connected());
+        assert_eq!(m.diameter(), (4 - 1) + (3 - 1));
+    }
+
+    #[test]
+    fn torus_regular() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = torus(4, 4, WeightDist::Unit, &mut rng);
+        assert_eq!(g.n(), 16);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 4);
+        }
+        let m = apsp(&g);
+        assert_eq!(m.diameter(), 4); // 2 + 2 with wraparound
+    }
+
+    #[test]
+    fn complete_shape() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = complete(6, WeightDist::Unit, &mut rng);
+        assert_eq!(g.m(), 15);
+        let m = apsp(&g);
+        assert_eq!(m.diameter(), 1);
+    }
+
+    #[test]
+    fn exponential_ring_aspect() {
+        let g = exponential_ring(32, 20);
+        let m = apsp(&g);
+        assert!(m.connected());
+        let ar = m.aspect_ratio().unwrap();
+        assert!(ar >= (1u64 << 19) as f64, "aspect ratio too small: {ar}");
+    }
+
+    #[test]
+    fn grid_edge_count_formula() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        for (w, h) in [(2, 2), (5, 3), (7, 7)] {
+            let g = grid(w, h, WeightDist::Unit, &mut rng);
+            assert_eq!(g.m(), h * (w - 1) + w * (h - 1));
+        }
+    }
+}

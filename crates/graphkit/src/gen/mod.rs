@@ -1,0 +1,136 @@
+//! Synthetic graph families used as routing workloads.
+//!
+//! Every generator returns a *connected* graph with integer weights
+//! `>= 1`, matching the paper's normalization `min d(u,v) = 1`. The
+//! families cover the regimes the paper's analysis distinguishes:
+//!
+//! * dense neighborhoods everywhere — [`random::erdos_renyi`], [`classic::complete`];
+//! * metric / locally-sparse — [`random::random_geometric`], [`classic::grid`], [`classic::torus`];
+//! * heavy-tailed degrees — [`random::preferential_attachment`];
+//! * extreme aspect ratio Δ (the scale-free experiments) — any family
+//!   combined with [`weights::WeightDist::PowerOfTwo`], plus
+//!   [`classic::exponential_ring`] and [`trees::exponential_star_chain`];
+//! * trees for Lemma 4/5 harnesses — [`trees`].
+
+pub mod classic;
+pub mod random;
+pub mod trees;
+pub mod weights;
+
+pub use classic::{complete, exponential_ring, grid, path, ring, star, torus};
+pub use random::{erdos_renyi, preferential_attachment, random_geometric};
+pub use trees::{balanced_tree, caterpillar, exponential_star_chain, random_tree};
+pub use weights::WeightDist;
+
+use crate::graph::Graph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A named standard workload suite used across experiments, so tables in
+/// EXPERIMENTS.md reference reproducible instances.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Connected Erdős–Rényi with average degree 8.
+    ErdosRenyi,
+    /// Random geometric graph on the unit square.
+    Geometric,
+    /// 2-D grid with unit weights.
+    Grid,
+    /// Preferential attachment, 3 edges per arrival.
+    PrefAttach,
+    /// Unit-weight ring (worst-case for ball growth).
+    Ring,
+    /// Ring with exponentially growing weights (Δ ≈ 2^40).
+    ExpRing,
+    /// Random tree with power-of-two weights (Δ ≈ 2^30).
+    ExpTree,
+}
+
+impl Family {
+    /// All families, in table order.
+    pub const ALL: [Family; 7] = [
+        Family::ErdosRenyi,
+        Family::Geometric,
+        Family::Grid,
+        Family::PrefAttach,
+        Family::Ring,
+        Family::ExpRing,
+        Family::ExpTree,
+    ];
+
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::ErdosRenyi => "erdos-renyi",
+            Family::Geometric => "geometric",
+            Family::Grid => "grid",
+            Family::PrefAttach => "pref-attach",
+            Family::Ring => "ring",
+            Family::ExpRing => "exp-ring",
+            Family::ExpTree => "exp-tree",
+        }
+    }
+
+    /// Instantiate the family at (approximately) `n` nodes.
+    pub fn generate(self, n: usize, seed: u64) -> Graph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match self {
+            Family::ErdosRenyi => {
+                erdos_renyi(n, 8.0 / n as f64, WeightDist::UniformInt { lo: 1, hi: 16 }, &mut rng)
+            }
+            Family::Geometric => {
+                // Radius chosen so the expected degree is ~8.
+                let r = (8.0 / (std::f64::consts::PI * n as f64)).sqrt();
+                random_geometric(n, r, 1000, &mut rng)
+            }
+            Family::Grid => {
+                let side = (n as f64).sqrt().round() as usize;
+                grid(side.max(2), side.max(2), WeightDist::Unit, &mut rng)
+            }
+            Family::PrefAttach => {
+                preferential_attachment(n, 3, WeightDist::UniformInt { lo: 1, hi: 8 }, &mut rng)
+            }
+            Family::Ring => ring(n, 1),
+            Family::ExpRing => exponential_ring(n, 40),
+            Family::ExpTree => {
+                random_tree(n, WeightDist::PowerOfTwo { max_exp: 30 }, &mut rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::apsp;
+
+    #[test]
+    fn all_families_connected() {
+        for fam in Family::ALL {
+            let g = fam.generate(120, 7);
+            assert!(g.n() >= 100, "{} too small: {}", fam.label(), g.n());
+            let m = apsp(&g);
+            assert!(m.connected(), "{} disconnected", fam.label());
+        }
+    }
+
+    #[test]
+    fn exp_families_have_huge_aspect_ratio() {
+        let g = Family::ExpRing.generate(64, 3);
+        let m = apsp(&g);
+        assert!(m.aspect_ratio().unwrap() > 1e9, "Δ = {:?}", m.aspect_ratio());
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        for fam in Family::ALL {
+            let a = fam.generate(80, 42);
+            let b = fam.generate(80, 42);
+            assert_eq!(a.n(), b.n());
+            assert_eq!(a.m(), b.m());
+            let ea: Vec<_> = a.all_edges().collect();
+            let eb: Vec<_> = b.all_edges().collect();
+            assert_eq!(ea, eb, "{} not deterministic", fam.label());
+        }
+    }
+}

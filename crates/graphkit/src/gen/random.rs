@@ -1,0 +1,290 @@
+//! Randomized graph families: connected Erdős–Rényi, random geometric,
+//! preferential attachment.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::gen::weights::WeightDist;
+use crate::graph::{Graph, GraphBuilder};
+use crate::ids::NodeId;
+
+/// Connected G(n, p): a uniform random spanning tree backbone (random
+/// attachment over a shuffled order) plus each remaining pair
+/// independently with probability `p`. Guarantees connectivity without
+/// rejection sampling, which matters for the large-n sweeps.
+pub fn erdos_renyi(n: usize, p: f64, dist: WeightDist, rng: &mut impl Rng) -> Graph {
+    assert!(n >= 2);
+    assert!((0.0..=1.0).contains(&p));
+    let mut b = GraphBuilder::with_nodes(n);
+    // Random backbone: shuffle, attach each node to a random earlier one.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        b.add_edge(NodeId(order[i]), NodeId(order[j]), dist.sample(rng));
+    }
+    // Extra ER edges. For sparse p, sample skip lengths geometrically to
+    // stay O(m) instead of O(n^2).
+    if p > 0.0 {
+        if p >= 0.25 {
+            for i in 0..n as u32 {
+                for j in (i + 1)..n as u32 {
+                    if rng.gen_bool(p) {
+                        b.add_edge(NodeId(i), NodeId(j), dist.sample(rng));
+                    }
+                }
+            }
+        } else {
+            // Geometric skipping over the strictly-upper-triangular pairs.
+            let total = n as u64 * (n as u64 - 1) / 2;
+            let log1mp = (1.0 - p).ln();
+            let mut pos: u64 = 0;
+            loop {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let skip = (u.ln() / log1mp).floor() as u64 + 1;
+                pos = match pos.checked_add(skip) {
+                    Some(v) => v,
+                    None => break,
+                };
+                if pos > total {
+                    break;
+                }
+                let (i, j) = pair_from_rank(pos - 1, n as u64);
+                b.add_edge(NodeId(i as u32), NodeId(j as u32), dist.sample(rng));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Invert the rank of a pair (i, j), i < j, in row-major order over the
+/// strictly-upper-triangular matrix of side n.
+fn pair_from_rank(rank: u64, n: u64) -> (u64, u64) {
+    // Row i occupies ranks [i*n - i(i+1)/2 - ... ]; solve by scanning rows
+    // arithmetically: row i has (n - 1 - i) entries.
+    let mut i = 0u64;
+    let mut remaining = rank;
+    loop {
+        let row_len = n - 1 - i;
+        if remaining < row_len {
+            return (i, i + 1 + remaining);
+        }
+        remaining -= row_len;
+        i += 1;
+    }
+}
+
+/// Random geometric graph: `n` points uniform on the unit square, an edge
+/// between points closer than `radius`, weight = Euclidean distance
+/// scaled by `scale` (rounded up so weights stay >= 1). If the threshold
+/// graph is disconnected, each component is chained to its nearest
+/// outside point, preserving the metric flavor.
+pub fn random_geometric(n: usize, radius: f64, scale: u64, rng: &mut impl Rng) -> Graph {
+    assert!(n >= 2);
+    assert!(radius > 0.0);
+    assert!(scale >= 1);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let w_of = |a: (f64, f64), b: (f64, f64)| -> u64 {
+        let d = ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+        ((d * scale as f64).ceil() as u64).max(1)
+    };
+    let mut b = GraphBuilder::with_nodes(n);
+    let r2 = radius * radius;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = pts[i].0 - pts[j].0;
+            let dy = pts[i].1 - pts[j].1;
+            if dx * dx + dy * dy <= r2 {
+                b.add_edge(NodeId(i as u32), NodeId(j as u32), w_of(pts[i], pts[j]));
+            }
+        }
+    }
+    // Connectivity repair: union-find over current edges, then link each
+    // component to its geometrically nearest node in another component.
+    let mut dsu = Dsu::new(n);
+    let snapshot = b.clone().build();
+    for (u, v, _) in snapshot.all_edges() {
+        dsu.union(u.idx(), v.idx());
+    }
+    loop {
+        let mut roots: Vec<usize> = (0..n).filter(|&v| dsu.find(v) == v).collect();
+        if roots.len() <= 1 {
+            break;
+        }
+        roots.sort_unstable();
+        let main = roots[0];
+        // Find globally closest cross-component pair involving main's side.
+        let mut best: Option<(usize, usize, u64)> = None;
+        for i in 0..n {
+            if dsu.find(i) != dsu.find(main) {
+                continue;
+            }
+            for j in 0..n {
+                if dsu.find(j) == dsu.find(main) {
+                    continue;
+                }
+                let w = w_of(pts[i], pts[j]);
+                if best.is_none_or(|(_, _, bw)| w < bw) {
+                    best = Some((i, j, w));
+                }
+            }
+        }
+        let (i, j, w) = best.expect("disconnected graph must have a cross pair");
+        b.add_edge(NodeId(i as u32), NodeId(j as u32), w);
+        dsu.union(i, j);
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: nodes arrive one by one and
+/// connect `m` edges to existing nodes chosen proportionally to degree.
+pub fn preferential_attachment(
+    n: usize,
+    m: usize,
+    dist: WeightDist,
+    rng: &mut impl Rng,
+) -> Graph {
+    assert!(n >= 2 && m >= 1);
+    let mut b = GraphBuilder::with_nodes(n);
+    // Repeated-endpoint list: choosing uniformly from it is
+    // degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
+    // Seed: a single edge 0-1.
+    b.add_edge(NodeId(0), NodeId(1), dist.sample(rng));
+    endpoints.extend_from_slice(&[0, 1]);
+    for v in 2..n as u32 {
+        let mut chosen: Vec<u32> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while chosen.len() < m.min(v as usize) && guard < 64 * m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+            guard += 1;
+        }
+        if chosen.is_empty() {
+            chosen.push(rng.gen_range(0..v));
+        }
+        for t in chosen {
+            b.add_edge(NodeId(v), NodeId(t), dist.sample(rng));
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Minimal union-find used by the geometric connectivity repair.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu { parent: (0..n).collect() }
+    }
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let r = self.find(self.parent[x]);
+            self.parent[x] = r;
+        }
+        self.parent[x]
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::apsp;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn er_connected_and_sized() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = erdos_renyi(150, 0.05, WeightDist::Unit, &mut rng);
+        assert_eq!(g.n(), 150);
+        assert!(g.m() >= 149); // at least the backbone
+        assert!(apsp(&g).connected());
+    }
+
+    #[test]
+    fn er_dense_branch() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let g = erdos_renyi(40, 0.5, WeightDist::Unit, &mut rng);
+        // Expected edges ~ 39 + 0.5 * 780; allow wide slack.
+        assert!(g.m() > 250, "too few edges: {}", g.m());
+        assert!(apsp(&g).connected());
+    }
+
+    #[test]
+    fn er_zero_extra_is_a_tree() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let g = erdos_renyi(50, 0.0, WeightDist::Unit, &mut rng);
+        assert_eq!(g.m(), 49);
+        assert!(apsp(&g).connected());
+    }
+
+    #[test]
+    fn pair_from_rank_enumerates_upper_triangle() {
+        let n = 6u64;
+        let mut seen = Vec::new();
+        for r in 0..(n * (n - 1) / 2) {
+            seen.push(pair_from_rank(r, n));
+        }
+        let mut expect = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                expect.push((i, j));
+            }
+        }
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn geometric_connected_metric_weights() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        let g = random_geometric(100, 0.15, 1000, &mut rng);
+        assert!(apsp(&g).connected());
+        for (_, _, w) in g.all_edges() {
+            assert!(w >= 1);
+        }
+    }
+
+    #[test]
+    fn geometric_tiny_radius_still_connected() {
+        // Radius so small the threshold graph is mostly isolated points;
+        // the repair must still connect everything.
+        let mut rng = SmallRng::seed_from_u64(15);
+        let g = random_geometric(40, 0.01, 1000, &mut rng);
+        assert!(apsp(&g).connected());
+    }
+
+    #[test]
+    fn pref_attach_heavy_tail() {
+        let mut rng = SmallRng::seed_from_u64(16);
+        let g = preferential_attachment(300, 3, WeightDist::Unit, &mut rng);
+        assert!(apsp(&g).connected());
+        let max_deg = g.nodes().map(|u| g.degree(u)).max().unwrap();
+        let mean_deg = 2.0 * g.m() as f64 / g.n() as f64;
+        assert!(
+            max_deg as f64 > 3.0 * mean_deg,
+            "expected a hub: max {max_deg}, mean {mean_deg}"
+        );
+    }
+
+    #[test]
+    fn pref_attach_m1_is_tree() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let g = preferential_attachment(100, 1, WeightDist::Unit, &mut rng);
+        assert_eq!(g.m(), 99);
+        assert!(apsp(&g).connected());
+    }
+}

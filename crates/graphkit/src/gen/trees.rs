@@ -1,0 +1,142 @@
+//! Tree workloads: the hard cases for the Lemma 4/5 tree-routing schemes
+//! and the substrate of the exponential-aspect-ratio experiments.
+
+use rand::Rng;
+
+use crate::gen::weights::WeightDist;
+use crate::graph::{Graph, GraphBuilder};
+use crate::ids::NodeId;
+
+/// Uniform random recursive tree: node `i` attaches to a uniform earlier
+/// node. Depth is O(log n) w.h.p.
+pub fn random_tree(n: usize, dist: WeightDist, rng: &mut impl Rng) -> Graph {
+    assert!(n >= 2);
+    let mut b = GraphBuilder::with_nodes(n);
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        b.add_edge(NodeId(i as u32), NodeId(j as u32), dist.sample(rng));
+    }
+    b.build()
+}
+
+/// Caterpillar: a spine path of `spine` nodes, each carrying `legs`
+/// pendant leaves. Stresses routing schemes whose cost depends on the
+/// number of "branching" nodes.
+pub fn caterpillar(spine: usize, legs: usize, dist: WeightDist, rng: &mut impl Rng) -> Graph {
+    assert!(spine >= 1);
+    let n = spine * (1 + legs);
+    let mut b = GraphBuilder::with_nodes(n);
+    for s in 1..spine {
+        b.add_edge(NodeId((s - 1) as u32), NodeId(s as u32), dist.sample(rng));
+    }
+    let mut next = spine as u32;
+    for s in 0..spine as u32 {
+        for _ in 0..legs {
+            b.add_edge(NodeId(s), NodeId(next), dist.sample(rng));
+            next += 1;
+        }
+    }
+    b.build()
+}
+
+/// Complete `arity`-ary tree with `depth` levels below the root.
+pub fn balanced_tree(arity: usize, depth: usize, dist: WeightDist, rng: &mut impl Rng) -> Graph {
+    assert!(arity >= 2);
+    // n = (arity^(depth+1) - 1) / (arity - 1)
+    let mut n = 1usize;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level *= arity;
+        n += level;
+    }
+    let mut b = GraphBuilder::with_nodes(n);
+    // Heap-style indexing: children of i are arity*i + 1 ..= arity*i + arity.
+    for i in 1..n {
+        let parent = (i - 1) / arity;
+        b.add_edge(NodeId(parent as u32), NodeId(i as u32), dist.sample(rng));
+    }
+    b.build()
+}
+
+/// A chain of stars where the chain edge out of star `i` has weight
+/// `2^(i * step)`: clusters at every distance scale. With `levels * step`
+/// near 40 this produces Δ ≈ 2^40 with O(levels * star) nodes — the
+/// workload where per-scale storage (log Δ tables) visibly diverges.
+pub fn exponential_star_chain(levels: usize, star: usize, step: u32) -> Graph {
+    assert!(levels >= 1 && star >= 1);
+    assert!((levels as u64) * (step as u64) <= 60);
+    let n = levels * (star + 1);
+    let mut b = GraphBuilder::with_nodes(n);
+    let hub = |l: usize| NodeId((l * (star + 1)) as u32);
+    for l in 0..levels {
+        // Leaves of this star, unit spokes.
+        for s in 0..star {
+            b.add_edge(hub(l), NodeId((l * (star + 1) + 1 + s) as u32), 1);
+        }
+        if l + 1 < levels {
+            b.add_edge(hub(l), hub(l + 1), 1u64 << ((l as u32 + 1) * step));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::apsp;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut rng = SmallRng::seed_from_u64(20);
+        let g = random_tree(64, WeightDist::Unit, &mut rng);
+        assert_eq!(g.m(), 63);
+        assert!(apsp(&g).connected());
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let g = caterpillar(10, 3, WeightDist::Unit, &mut rng);
+        assert_eq!(g.n(), 40);
+        assert_eq!(g.m(), 39);
+        // Spine interior nodes: 2 spine edges + 3 legs.
+        assert_eq!(g.degree(NodeId(5)), 5);
+    }
+
+    #[test]
+    fn balanced_tree_counts() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        let g = balanced_tree(2, 3, WeightDist::Unit, &mut rng);
+        assert_eq!(g.n(), 15);
+        assert_eq!(g.m(), 14);
+        let m = apsp(&g);
+        assert_eq!(m.diameter(), 6); // leaf to leaf through the root
+    }
+
+    #[test]
+    fn ternary_tree_counts() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let g = balanced_tree(3, 2, WeightDist::Unit, &mut rng);
+        assert_eq!(g.n(), 1 + 3 + 9);
+        assert_eq!(g.m(), 12);
+    }
+
+    #[test]
+    fn star_chain_scales() {
+        let g = exponential_star_chain(8, 4, 5);
+        assert_eq!(g.n(), 8 * 5);
+        let m = apsp(&g);
+        assert!(m.connected());
+        let ar = m.aspect_ratio().unwrap();
+        assert!(ar >= (1u64 << 35) as f64, "aspect ratio too small: {ar}");
+    }
+
+    #[test]
+    fn star_chain_single_level() {
+        let g = exponential_star_chain(1, 6, 5);
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 6);
+    }
+}

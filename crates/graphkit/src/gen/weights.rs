@@ -1,0 +1,102 @@
+//! Edge-weight distributions shared by the generators.
+
+use rand::Rng;
+
+use crate::ids::Weight;
+
+/// How generators draw edge weights.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WeightDist {
+    /// Every edge has weight 1 (unweighted graphs).
+    Unit,
+    /// Uniform integer in `[lo, hi]`.
+    UniformInt {
+        /// Inclusive lower bound (≥ 1).
+        lo: Weight,
+        /// Inclusive upper bound.
+        hi: Weight,
+    },
+    /// `2^e` with `e` uniform in `[0, max_exp]`. Produces aspect ratios
+    /// around `2^max_exp` — the regime where log Δ-dependent schemes
+    /// blow up and scale-free ones must not.
+    PowerOfTwo {
+        /// Largest exponent drawn (≤ 62).
+        max_exp: u32,
+    },
+}
+
+impl WeightDist {
+    /// Draw one weight.
+    pub fn sample(self, rng: &mut impl Rng) -> Weight {
+        match self {
+            WeightDist::Unit => 1,
+            WeightDist::UniformInt { lo, hi } => {
+                assert!(lo >= 1 && hi >= lo, "invalid uniform range");
+                rng.gen_range(lo..=hi)
+            }
+            WeightDist::PowerOfTwo { max_exp } => {
+                assert!(max_exp <= 62, "max_exp too large for u64 costs");
+                1u64 << rng.gen_range(0..=max_exp)
+            }
+        }
+    }
+
+    /// Largest weight this distribution can emit.
+    pub fn max_weight(self) -> Weight {
+        match self {
+            WeightDist::Unit => 1,
+            WeightDist::UniformInt { hi, .. } => hi,
+            WeightDist::PowerOfTwo { max_exp } => 1u64 << max_exp,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unit_is_one() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(WeightDist::Unit.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let d = WeightDist::UniformInt { lo: 3, hi: 9 };
+        for _ in 0..200 {
+            let w = d.sample(&mut rng);
+            assert!((3..=9).contains(&w));
+        }
+        assert_eq!(d.max_weight(), 9);
+    }
+
+    #[test]
+    fn power_of_two_is_power() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let d = WeightDist::PowerOfTwo { max_exp: 40 };
+        let mut seen_large = false;
+        for _ in 0..500 {
+            let w = d.sample(&mut rng);
+            assert!(w.is_power_of_two());
+            assert!(w <= 1 << 40);
+            if w >= 1 << 20 {
+                seen_large = true;
+            }
+        }
+        assert!(seen_large, "distribution never sampled large weights");
+        assert_eq!(d.max_weight(), 1 << 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid uniform range")]
+    fn rejects_zero_lo() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        WeightDist::UniformInt { lo: 0, hi: 5 }.sample(&mut rng);
+    }
+}

@@ -1,0 +1,203 @@
+//! Core scalar types used across the workspace.
+//!
+//! Node identifiers are `u32` newtypes (half the size of `usize` on 64-bit
+//! targets; the perf guidance on smaller indices applies since routing
+//! tables hold millions of them). Distances are `u64` so that aspect
+//! ratios up to `2^40` — the scale-free experiments' regime — are exact.
+
+use std::fmt;
+
+/// Index of a node inside a [`crate::Graph`]. Dense in `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Convert to a `usize` for slice indexing.
+    #[inline(always)]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline(always)]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    #[inline(always)]
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u32::MAX as usize);
+        NodeId(v as u32)
+    }
+}
+
+/// Edge weight. Strictly positive in every generator so the paper's
+/// normalization `min_{u!=v} d(u,v) = 1` holds.
+pub type Weight = u64;
+
+/// Accumulated path cost.
+pub type Cost = u64;
+
+/// Sentinel for "unreachable".
+pub const INFINITY: Cost = u64::MAX;
+
+/// Saturating cost addition that keeps [`INFINITY`] absorbing.
+#[inline(always)]
+pub fn cost_add(a: Cost, b: Cost) -> Cost {
+    if a == INFINITY || b == INFINITY {
+        INFINITY
+    } else {
+        a.saturating_add(b)
+    }
+}
+
+/// `ceil(log2(x))` for `x >= 1`; 0 for `x <= 1`.
+#[inline]
+pub fn ceil_log2(x: u64) -> u32 {
+    if x <= 1 {
+        0
+    } else {
+        64 - (x - 1).leading_zeros()
+    }
+}
+
+/// `floor(log2(x))` for `x >= 1`.
+#[inline]
+pub fn floor_log2(x: u64) -> u32 {
+    debug_assert!(x >= 1);
+    63 - x.leading_zeros()
+}
+
+/// Integer `ceil(n^{1/k})`, the alphabet size `|Sigma|` used throughout
+/// the paper's constructions. Computed by binary search to avoid floating
+/// point edge cases at large `n`.
+pub fn nth_root_ceil(n: u64, k: u32) -> u64 {
+    if k == 0 {
+        return n;
+    }
+    if k == 1 || n <= 1 {
+        return n;
+    }
+    let mut lo = 1u64;
+    let mut hi = n;
+    // Invariant: lo^k < n <= hi^k (checked with saturating pow).
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if checked_pow_ge(mid, k, n) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    if checked_pow_ge(lo, k, n) {
+        lo
+    } else {
+        hi
+    }
+}
+
+/// Does `base^exp >= target`, without overflow.
+fn checked_pow_ge(base: u64, exp: u32, target: u64) -> bool {
+    let mut acc = 1u64;
+    for _ in 0..exp {
+        acc = match acc.checked_mul(base) {
+            Some(v) => v,
+            None => return true,
+        };
+        if acc >= target {
+            return true;
+        }
+    }
+    acc >= target
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let v = NodeId(42);
+        assert_eq!(v.idx(), 42);
+        assert_eq!(NodeId::from(42u32), v);
+        assert_eq!(NodeId::from(42usize), v);
+        assert_eq!(format!("{v}"), "42");
+        assert_eq!(format!("{v:?}"), "v42");
+    }
+
+    #[test]
+    fn cost_add_saturates() {
+        assert_eq!(cost_add(1, 2), 3);
+        assert_eq!(cost_add(INFINITY, 2), INFINITY);
+        assert_eq!(cost_add(2, INFINITY), INFINITY);
+        assert_eq!(cost_add(u64::MAX - 1, 5), INFINITY);
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1 << 40), 40);
+        assert_eq!(ceil_log2((1 << 40) + 1), 41);
+    }
+
+    #[test]
+    fn floor_log2_values() {
+        assert_eq!(floor_log2(1), 0);
+        assert_eq!(floor_log2(2), 1);
+        assert_eq!(floor_log2(3), 1);
+        assert_eq!(floor_log2(4), 2);
+        assert_eq!(floor_log2(u64::MAX), 63);
+    }
+
+    #[test]
+    fn nth_root_ceil_exact_powers() {
+        assert_eq!(nth_root_ceil(8, 3), 2);
+        assert_eq!(nth_root_ceil(27, 3), 3);
+        assert_eq!(nth_root_ceil(1024, 2), 32);
+        assert_eq!(nth_root_ceil(1, 5), 1);
+    }
+
+    #[test]
+    fn nth_root_ceil_rounds_up() {
+        assert_eq!(nth_root_ceil(9, 3), 3); // 2^3=8 < 9 <= 27=3^3
+        assert_eq!(nth_root_ceil(1000, 2), 32); // 31^2=961 < 1000 <= 1024
+        assert_eq!(nth_root_ceil(2, 10), 2);
+        // k = 1 and k = 0 degenerate cases.
+        assert_eq!(nth_root_ceil(77, 1), 77);
+        assert_eq!(nth_root_ceil(77, 0), 77);
+    }
+
+    #[test]
+    fn nth_root_ceil_is_tight() {
+        // For a spread of (n, k), result r satisfies r^k >= n > (r-1)^k.
+        for n in [2u64, 10, 100, 1000, 65536, 1 << 30] {
+            for k in 1..=6u32 {
+                let r = nth_root_ceil(n, k);
+                assert!(checked_pow_ge(r, k, n), "r^k >= n failed n={n} k={k}");
+                if r > 1 {
+                    assert!(!checked_pow_ge(r - 1, k, n), "(r-1)^k < n failed n={n} k={k}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! # graphkit — weighted-graph substrate
+//!
+//! The foundation every other crate in this workspace builds on:
+//!
+//! * [`Graph`] / [`GraphBuilder`] — frozen CSR undirected weighted graphs
+//!   with deterministic port numbering;
+//! * [`mod@dijkstra`] — single-source shortest paths, bounded balls
+//!   `B(u, r)`, and the paper's `N(u, m, Z)` m-closest primitive with
+//!   `(distance, id)` tie-breaking;
+//! * [`Tree`] — rooted weighted trees over graph-node subsets (landmark
+//!   shortest-path trees, cover trees);
+//! * [`metrics`] — parallel APSP, diameter, aspect ratio Δ;
+//! * [`gen`] — synthetic workload families, including the
+//!   exponential-weight graphs (Δ ≈ 2^40) that the scale-free
+//!   experiments require;
+//! * [`bits`] — the [`bits::StorageCost`] audit trait behind every
+//!   "bits per node" number in EXPERIMENTS.md.
+//!
+//! ```
+//! use graphkit::{gen, metrics, NodeId};
+//!
+//! let g = gen::Family::Grid.generate(64, 1);
+//! let m = metrics::apsp(&g);
+//! assert!(m.connected());
+//! let sp = graphkit::dijkstra::dijkstra(&g, NodeId(0));
+//! assert_eq!(sp.d(NodeId(0)), 0);
+//! ```
+
+pub mod bits;
+pub mod digraph;
+pub mod dijkstra;
+pub mod gen;
+pub mod graph;
+pub mod ids;
+pub mod io;
+pub mod metrics;
+pub mod subgraph;
+pub mod tree;
+
+pub use bits::StorageCost;
+pub use digraph::{DiGraph, DiGraphBuilder};
+pub use dijkstra::{ball, ball_size, dijkstra, dijkstra_bounded, m_closest_in_set, Sssp};
+pub use graph::{graph_from_edges, Graph, GraphBuilder};
+pub use ids::{cost_add, Cost, NodeId, Weight, INFINITY};
+pub use metrics::{apsp, DistMatrix};
+pub use subgraph::{components, induced_subgraph, Subgraph};
+pub use tree::{Tree, TreeIx};

@@ -1,0 +1,221 @@
+//! Whole-graph metric computations: parallel all-pairs shortest paths,
+//! aspect ratio, diameter.
+//!
+//! APSP fans rows out across threads with `crossbeam::scope`; each thread
+//! writes a disjoint chunk of the distance matrix, so no synchronization
+//! is needed on the hot path (see the workspace HPC notes in DESIGN.md).
+
+use crate::dijkstra::dijkstra;
+use crate::graph::Graph;
+use crate::ids::{Cost, NodeId, INFINITY};
+
+/// Dense n-by-n distance matrix.
+#[derive(Clone)]
+pub struct DistMatrix {
+    n: usize,
+    d: Vec<Cost>,
+}
+
+impl DistMatrix {
+    /// Build from a flat row-major distance vector (`n * n` entries).
+    /// Used by metric constructions that are not graph APSP (e.g. the
+    /// round-trip metric of [`crate::digraph`]).
+    pub fn from_raw(n: usize, d: Vec<Cost>) -> Self {
+        assert_eq!(d.len(), n * n, "flat matrix size mismatch");
+        DistMatrix { n, d }
+    }
+
+    /// Distance from `u` to `v`.
+    #[inline(always)]
+    pub fn d(&self, u: NodeId, v: NodeId) -> Cost {
+        self.d[u.idx() * self.n + v.idx()]
+    }
+
+    /// Row of distances from `u`.
+    #[inline(always)]
+    pub fn row(&self, u: NodeId) -> &[Cost] {
+        &self.d[u.idx() * self.n..(u.idx() + 1) * self.n]
+    }
+
+    /// Matrix side length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Is the graph connected (no infinite entries)?
+    pub fn connected(&self) -> bool {
+        !self.d.contains(&INFINITY)
+    }
+
+    /// Largest finite pairwise distance.
+    pub fn diameter(&self) -> Cost {
+        self.d.iter().copied().filter(|&x| x != INFINITY).max().unwrap_or(0)
+    }
+
+    /// Smallest nonzero pairwise distance.
+    pub fn min_distance(&self) -> Cost {
+        self.d
+            .iter()
+            .copied()
+            .filter(|&x| x != 0 && x != INFINITY)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Aspect ratio Δ = max d(u,v) / min_{u≠v} d(u,v), the paper's
+    /// normalized diameter. Returns `None` for graphs with < 2 nodes.
+    pub fn aspect_ratio(&self) -> Option<f64> {
+        let min = self.min_distance();
+        if min == 0 {
+            return None;
+        }
+        Some(self.diameter() as f64 / min as f64)
+    }
+
+    /// Number of nodes within distance `r` of `u` (|B(u, r)|).
+    pub fn ball_size(&self, u: NodeId, r: Cost) -> usize {
+        self.row(u).iter().filter(|&&d| d != INFINITY && d <= r).count()
+    }
+}
+
+/// Sequential APSP (used for small graphs and as the parallel oracle).
+pub fn apsp_sequential(g: &Graph) -> DistMatrix {
+    let n = g.n();
+    let mut d = vec![INFINITY; n * n];
+    for u in 0..n {
+        let sp = dijkstra(g, NodeId(u as u32));
+        d[u * n..(u + 1) * n].copy_from_slice(&sp.dist);
+    }
+    DistMatrix { n, d }
+}
+
+/// Parallel APSP: one Dijkstra per source, rows distributed over
+/// `num_threads` (defaults to available parallelism).
+pub fn apsp(g: &Graph) -> DistMatrix {
+    let n = g.n();
+    let threads = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1);
+    if n < 64 || threads == 1 {
+        return apsp_sequential(g);
+    }
+    let mut d = vec![INFINITY; n * n];
+    let chunk_rows = n.div_ceil(threads);
+    crossbeam::scope(|s| {
+        for (c, chunk) in d.chunks_mut(chunk_rows * n).enumerate() {
+            let base = c * chunk_rows;
+            s.spawn(move |_| {
+                for (i, row) in chunk.chunks_mut(n).enumerate() {
+                    let sp = dijkstra(g, NodeId((base + i) as u32));
+                    row.copy_from_slice(&sp.dist);
+                }
+            });
+        }
+    })
+    .expect("APSP worker panicked");
+    DistMatrix { n, d }
+}
+
+/// Run one Dijkstra per node in parallel and hand each result to `f`
+/// (called with the source id). Results are collected in source order.
+/// The workhorse for per-node preprocessing in the scheme crates.
+pub fn par_per_node<T: Send>(g: &Graph, f: impl Fn(NodeId) -> T + Sync) -> Vec<T> {
+    let n = g.n();
+    let threads = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    if n < 64 || threads == 1 {
+        for (u, slot) in out.iter_mut().enumerate() {
+            *slot = Some(f(NodeId(u as u32)));
+        }
+    } else {
+        let chunk = n.div_ceil(threads);
+        crossbeam::scope(|s| {
+            for (c, slots) in out.chunks_mut(chunk).enumerate() {
+                let base = c * chunk;
+                let f = &f;
+                s.spawn(move |_| {
+                    for (i, slot) in slots.iter_mut().enumerate() {
+                        *slot = Some(f(NodeId((base + i) as u32)));
+                    }
+                });
+            }
+        })
+        .expect("per-node worker panicked");
+    }
+    out.into_iter().map(|x| x.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::graph_from_edges;
+
+    fn ring(n: u32, w: u64) -> Graph {
+        let edges: Vec<(u32, u32, u64)> = (0..n).map(|i| (i, (i + 1) % n, w)).collect();
+        graph_from_edges(n as usize, &edges)
+    }
+
+    #[test]
+    fn apsp_matches_sequential() {
+        let g = ring(100, 3);
+        let a = apsp_sequential(&g);
+        let b = apsp(&g);
+        for u in g.nodes() {
+            assert_eq!(a.row(u), b.row(u));
+        }
+    }
+
+    #[test]
+    fn ring_metrics() {
+        let g = ring(8, 2);
+        let m = apsp(&g);
+        assert!(m.connected());
+        assert_eq!(m.diameter(), 8); // 4 hops * 2
+        assert_eq!(m.min_distance(), 2);
+        assert_eq!(m.aspect_ratio(), Some(4.0));
+        assert_eq!(m.ball_size(NodeId(0), 2), 3);
+        assert_eq!(m.ball_size(NodeId(0), 0), 1);
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let g = graph_from_edges(4, &[(0, 1, 1), (2, 3, 1)]);
+        let m = apsp(&g);
+        assert!(!m.connected());
+        assert_eq!(m.diameter(), 1);
+    }
+
+    #[test]
+    fn symmetry() {
+        let g = ring(40, 5);
+        let m = apsp(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(m.d(u, v), m.d(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn par_per_node_orders_results() {
+        let g = ring(200, 1);
+        let ids = par_per_node(&g, |u| u.0 * 2);
+        for (i, v) in ids.iter().enumerate() {
+            assert_eq!(*v, (i * 2) as u32);
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let g = graph_from_edges(
+            5,
+            &[(0, 1, 3), (1, 2, 4), (2, 3, 2), (3, 4, 6), (4, 0, 1), (1, 3, 10)],
+        );
+        let m = apsp(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                for c in g.nodes() {
+                    assert!(m.d(a, c) <= m.d(a, b) + m.d(b, c));
+                }
+            }
+        }
+    }
+}

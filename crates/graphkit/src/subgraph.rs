@@ -1,0 +1,159 @@
+//! Induced subgraphs with id mappings.
+//!
+//! The dense-level machinery builds tree covers on the subgraphs `G_i`
+//! induced by `V_i = {u : i ∈ R(u)}`; this module extracts an induced
+//! subgraph as a standalone [`Graph`] plus the two-way node-id mapping.
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::ids::NodeId;
+
+/// An induced subgraph together with its id translation tables.
+#[derive(Clone, Debug)]
+pub struct Subgraph {
+    /// The induced graph, with nodes renumbered `0..members.len()`.
+    pub graph: Graph,
+    /// `local -> host` node id.
+    pub to_host: Vec<u32>,
+    /// `host -> local` node id (`u32::MAX` when absent).
+    pub to_local: Vec<u32>,
+}
+
+impl Subgraph {
+    /// Host id of a local node.
+    pub fn host(&self, local: NodeId) -> NodeId {
+        NodeId(self.to_host[local.idx()])
+    }
+
+    /// Local id of a host node, if it belongs to the subgraph.
+    pub fn local(&self, host: NodeId) -> Option<NodeId> {
+        let l = self.to_local[host.idx()];
+        if l == u32::MAX {
+            None
+        } else {
+            Some(NodeId(l))
+        }
+    }
+
+    /// Does the subgraph contain this host node?
+    pub fn contains(&self, host: NodeId) -> bool {
+        self.to_local[host.idx()] != u32::MAX
+    }
+}
+
+/// Extract the subgraph induced by `members` (host node ids, any order,
+/// deduplicated here). Edges keep their weights.
+pub fn induced_subgraph(g: &Graph, members: &[u32]) -> Subgraph {
+    let mut to_host: Vec<u32> = members.to_vec();
+    to_host.sort_unstable();
+    to_host.dedup();
+    let mut to_local = vec![u32::MAX; g.n()];
+    for (l, &h) in to_host.iter().enumerate() {
+        to_local[h as usize] = l as u32;
+    }
+    let mut b = GraphBuilder::with_nodes(to_host.len());
+    for &h in &to_host {
+        let u = NodeId(h);
+        let lu = to_local[h as usize];
+        for (v, w) in g.edges_of(u) {
+            let lv = to_local[v.idx()];
+            if lv != u32::MAX && lu < lv {
+                b.add_edge(NodeId(lu), NodeId(lv), w);
+            }
+        }
+    }
+    Subgraph { graph: b.build(), to_host, to_local }
+}
+
+/// Connected components of a graph, each as a sorted list of node ids.
+pub fn components(g: &Graph) -> Vec<Vec<u32>> {
+    let n = g.n();
+    let mut comp = vec![u32::MAX; n];
+    let mut out: Vec<Vec<u32>> = Vec::new();
+    for start in 0..n as u32 {
+        if comp[start as usize] != u32::MAX {
+            continue;
+        }
+        let c = out.len() as u32;
+        let mut stack = vec![start];
+        let mut members = Vec::new();
+        comp[start as usize] = c;
+        while let Some(u) = stack.pop() {
+            members.push(u);
+            for &v in g.neighbors(NodeId(u)) {
+                if comp[v as usize] == u32::MAX {
+                    comp[v as usize] = c;
+                    stack.push(v);
+                }
+            }
+        }
+        members.sort_unstable();
+        out.push(members);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::graph_from_edges;
+
+    fn sample() -> Graph {
+        graph_from_edges(
+            6,
+            &[(0, 1, 2), (1, 2, 3), (2, 3, 4), (3, 4, 5), (4, 5, 6), (0, 5, 7)],
+        )
+    }
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        let g = sample();
+        let s = induced_subgraph(&g, &[1, 2, 3]);
+        assert_eq!(s.graph.n(), 3);
+        assert_eq!(s.graph.m(), 2); // 1-2, 2-3
+        let l1 = s.local(NodeId(1)).unwrap();
+        let l2 = s.local(NodeId(2)).unwrap();
+        assert_eq!(s.graph.edge_weight(l1, l2), Some(3));
+        assert!(!s.contains(NodeId(0)));
+        assert_eq!(s.host(l1), NodeId(1));
+    }
+
+    #[test]
+    fn induced_dedups_members() {
+        let g = sample();
+        let s = induced_subgraph(&g, &[2, 2, 1, 1]);
+        assert_eq!(s.graph.n(), 2);
+    }
+
+    #[test]
+    fn induced_full_set_is_isomorphic() {
+        let g = sample();
+        let s = induced_subgraph(&g, &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(s.graph.n(), 6);
+        assert_eq!(s.graph.m(), 6);
+    }
+
+    #[test]
+    fn components_of_disconnected() {
+        let g = graph_from_edges(7, &[(0, 1, 1), (1, 2, 1), (3, 4, 1), (5, 6, 1)]);
+        let comps = components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+        assert_eq!(comps[1], vec![3, 4]);
+        assert_eq!(comps[2], vec![5, 6]);
+    }
+
+    #[test]
+    fn components_of_connected_is_single() {
+        let comps = components(&sample());
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 6);
+    }
+
+    #[test]
+    fn isolated_nodes_are_singleton_components() {
+        let g = graph_from_edges(3, &[(0, 1, 1)]);
+        let comps = components(&g);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[1], vec![2]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the graph substrate: Dijkstra against a
+//! Floyd–Warshall oracle, metric axioms, ball/m-closest consistency,
+//! and tree extraction invariants.
+
+use graphkit::{
+    ball, dijkstra, graph_from_edges, m_closest_in_set, Cost, Graph, NodeId, Tree, INFINITY,
+};
+use proptest::prelude::*;
+
+/// A random (possibly disconnected) graph as an edge list.
+fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32, u64)>)> {
+    (3usize..24).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as u32, 0..n as u32, 1u64..100),
+            0..(n * 2),
+        )
+        .prop_map(|es| {
+            es.into_iter()
+                .filter(|(u, v, _)| u != v)
+                .collect::<Vec<_>>()
+        });
+        (Just(n), edges)
+    })
+}
+
+fn floyd_warshall(g: &Graph) -> Vec<Vec<Cost>> {
+    let n = g.n();
+    let mut d = vec![vec![INFINITY; n]; n];
+    for v in 0..n {
+        d[v][v] = 0;
+    }
+    for (u, v, w) in g.all_edges() {
+        d[u.idx()][v.idx()] = d[u.idx()][v.idx()].min(w);
+        d[v.idx()][u.idx()] = d[v.idx()][u.idx()].min(w);
+    }
+    for m in 0..n {
+        for a in 0..n {
+            if d[a][m] == INFINITY {
+                continue;
+            }
+            for b in 0..n {
+                if d[m][b] == INFINITY {
+                    continue;
+                }
+                let via = d[a][m] + d[m][b];
+                if via < d[a][b] {
+                    d[a][b] = via;
+                }
+            }
+        }
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Dijkstra equals Floyd–Warshall on every source.
+    #[test]
+    fn dijkstra_matches_oracle((n, edges) in arb_edges()) {
+        let g = graph_from_edges(n, &edges);
+        let oracle = floyd_warshall(&g);
+        for s in 0..n as u32 {
+            let sp = dijkstra(&g, NodeId(s));
+            prop_assert_eq!(&sp.dist, &oracle[s as usize]);
+        }
+    }
+
+    /// Reconstructed shortest paths have exactly the reported cost and
+    /// consist of real edges.
+    #[test]
+    fn paths_cost_their_distance((n, edges) in arb_edges()) {
+        let g = graph_from_edges(n, &edges);
+        let sp = dijkstra(&g, NodeId(0));
+        for v in 0..n as u32 {
+            if let Some(path) = sp.path_to(NodeId(v)) {
+                let mut cost = 0;
+                for w in path.windows(2) {
+                    cost += g.edge_weight(w[0], w[1]).expect("path edge must exist");
+                }
+                prop_assert_eq!(cost, sp.d(NodeId(v)));
+            }
+        }
+    }
+
+    /// `ball(u, r)` is exactly the distance-filtered node set, ordered
+    /// by (distance, id).
+    #[test]
+    fn ball_matches_distances((n, edges) in arb_edges(), r in 1u64..300) {
+        let g = graph_from_edges(n, &edges);
+        let sp = dijkstra(&g, NodeId(0));
+        let b = ball(&g, NodeId(0), r);
+        let expect: usize =
+            sp.dist.iter().filter(|&&d| d != INFINITY && d <= r).count();
+        prop_assert_eq!(b.len(), expect);
+        for w in b.windows(2) {
+            prop_assert!(w[0].1 < w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0));
+        }
+        for (v, dist) in b {
+            prop_assert_eq!(dist, sp.d(v));
+        }
+    }
+
+    /// `m_closest_in_set` agrees with sorting the full distance vector.
+    #[test]
+    fn m_closest_matches_sort((n, edges) in arb_edges(), m in 1usize..10) {
+        let g = graph_from_edges(n, &edges);
+        let sp = dijkstra(&g, NodeId(0));
+        let got = m_closest_in_set(&g, NodeId(0), m, |v| v.0 % 2 == 0);
+        let mut expect: Vec<(Cost, u32)> = (0..n as u32)
+            .filter(|v| v % 2 == 0 && sp.reachable(NodeId(*v)))
+            .map(|v| (sp.d(NodeId(v)), v))
+            .collect();
+        expect.sort_unstable();
+        expect.truncate(m);
+        let got_pairs: Vec<(Cost, u32)> = got.iter().map(|&(v, d)| (d, v.0)).collect();
+        prop_assert_eq!(got_pairs, expect);
+    }
+
+    /// SPT extraction: member depths equal graph distances; every tree
+    /// edge is a graph edge of matching weight.
+    #[test]
+    fn spt_depths_are_distances((n, edges) in arb_edges()) {
+        let g = graph_from_edges(n, &edges);
+        let sp = dijkstra(&g, NodeId(0));
+        let members: Vec<NodeId> =
+            g.nodes().filter(|&v| sp.reachable(v)).collect();
+        let t = Tree::from_sssp(&g, &sp, members);
+        for ix in 0..t.size() as u32 {
+            prop_assert_eq!(t.depth(ix), sp.d(t.graph_id(ix)));
+            if let Some(p) = t.parent(ix) {
+                let w = g
+                    .edge_weight(t.graph_id(p), t.graph_id(ix))
+                    .expect("tree edge must be a graph edge");
+                prop_assert_eq!(w, t.parent_weight(ix));
+            }
+        }
+    }
+
+    /// CSR construction: neighbor lists sorted, degrees sum to 2m,
+    /// ports invert.
+    #[test]
+    fn csr_invariants((n, edges) in arb_edges()) {
+        let g = graph_from_edges(n, &edges);
+        let degree_sum: usize = g.nodes().map(|u| g.degree(u)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.m());
+        for u in g.nodes() {
+            let nb = g.neighbors(u);
+            for w in nb.windows(2) {
+                prop_assert!(w[0] < w[1], "unsorted or duplicate neighbor");
+            }
+            for (p, &v) in nb.iter().enumerate() {
+                prop_assert_eq!(g.endpoint(u, p as u32), NodeId(v));
+                prop_assert_eq!(g.port_to(u, NodeId(v)), Some(p as u32));
+            }
+        }
+    }
+}

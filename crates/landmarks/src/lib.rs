@@ -1,0 +1,354 @@
+#![warn(missing_docs)]
+//! # landmarks — the low-discrepancy landmark hierarchy (§2.3)
+//!
+//! Nested landmark sets `V = C₀ ⊇ C₁ ⊇ … ⊇ C_k = ∅`: each `C_i`
+//! keeps every element of `C_{i−1}` independently with probability
+//! `(n / ln n)^{−1/k}`. A node in `C_j \ C_{j+1}` has *rank* `j`.
+//!
+//! Two properties make the sparse-level strategy work, and both are
+//! *verified per instance* rather than trusted w.h.p. (our effective
+//! substitute for the paper's derandomization by conditional
+//! probabilities — see DESIGN.md):
+//!
+//! * **Claim 1** (hitting): every ball `B(u, 2^i)` with
+//!   `|B| ≥ 4 (ln n)^{(k−j)/k} n^{j/k}` intersects `C_j`;
+//! * **Claim 2** (sparsity): every ball with
+//!   `|B| < 4 (ln n)^{(k−j−1)/k} n^{(j+2)/k}` satisfies
+//!   `|B ∩ C_j| ≤ 16 n^{2/k} ln n`.
+//!
+//! The crate also provides the derived per-node queries the scheme
+//! needs: `S(u,i)` (the `16 n^{2/k} log n` closest members of `C_i`),
+//! `m(u, r)` (highest rank inside a ball), and `c(u, r)` (the center:
+//! closest node of that highest rank), plus a deterministic greedy
+//! hitting-set fallback.
+
+use graphkit::{DistMatrix, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub mod claims;
+pub mod greedy;
+
+pub use claims::{verify_claims, ClaimReport};
+pub use greedy::greedy_hierarchy;
+
+/// Nested landmark sets with per-node ranks.
+#[derive(Clone, Debug)]
+pub struct LandmarkHierarchy {
+    k: usize,
+    n: usize,
+    /// `rank[v]` = the unique `j` with `v ∈ C_j \ C_{j+1}`.
+    rank: Vec<u8>,
+    /// `levels[i]` = sorted members of `C_i`, for `i ∈ 0..k`.
+    levels: Vec<Vec<u32>>,
+}
+
+impl LandmarkHierarchy {
+    /// Random hierarchy per §2.3: survival probability
+    /// `(n / ln n)^{−1/k}` per level.
+    pub fn sample(n: usize, k: usize, seed: u64) -> Self {
+        assert!(n >= 2 && k >= 1);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let p = survival_probability(n, k);
+        let mut rank = vec![0u8; n];
+        let mut levels: Vec<Vec<u32>> = Vec::with_capacity(k);
+        levels.push((0..n as u32).collect()); // C_0 = V
+        for i in 1..k {
+            let prev = &levels[i - 1];
+            let next: Vec<u32> = prev.iter().copied().filter(|_| rng.gen_bool(p)).collect();
+            for &v in &next {
+                rank[v as usize] = i as u8;
+            }
+            levels.push(next);
+        }
+        LandmarkHierarchy { k, n, rank, levels }
+    }
+
+    /// Sample, verify Claims 1–2 against the graph's ball family, and
+    /// re-seed until they hold (up to `attempts`); returns the first
+    /// verified hierarchy or the one with fewest violations.
+    pub fn sample_verified(d: &DistMatrix, k: usize, seed: u64, attempts: u32) -> Self {
+        let n = d.n();
+        let mut best: Option<(usize, Self)> = None;
+        for a in 0..attempts.max(1) as u64 {
+            let h = Self::sample(n, k, seed.wrapping_add(a.wrapping_mul(0x5851_f42d)));
+            let report = verify_claims(d, &h);
+            let violations = report.claim1_violations + report.claim2_violations;
+            if violations == 0 {
+                return h;
+            }
+            if best.as_ref().is_none_or(|(bv, _)| violations < *bv) {
+                best = Some((violations, h));
+            }
+        }
+        best.expect("at least one attempt").1
+    }
+
+    /// Build from explicit levels (used by the greedy construction).
+    /// `levels\[0\]` must be all of `V`; each level must be a subset of
+    /// the previous.
+    pub fn from_levels(n: usize, k: usize, levels: Vec<Vec<u32>>) -> Self {
+        assert_eq!(levels.len(), k);
+        assert_eq!(levels[0].len(), n, "C_0 must be V");
+        let mut rank = vec![0u8; n];
+        for (i, level) in levels.iter().enumerate().skip(1) {
+            let prev: std::collections::HashSet<u32> =
+                levels[i - 1].iter().copied().collect();
+            for &v in level {
+                assert!(prev.contains(&v), "levels must be nested");
+                rank[v as usize] = i as u8;
+            }
+        }
+        let levels = levels
+            .into_iter()
+            .map(|mut l| {
+                l.sort_unstable();
+                l
+            })
+            .collect();
+        LandmarkHierarchy { k, n, rank, levels }
+    }
+
+    /// The parameter `k` (note `C_k = ∅` implicitly).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Rank of `v`: the unique `j` with `v ∈ C_j \ C_{j+1}`.
+    pub fn rank(&self, v: NodeId) -> usize {
+        self.rank[v.idx()] as usize
+    }
+
+    /// Members of `C_i` (sorted). `C_i = ∅` for `i ≥ k`.
+    pub fn level(&self, i: usize) -> &[u32] {
+        if i >= self.k {
+            &[]
+        } else {
+            &self.levels[i]
+        }
+    }
+
+    /// Is `v ∈ C_i`?
+    pub fn in_level(&self, v: NodeId, i: usize) -> bool {
+        i < self.k && self.rank[v.idx()] as usize >= i
+    }
+
+    /// `S(u, i) = N(u, 16 n^{2/k} log n, C_i)`: the nearby landmarks of
+    /// level `i`, ordered by `(distance, id)`.
+    pub fn s_set(&self, d: &DistMatrix, u: NodeId, i: usize) -> Vec<u32> {
+        let budget = self.s_budget();
+        let row = d.row(u);
+        let mut members: Vec<(u64, u32)> =
+            self.level(i).iter().map(|&v| (row[v as usize], v)).collect();
+        members.sort_unstable();
+        members.truncate(budget);
+        members.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// The union `S(u) = ∪_i S(u, i)` (deduplicated, sorted by id).
+    pub fn s_union(&self, d: &DistMatrix, u: NodeId) -> Vec<u32> {
+        let mut all: Vec<u32> = (0..self.k).flat_map(|i| self.s_set(d, u, i)).collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    /// The `16 n^{2/k} log n` budget of `S(u, i)`.
+    pub fn s_budget(&self) -> usize {
+        let n = self.n as f64;
+        let k = self.k as f64;
+        ((16.0 * n.powf(2.0 / k) * n.ln()).ceil() as usize).max(1)
+    }
+
+    /// `m(u, r)` — the highest rank present in `B(u, r)`.
+    pub fn max_rank_in_ball(&self, d: &DistMatrix, u: NodeId, r: u64) -> usize {
+        let row = d.row(u);
+        row.iter()
+            .enumerate()
+            .filter(|&(_, &dist)| dist <= r)
+            .map(|(v, _)| self.rank[v] as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `c(u, r)` — the center: the closest node to `u` (ties by id)
+    /// among `C_{m(u,r)}`.
+    pub fn center(&self, d: &DistMatrix, u: NodeId, r: u64) -> NodeId {
+        let m = self.max_rank_in_ball(d, u, r);
+        let row = d.row(u);
+        let best = self
+            .level(m)
+            .iter()
+            .copied()
+            .min_by_key(|&v| (row[v as usize], v))
+            .expect("C_m nonempty: it contains a node of B(u,r)");
+        NodeId(best)
+    }
+
+    /// Survival probability used by the sampler (exposed for tests).
+    pub fn survival_probability(&self) -> f64 {
+        survival_probability(self.n, self.k)
+    }
+}
+
+/// `(n / ln n)^{−1/k}`, clamped into `(0, 1]`.
+pub fn survival_probability(n: usize, k: usize) -> f64 {
+    let n = n as f64;
+    let base = (n / n.ln()).max(1.0);
+    base.powf(-1.0 / k as f64).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphkit::gen::Family;
+    use graphkit::metrics::apsp;
+
+    #[test]
+    fn levels_are_nested_and_ranked() {
+        let h = LandmarkHierarchy::sample(500, 3, 1);
+        assert_eq!(h.level(0).len(), 500);
+        for i in 1..3 {
+            for &v in h.level(i) {
+                assert!(h.in_level(NodeId(v), i - 1), "nesting violated at level {i}");
+                assert!(h.rank(NodeId(v)) >= i);
+            }
+        }
+        assert!(h.level(3).is_empty());
+        assert!(h.level(99).is_empty());
+        // Every rank-j node appears in exactly levels 0..=j.
+        for v in 0..500u32 {
+            let r = h.rank(NodeId(v));
+            for i in 0..3 {
+                assert_eq!(h.in_level(NodeId(v), i), i <= r);
+            }
+        }
+    }
+
+    #[test]
+    fn level_sizes_shrink_geometrically() {
+        let h = LandmarkHierarchy::sample(2000, 4, 2);
+        for i in 1..4 {
+            assert!(
+                h.level(i).len() < h.level(i - 1).len(),
+                "level {i} did not shrink"
+            );
+        }
+        // Expected size of C_1 ≈ n * p; allow 3x slack both ways.
+        let expect = 2000.0 * survival_probability(2000, 4);
+        let got = h.level(1).len() as f64;
+        assert!(got > expect / 3.0 && got < expect * 3.0, "C_1 size {got} vs {expect}");
+    }
+
+    #[test]
+    fn k1_has_only_c0() {
+        let h = LandmarkHierarchy::sample(50, 1, 3);
+        assert_eq!(h.level(0).len(), 50);
+        assert!(h.level(1).is_empty());
+        for v in 0..50u32 {
+            assert_eq!(h.rank(NodeId(v)), 0);
+        }
+    }
+
+    #[test]
+    fn s_set_is_closest_members() {
+        let g = Family::Grid.generate(100, 4);
+        let d = apsp(&g);
+        let h = LandmarkHierarchy::sample(g.n(), 2, 5);
+        let u = NodeId(0);
+        let s = h.s_set(&d, u, 1);
+        assert!(!s.is_empty());
+        assert!(s.len() <= h.s_budget());
+        let row = d.row(u);
+        let far = s.iter().map(|&v| row[v as usize]).max().unwrap();
+        for &v in &s {
+            assert!(h.in_level(NodeId(v), 1));
+        }
+        if s.len() == h.s_budget() {
+            for &v in h.level(1) {
+                if !s.contains(&v) {
+                    assert!(row[v as usize] >= far);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn s_union_covers_all_levels() {
+        let g = Family::ErdosRenyi.generate(120, 6);
+        let d = apsp(&g);
+        let h = LandmarkHierarchy::sample(g.n(), 3, 7);
+        let u = NodeId(3);
+        let union = h.s_union(&d, u);
+        for i in 0..3 {
+            for v in h.s_set(&d, u, i) {
+                assert!(union.binary_search(&v).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn center_is_closest_of_max_rank() {
+        let g = Family::Geometric.generate(150, 8);
+        let d = apsp(&g);
+        let h = LandmarkHierarchy::sample(g.n(), 3, 9);
+        let u = NodeId(10);
+        let r = d.diameter() / 4;
+        let m = h.max_rank_in_ball(&d, u, r);
+        let c = h.center(&d, u, r);
+        assert_eq!(h.rank(c), m);
+        for &v in h.level(m) {
+            assert!(d.d(u, c) <= d.d(u, NodeId(v)));
+        }
+    }
+
+    #[test]
+    fn max_rank_in_radius_zero_ball_is_own_rank() {
+        let g = Family::Ring.generate(60, 10);
+        let d = apsp(&g);
+        let h = LandmarkHierarchy::sample(g.n(), 2, 11);
+        for v in 0..60u32 {
+            let u = NodeId(v);
+            assert_eq!(h.max_rank_in_ball(&d, u, 0), h.rank(u));
+        }
+    }
+
+    #[test]
+    fn from_levels_roundtrip() {
+        let levels = vec![vec![0, 1, 2, 3, 4], vec![1, 3], vec![3]];
+        let h = LandmarkHierarchy::from_levels(5, 3, levels);
+        assert_eq!(h.rank(NodeId(3)), 2);
+        assert_eq!(h.rank(NodeId(1)), 1);
+        assert_eq!(h.rank(NodeId(0)), 0);
+        assert_eq!(h.level(2), &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nested")]
+    fn from_levels_rejects_non_nested() {
+        let levels = vec![vec![0, 1, 2], vec![1], vec![2]];
+        LandmarkHierarchy::from_levels(3, 3, levels);
+    }
+
+    #[test]
+    fn survival_probability_sane() {
+        let p = survival_probability(1000, 2);
+        assert!(p > 0.0 && p < 1.0);
+        // Larger k → larger survival probability (shallower decay).
+        assert!(survival_probability(1000, 4) > survival_probability(1000, 2));
+    }
+
+    #[test]
+    fn sampling_deterministic_in_seed() {
+        let a = LandmarkHierarchy::sample(300, 3, 42);
+        let b = LandmarkHierarchy::sample(300, 3, 42);
+        for i in 0..3 {
+            assert_eq!(a.level(i), b.level(i));
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the landmark hierarchy: nesting, rank
+//! consistency, S-set ordering, and center optimality on random graphs.
+
+use graphkit::gen::WeightDist;
+use graphkit::metrics::apsp;
+use graphkit::NodeId;
+use landmarks::LandmarkHierarchy;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_instance() -> impl Strategy<Value = (graphkit::Graph, usize, u64)> {
+    (8usize..60, 1usize..5, any::<u64>(), 0.0f64..0.2).prop_map(|(n, k, seed, p)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = graphkit::gen::erdos_renyi(
+            n,
+            p,
+            WeightDist::UniformInt { lo: 1, hi: 32 },
+            &mut rng,
+        );
+        (g, k, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Levels are nested and ranks identify the deepest level exactly.
+    #[test]
+    fn nesting_and_ranks((g, k, seed) in arb_instance()) {
+        let h = LandmarkHierarchy::sample(g.n(), k, seed);
+        prop_assert_eq!(h.level(0).len(), g.n());
+        for i in 1..k {
+            for &v in h.level(i) {
+                prop_assert!(h.level(i - 1).contains(&v));
+            }
+        }
+        for v in 0..g.n() as u32 {
+            let r = h.rank(NodeId(v));
+            prop_assert!(r < k);
+            prop_assert!(h.in_level(NodeId(v), r));
+            prop_assert!(!h.in_level(NodeId(v), r + 1));
+        }
+    }
+
+    /// S(u, i) is a prefix of C_i under the (distance, id) order.
+    #[test]
+    fn s_set_is_sorted_prefix((g, k, seed) in arb_instance()) {
+        let d = apsp(&g);
+        if !d.connected() { return Ok(()); }
+        let h = LandmarkHierarchy::sample(g.n(), k, seed);
+        for u in (0..g.n() as u32).step_by(5) {
+            let u = NodeId(u);
+            for i in 0..k {
+                let s = h.s_set(&d, u, i);
+                // Sorted by (distance, id).
+                for w in s.windows(2) {
+                    let a = (d.d(u, NodeId(w[0])), w[0]);
+                    let b = (d.d(u, NodeId(w[1])), w[1]);
+                    prop_assert!(a < b);
+                }
+                // Prefix property: every omitted member is no closer
+                // than the last taken one.
+                if let Some(&last) = s.last() {
+                    if s.len() == h.s_budget() {
+                        let key = (d.d(u, NodeId(last)), last);
+                        for &c in h.level(i) {
+                            if !s.contains(&c) {
+                                prop_assert!((d.d(u, NodeId(c)), c) > key);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The center c(u, r) has the maximal rank in B(u, r) and is the
+    /// closest node of that rank level.
+    #[test]
+    fn center_optimal((g, k, seed) in arb_instance(), rdiv in 1u64..8) {
+        let d = apsp(&g);
+        if !d.connected() { return Ok(()); }
+        let h = LandmarkHierarchy::sample(g.n(), k, seed);
+        let r = (d.diameter() / rdiv).max(1);
+        for u in (0..g.n() as u32).step_by(7) {
+            let u = NodeId(u);
+            let m = h.max_rank_in_ball(&d, u, r);
+            // Witness: some node in the ball has rank m, none higher.
+            let mut witness = false;
+            for v in 0..g.n() as u32 {
+                if d.d(u, NodeId(v)) <= r {
+                    prop_assert!(h.rank(NodeId(v)) <= m);
+                    if h.rank(NodeId(v)) == m { witness = true; }
+                }
+            }
+            prop_assert!(witness);
+            let c = h.center(&d, u, r);
+            prop_assert_eq!(h.rank(c), m);
+            for &v in h.level(m) {
+                prop_assert!(d.d(u, c) <= d.d(u, NodeId(v)));
+            }
+        }
+    }
+
+    /// Verified sampling never *increases* violations relative to the
+    /// best attempt, and on connected graphs typically reaches zero.
+    #[test]
+    fn verified_sampling_reports((g, k, seed) in arb_instance()) {
+        let d = apsp(&g);
+        if !d.connected() { return Ok(()); }
+        let h = LandmarkHierarchy::sample_verified(&d, k, seed, 8);
+        let rep = landmarks::verify_claims(&d, &h);
+        // On these sizes the thresholds are loose; verified sampling
+        // should almost always succeed — tolerate nothing here.
+        prop_assert!(rep.ok(), "claims violated after verified sampling: {:?}", rep);
+    }
+}

@@ -1,0 +1,464 @@
+#![warn(missing_docs)]
+//! # sim — message-level routing simulation and audit
+//!
+//! Routing schemes in this workspace *simulate* message forwarding:
+//! they produce a [`RouteTrace`] (the sequence of graph nodes a message
+//! visits). This crate keeps them honest and turns traces into the
+//! numbers the experiments report:
+//!
+//! * [`validate_trace`] — every hop must be a real graph edge and the
+//!   claimed cost must equal the sum of edge weights (no teleporting,
+//!   no creative accounting);
+//! * [`Router`] — the uniform interface every scheme (ours and the
+//!   baselines) implements;
+//! * [`evaluate`] / [`StretchStats`] — per-pair stretch aggregation
+//!   against a ground-truth distance matrix;
+//! * [`StorageAudit`] — bits-per-node accounting with the max/mean/
+//!   total views the tables print;
+//! * [`pairs`] — deterministic all-pairs / sampled-pairs workloads.
+
+use graphkit::{Cost, DistMatrix, Graph, NodeId};
+
+/// The walk a message took through the graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteTrace {
+    /// Nodes visited, starting at the source. For a delivered message
+    /// the last node is the destination.
+    pub path: Vec<NodeId>,
+    /// Total weighted cost claimed by the scheme.
+    pub cost: Cost,
+    /// Whether the message reached its destination.
+    pub delivered: bool,
+}
+
+impl RouteTrace {
+    /// A trivially-delivered trace (source == destination).
+    pub fn trivial(at: NodeId) -> Self {
+        RouteTrace { path: vec![at], cost: 0, delivered: true }
+    }
+
+    /// Number of hops (edges traversed).
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+}
+
+/// Violations found by [`validate_trace`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// Two consecutive path nodes are not adjacent in the graph.
+    NotAnEdge {
+        /// Index of the offending hop in the path.
+        position: usize,
+        /// Hop origin.
+        from: NodeId,
+        /// Hop target (not a neighbor of `from`).
+        to: NodeId,
+    },
+    /// The claimed cost differs from the sum of traversed edge weights.
+    CostMismatch {
+        /// Cost the scheme claimed.
+        claimed: Cost,
+        /// Cost the walk actually incurs.
+        actual: Cost,
+    },
+    /// A delivered trace does not end at the stated destination.
+    WrongDestination {
+        /// The requested destination.
+        expected: NodeId,
+        /// Where the walk actually ended.
+        got: NodeId,
+    },
+    /// The trace does not start at the stated source.
+    WrongSource {
+        /// The requested source.
+        expected: NodeId,
+        /// Where the walk actually started.
+        got: NodeId,
+    },
+    /// Empty path.
+    Empty,
+}
+
+/// Audit a trace against the physical graph.
+pub fn validate_trace(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    trace: &RouteTrace,
+) -> Result<(), TraceError> {
+    let Some(&first) = trace.path.first() else {
+        return Err(TraceError::Empty);
+    };
+    if first != src {
+        return Err(TraceError::WrongSource { expected: src, got: first });
+    }
+    let mut actual: Cost = 0;
+    for (i, win) in trace.path.windows(2).enumerate() {
+        match g.edge_weight(win[0], win[1]) {
+            Some(w) => actual += w,
+            None => {
+                return Err(TraceError::NotAnEdge { position: i, from: win[0], to: win[1] })
+            }
+        }
+    }
+    if actual != trace.cost {
+        return Err(TraceError::CostMismatch { claimed: trace.cost, actual });
+    }
+    if trace.delivered {
+        let &last = trace.path.last().unwrap();
+        if last != dst {
+            return Err(TraceError::WrongDestination { expected: dst, got: last });
+        }
+    }
+    Ok(())
+}
+
+/// The uniform interface of every routing scheme.
+pub trait Router {
+    /// Route one message. Implementations must only consult per-node
+    /// state along the walk (the trace validator and the scheme-level
+    /// tests enforce the observable consequences).
+    fn route(&self, src: NodeId, dst: NodeId) -> RouteTrace;
+
+    /// Scheme name for experiment tables.
+    fn name(&self) -> &str;
+
+    /// Bits of routing state stored at `v`.
+    fn node_storage_bits(&self, v: NodeId) -> u64;
+}
+
+/// Aggregated stretch results over a pair workload.
+#[derive(Clone, Debug, Default)]
+pub struct StretchStats {
+    /// Pairs routed.
+    pub pairs: usize,
+    /// Pairs where delivery failed (should be zero for correct schemes).
+    pub failures: usize,
+    /// Maximum stretch observed.
+    pub max_stretch: f64,
+    /// Mean stretch.
+    pub mean_stretch: f64,
+    /// Median stretch.
+    pub p50_stretch: f64,
+    /// 99th-percentile stretch.
+    pub p99_stretch: f64,
+    /// Mean hop count.
+    pub mean_hops: f64,
+}
+
+/// Route every pair in `pairs`, validating each trace, and aggregate
+/// stretch against the exact distances in `d`.
+///
+/// Panics on any trace violation or failed delivery — experiments must
+/// not silently average over broken routes.
+pub fn evaluate(
+    g: &Graph,
+    d: &DistMatrix,
+    router: &dyn Router,
+    pairs: &[(NodeId, NodeId)],
+) -> StretchStats {
+    let mut stretches: Vec<f64> = Vec::with_capacity(pairs.len());
+    let mut hops_total = 0usize;
+    let mut failures = 0usize;
+    for &(s, t) in pairs {
+        let trace = router.route(s, t);
+        if let Err(e) = validate_trace(g, s, t, &trace) {
+            panic!("{}: invalid trace {s}->{t}: {e:?}", router.name());
+        }
+        if !trace.delivered {
+            failures += 1;
+            continue;
+        }
+        let opt = d.d(s, t);
+        let stretch = if opt == 0 { 1.0 } else { trace.cost as f64 / opt as f64 };
+        assert!(
+            stretch >= 1.0 - 1e-9,
+            "{}: sub-optimal impossible: {s}->{t} cost {} < d {}",
+            router.name(),
+            trace.cost,
+            opt
+        );
+        stretches.push(stretch);
+        hops_total += trace.hops();
+    }
+    assert_eq!(failures, 0, "{}: {failures} undelivered pairs", router.name());
+    stretches.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = stretches.len();
+    let mean = stretches.iter().sum::<f64>() / n.max(1) as f64;
+    StretchStats {
+        pairs: pairs.len(),
+        failures,
+        max_stretch: stretches.last().copied().unwrap_or(0.0),
+        mean_stretch: mean,
+        p50_stretch: percentile(&stretches, 0.50),
+        p99_stretch: percentile(&stretches, 0.99),
+        mean_hops: hops_total as f64 / n.max(1) as f64,
+    }
+}
+
+/// Like [`evaluate`], but tolerates undelivered pairs (they are counted
+/// in `failures` and excluded from the stretch aggregates). Used by the
+/// ablation experiments, where failure *is* the result being measured.
+/// Traces must still be physically valid walks.
+pub fn evaluate_lenient(
+    g: &Graph,
+    d: &DistMatrix,
+    router: &dyn Router,
+    pairs: &[(NodeId, NodeId)],
+) -> StretchStats {
+    let mut stretches: Vec<f64> = Vec::with_capacity(pairs.len());
+    let mut hops_total = 0usize;
+    let mut failures = 0usize;
+    for &(s, t) in pairs {
+        let trace = router.route(s, t);
+        if let Err(e) = validate_trace(g, s, t, &trace) {
+            panic!("{}: invalid trace {s}->{t}: {e:?}", router.name());
+        }
+        if !trace.delivered {
+            failures += 1;
+            continue;
+        }
+        let opt = d.d(s, t);
+        let stretch = if opt == 0 { 1.0 } else { trace.cost as f64 / opt as f64 };
+        stretches.push(stretch);
+        hops_total += trace.hops();
+    }
+    stretches.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = stretches.len();
+    let mean = stretches.iter().sum::<f64>() / n.max(1) as f64;
+    StretchStats {
+        pairs: pairs.len(),
+        failures,
+        max_stretch: stretches.last().copied().unwrap_or(0.0),
+        mean_stretch: mean,
+        p50_stretch: percentile(&stretches, 0.50),
+        p99_stretch: percentile(&stretches, 0.99),
+        mean_hops: hops_total as f64 / n.max(1) as f64,
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Per-node storage accounting for a scheme instance.
+#[derive(Clone, Debug)]
+pub struct StorageAudit {
+    /// Bits stored at each node.
+    pub per_node_bits: Vec<u64>,
+}
+
+impl StorageAudit {
+    /// Collect the audit from a router.
+    pub fn collect(router: &dyn Router, n: usize) -> Self {
+        StorageAudit {
+            per_node_bits: (0..n as u32).map(|v| router.node_storage_bits(NodeId(v))).collect(),
+        }
+    }
+
+    /// Worst node, in bits.
+    pub fn max_bits(&self) -> u64 {
+        self.per_node_bits.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Average node, in bits.
+    pub fn mean_bits(&self) -> f64 {
+        if self.per_node_bits.is_empty() {
+            return 0.0;
+        }
+        self.per_node_bits.iter().sum::<u64>() as f64 / self.per_node_bits.len() as f64
+    }
+
+    /// Sum over all nodes.
+    pub fn total_bits(&self) -> u64 {
+        self.per_node_bits.iter().sum()
+    }
+}
+
+/// Deterministic pair workloads.
+pub mod pairs {
+    use graphkit::NodeId;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// All ordered pairs (s ≠ t). Quadratic — small graphs only.
+    pub fn all(n: usize) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::with_capacity(n * (n - 1));
+        for s in 0..n as u32 {
+            for t in 0..n as u32 {
+                if s != t {
+                    out.push((NodeId(s), NodeId(t)));
+                }
+            }
+        }
+        out
+    }
+
+    /// `count` pairs sampled uniformly (s ≠ t), deterministic in `seed`.
+    pub fn sample(n: usize, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+        assert!(n >= 2);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let s = rng.gen_range(0..n as u32);
+                let mut t = rng.gen_range(0..n as u32 - 1);
+                if t >= s {
+                    t += 1;
+                }
+                (NodeId(s), NodeId(t))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphkit::dijkstra::dijkstra;
+    use graphkit::gen::Family;
+    use graphkit::metrics::apsp;
+    use graphkit::graph_from_edges;
+
+    /// Oracle router: follows true shortest paths (stretch exactly 1).
+    struct Oracle<'a> {
+        g: &'a Graph,
+    }
+
+    impl Router for Oracle<'_> {
+        fn route(&self, src: NodeId, dst: NodeId) -> RouteTrace {
+            let sp = dijkstra(self.g, src);
+            match sp.path_to(dst) {
+                Some(path) => RouteTrace { path, cost: sp.d(dst), delivered: true },
+                None => RouteTrace { path: vec![src], cost: 0, delivered: false },
+            }
+        }
+        fn name(&self) -> &str {
+            "oracle"
+        }
+        fn node_storage_bits(&self, _v: NodeId) -> u64 {
+            64
+        }
+    }
+
+    fn small() -> Graph {
+        graph_from_edges(4, &[(0, 1, 2), (1, 2, 3), (2, 3, 1), (0, 3, 10)])
+    }
+
+    #[test]
+    fn validate_accepts_real_walks() {
+        let g = small();
+        let t = RouteTrace {
+            path: vec![NodeId(0), NodeId(1), NodeId(2)],
+            cost: 5,
+            delivered: true,
+        };
+        assert!(validate_trace(&g, NodeId(0), NodeId(2), &t).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_teleport() {
+        let g = small();
+        let t = RouteTrace { path: vec![NodeId(0), NodeId(2)], cost: 5, delivered: true };
+        assert!(matches!(
+            validate_trace(&g, NodeId(0), NodeId(2), &t),
+            Err(TraceError::NotAnEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_cost_fraud() {
+        let g = small();
+        let t = RouteTrace {
+            path: vec![NodeId(0), NodeId(1), NodeId(2)],
+            cost: 4,
+            delivered: true,
+        };
+        assert!(matches!(
+            validate_trace(&g, NodeId(0), NodeId(2), &t),
+            Err(TraceError::CostMismatch { claimed: 4, actual: 5 })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_endpoints() {
+        let g = small();
+        let t = RouteTrace { path: vec![NodeId(1), NodeId(2)], cost: 3, delivered: true };
+        assert!(matches!(
+            validate_trace(&g, NodeId(0), NodeId(2), &t),
+            Err(TraceError::WrongSource { .. })
+        ));
+        assert!(matches!(
+            validate_trace(&g, NodeId(1), NodeId(3), &t),
+            Err(TraceError::WrongDestination { .. })
+        ));
+        assert_eq!(
+            validate_trace(&g, NodeId(0), NodeId(2), &RouteTrace {
+                path: vec![],
+                cost: 0,
+                delivered: false
+            }),
+            Err(TraceError::Empty)
+        );
+    }
+
+    #[test]
+    fn oracle_has_stretch_one() {
+        let g = Family::Grid.generate(49, 80);
+        let d = apsp(&g);
+        let oracle = Oracle { g: &g };
+        let stats = evaluate(&g, &d, &oracle, &pairs::all(g.n()));
+        assert_eq!(stats.failures, 0);
+        assert!((stats.max_stretch - 1.0).abs() < 1e-12);
+        assert!((stats.mean_stretch - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_percentiles_ordered() {
+        let g = Family::ErdosRenyi.generate(80, 81);
+        let d = apsp(&g);
+        let oracle = Oracle { g: &g };
+        let stats = evaluate(&g, &d, &oracle, &pairs::sample(g.n(), 500, 7));
+        assert!(stats.p50_stretch <= stats.p99_stretch);
+        assert!(stats.p99_stretch <= stats.max_stretch + 1e-12);
+        assert!(stats.mean_hops >= 1.0);
+    }
+
+    #[test]
+    fn storage_audit_aggregates() {
+        let g = small();
+        let oracle = Oracle { g: &g };
+        let audit = StorageAudit::collect(&oracle, g.n());
+        assert_eq!(audit.max_bits(), 64);
+        assert_eq!(audit.total_bits(), 4 * 64);
+        assert!((audit.mean_bits() - 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_pairs_count() {
+        let p = pairs::all(5);
+        assert_eq!(p.len(), 20);
+        assert!(p.iter().all(|&(s, t)| s != t));
+    }
+
+    #[test]
+    fn sampled_pairs_deterministic_and_distinct() {
+        let a = pairs::sample(50, 100, 3);
+        let b = pairs::sample(50, 100, 3);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&(s, t)| s != t));
+        assert_ne!(a, pairs::sample(50, 100, 4));
+    }
+
+    #[test]
+    fn trivial_trace() {
+        let t = RouteTrace::trivial(NodeId(3));
+        assert_eq!(t.hops(), 0);
+        let g = small();
+        assert!(validate_trace(&g, NodeId(3), NodeId(3), &t).is_ok());
+    }
+}

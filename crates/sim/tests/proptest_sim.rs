@@ -1,0 +1,126 @@
+//! Property-based tests for the simulator's audit machinery: the
+//! validator must accept exactly the genuine walks and the evaluator's
+//! aggregates must be order statistics of the per-pair stretches.
+
+use graphkit::dijkstra::dijkstra;
+use graphkit::gen::WeightDist;
+use graphkit::{Graph, NodeId};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sim::{evaluate, pairs, validate_trace, RouteTrace, Router, TraceError};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (4usize..40, any::<u64>(), 0.0f64..0.3).prop_map(|(n, seed, p)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        graphkit::gen::erdos_renyi(n, p, WeightDist::UniformInt { lo: 1, hi: 20 }, &mut rng)
+    })
+}
+
+/// A router that pads shortest paths with a detour through a random
+/// neighbor — delivered, valid, but stretched.
+struct Detour<'a> {
+    g: &'a Graph,
+}
+
+impl Router for Detour<'_> {
+    fn route(&self, src: NodeId, dst: NodeId) -> RouteTrace {
+        let sp = dijkstra(self.g, src);
+        let Some(mut path) = sp.path_to(dst) else {
+            return RouteTrace { path: vec![src], cost: 0, delivered: false };
+        };
+        // Detour: bounce to src's first neighbor and back before going.
+        if let Some((nb, w)) = self.g.edges_of(src).next() {
+            if nb != dst {
+                let mut p = vec![src, nb, src];
+                p.extend(path.drain(1..));
+                let cost = sp.d(dst) + 2 * w;
+                return RouteTrace { path: p, cost, delivered: true };
+            }
+        }
+        let cost = sp.d(dst);
+        RouteTrace { path, cost, delivered: true }
+    }
+    fn name(&self) -> &str {
+        "detour"
+    }
+    fn node_storage_bits(&self, _v: NodeId) -> u64 {
+        1
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Genuine shortest-path walks always validate.
+    #[test]
+    fn real_walks_validate(g in arb_graph()) {
+        let sp = dijkstra(&g, NodeId(0));
+        for v in 0..g.n() as u32 {
+            if let Some(path) = sp.path_to(NodeId(v)) {
+                let t = RouteTrace { path, cost: sp.d(NodeId(v)), delivered: true };
+                prop_assert_eq!(validate_trace(&g, NodeId(0), NodeId(v), &t), Ok(()));
+            }
+        }
+    }
+
+    /// Inflating or deflating the claimed cost is always caught.
+    #[test]
+    fn cost_fraud_detected(g in arb_graph(), delta in 1u64..50) {
+        let sp = dijkstra(&g, NodeId(0));
+        for v in 1..g.n() as u32 {
+            if let Some(path) = sp.path_to(NodeId(v)) {
+                if path.len() < 2 { continue; }
+                let t = RouteTrace {
+                    path,
+                    cost: sp.d(NodeId(v)) + delta,
+                    delivered: true,
+                };
+                let caught = matches!(
+                    validate_trace(&g, NodeId(0), NodeId(v), &t),
+                    Err(TraceError::CostMismatch { .. })
+                );
+                prop_assert!(caught, "cost fraud not detected");
+                break;
+            }
+        }
+    }
+
+    /// Splicing a non-edge into a walk is always caught.
+    #[test]
+    fn teleport_detected(g in arb_graph()) {
+        // Find any non-adjacent pair and claim a direct hop.
+        for u in 0..g.n() as u32 {
+            for v in 0..g.n() as u32 {
+                if u != v && g.edge_weight(NodeId(u), NodeId(v)).is_none() {
+                    let t = RouteTrace {
+                        path: vec![NodeId(u), NodeId(v)],
+                        cost: 1,
+                        delivered: true,
+                    };
+                    let caught = matches!(
+                        validate_trace(&g, NodeId(u), NodeId(v), &t),
+                        Err(TraceError::NotAnEdge { .. })
+                    );
+                    prop_assert!(caught, "teleport not detected");
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Evaluator aggregates are consistent: 1 ≤ p50 ≤ p99 ≤ max, and a
+    /// detouring router shows strictly positive mean stretch inflation.
+    #[test]
+    fn evaluator_orders_statistics(g in arb_graph()) {
+        let d = graphkit::metrics::apsp(&g);
+        if !d.connected() { return Ok(()); }
+        let r = Detour { g: &g };
+        let stats = evaluate(&g, &d, &r, &pairs::all(g.n()));
+        prop_assert_eq!(stats.failures, 0);
+        prop_assert!(stats.p50_stretch >= 1.0 - 1e-12);
+        prop_assert!(stats.p50_stretch <= stats.p99_stretch + 1e-12);
+        prop_assert!(stats.p99_stretch <= stats.max_stretch + 1e-12);
+        prop_assert!(stats.mean_stretch >= 1.0);
+    }
+}

@@ -1,0 +1,488 @@
+//! Name-independent error-reporting routing on *cover trees* — the
+//! paper's Lemma 7 (the AGM DISC'04 single-tree scheme with the
+//! Lemma 5 labels).
+//!
+//! Unlike the Lemma 4 scheme (which trades a `j`-bounded search depth
+//! against cost), this scheme pays a *fixed* cost of at most
+//! `4·rad(T) + 2k·maxE(T)` per lookup, hit or miss:
+//!
+//! 1. climb from the source to the root (≤ rad);
+//! 2. descend to the *directory node* at DFS position `h(target) mod m`
+//!    (≤ rad along the path, plus at most `2·maxE` per B-tree sibling
+//!    correction at high-degree nodes, at most `k` of them per such
+//!    node — the `2k·maxE` term);
+//! 3. the directory node stores the labels of every tree node hashing
+//!    to its position: route to the target by label (≤ 2·rad), or — for
+//!    unknown names — back to the source by the label carried in the
+//!    header (≤ 2·rad), reporting failure.
+//!
+//! Per-node storage is O(σ·log² m) bits: two guide tables of ≤ s =
+//! σ·⌈log m⌉ entries, the hash-bucket labels (expected O(1), verified
+//! O(log m)), and the labeled-routing info.
+
+use graphkit::bits::{bits_for_node, StorageCost};
+use graphkit::ids::ceil_log2;
+use graphkit::{Cost, NodeId, Tree, TreeIx};
+
+use crate::hashing::PolyHash;
+use crate::labeled::{LabeledTree, RouteLabel};
+
+/// Outcome of a cover-tree lookup.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoverOutcome {
+    /// Delivered to the target at total weighted cost `cost`.
+    Found {
+        /// Total weighted cost of the walk.
+        cost: Cost,
+        /// Tree index of the delivery node.
+        delivered_at: TreeIx,
+    },
+    /// Target not in this tree; the message returned to the source
+    /// having paid `cost` (closed path).
+    NotFound {
+        /// Total cost of the closed path back to the source.
+        cost: Cost,
+    },
+}
+
+impl CoverOutcome {
+    /// Total cost paid.
+    pub fn cost(&self) -> Cost {
+        match *self {
+            CoverOutcome::Found { cost, .. } => cost,
+            CoverOutcome::NotFound { cost } => cost,
+        }
+    }
+
+    /// Did the lookup deliver?
+    pub fn is_found(&self) -> bool {
+        matches!(self, CoverOutcome::Found { .. })
+    }
+}
+
+/// One level of a sibling-group guide: sampled boundaries over the DFS
+/// range `[start, end)` this guide is responsible for.
+#[derive(Clone, Debug)]
+struct Guide {
+    start: u32,
+    end: u32,
+    entries: Vec<(u32, TreeIx)>,
+}
+
+/// Per-node storage of the Lemma 7 scheme (beyond `µ(T,u)`).
+#[derive(Clone, Debug, Default)]
+struct CoverNode {
+    /// Sampled `(dfs_start, child)` boundaries over this node's children
+    /// (≤ s entries; group leaders when the degree exceeds s).
+    child_guide: Vec<(u32, TreeIx)>,
+    /// Guides for each sibling group this node leads, one per nesting
+    /// level (a group leader also leads its own sub-group, so the
+    /// tightest guide covering a position always makes progress).
+    sibling_guides: Vec<Guide>,
+    /// Directory bucket: labels of tree nodes whose hash position equals
+    /// this node's DFS number.
+    bucket: Vec<(u32, RouteLabel)>,
+}
+
+/// A tree equipped with the Lemma 7 name-independent scheme.
+#[derive(Clone, Debug)]
+pub struct CoverTreeRouter {
+    labeled: LabeledTree,
+    hash: PolyHash,
+    nodes: Vec<CoverNode>,
+    /// Guide fanout s = σ·⌈log m⌉.
+    fanout: usize,
+    /// Worst-case B-tree depth over all nodes (reported by experiments).
+    max_guide_depth: u32,
+}
+
+impl CoverTreeRouter {
+    /// Build with fanout `s = max(2, σ·⌈log₂ m⌉)`.
+    pub fn new(tree: Tree, sigma: u64, seed: u64) -> Self {
+        let m = tree.size();
+        let fanout = ((sigma as usize) * (ceil_log2(m.max(2) as u64) as usize).max(1)).max(2);
+        let labeled = LabeledTree::new(tree);
+        let hash = PolyHash::new(PolyHash::degree_for(m), seed);
+        let mut s = CoverTreeRouter {
+            labeled,
+            hash,
+            nodes: vec![CoverNode::default(); m],
+            fanout,
+            max_guide_depth: 0,
+        };
+        s.build_guides();
+        s.build_buckets();
+        s
+    }
+
+    fn build_guides(&mut self) {
+        let m = self.labeled.tree().size() as u32;
+        for x in 0..m {
+            // Children sorted by dfs_in (DFS assigns contiguous intervals).
+            let mut kids: Vec<TreeIx> = self.labeled.tree().children(x).to_vec();
+            kids.sort_unstable_by_key(|&c| self.labeled.local(c).dfs_in);
+            if kids.is_empty() {
+                continue;
+            }
+            let depth = self.assign_guide_level(GuideOwner::Node(x), &kids, 1);
+            self.max_guide_depth = self.max_guide_depth.max(depth);
+        }
+    }
+
+    /// Recursively spread the boundary table of `slice` (a run of
+    /// siblings) over group leaders. Returns the B-tree depth used.
+    fn assign_guide_level(&mut self, owner: GuideOwner, slice: &[TreeIx], level: u32) -> u32 {
+        let entries: Vec<(u32, TreeIx)>;
+        let mut max_depth = level;
+        if slice.len() <= self.fanout {
+            entries = slice.iter().map(|&c| (self.labeled.local(c).dfs_in, c)).collect();
+        } else {
+            // Split into `fanout` groups; record group leaders here and
+            // recurse into each group via its leader.
+            let group = slice.len().div_ceil(self.fanout);
+            let mut leaders = Vec::new();
+            for chunk in slice.chunks(group) {
+                let leader = chunk[0];
+                leaders.push((self.labeled.local(leader).dfs_in, leader));
+                if chunk.len() > 1 {
+                    let d = self.assign_guide_level(GuideOwner::Leader(leader), chunk, level + 1);
+                    max_depth = max_depth.max(d);
+                }
+            }
+            entries = leaders;
+        }
+        match owner {
+            GuideOwner::Node(x) => self.nodes[x as usize].child_guide = entries,
+            GuideOwner::Leader(l) => {
+                // The DFS range this guide covers: from the first member's
+                // subtree start to the last member's subtree end.
+                let start = self.labeled.local(slice[0]).dfs_in;
+                let end = self.labeled.local(*slice.last().unwrap()).dfs_out;
+                self.nodes[l as usize].sibling_guides.push(Guide { start, end, entries });
+            }
+        }
+        max_depth
+    }
+
+    fn build_buckets(&mut self) {
+        let m = self.labeled.tree().size();
+        for t in 0..m as u32 {
+            let gid = self.labeled.tree().graph_id(t).0;
+            let pos = self.position_of(NodeId(gid));
+            let owner = self.labeled.node_at_dfs(pos);
+            let label = self.labeled.label(t).clone();
+            self.nodes[owner as usize].bucket.push((gid, label));
+        }
+    }
+
+    /// DFS position responsible for a network id.
+    fn position_of(&self, target: NodeId) -> u32 {
+        (self.hash.eval(target.0 as u64) % self.labeled.tree().size() as u64) as u32
+    }
+
+    /// The underlying labeled scheme (and physical tree).
+    pub fn labeled(&self) -> &LabeledTree {
+        &self.labeled
+    }
+
+    /// Guide fanout s.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Deepest guide B-tree in this instance (1 = no grouping anywhere).
+    pub fn max_guide_depth(&self) -> u32 {
+        self.max_guide_depth
+    }
+
+    /// Lemma 7 cost budget for this tree: `4·rad(T) + 2k·maxE(T)` where
+    /// `k` is the worst guide depth (≤ ⌈log_s(max degree)⌉).
+    pub fn cost_budget(&self) -> Cost {
+        let t = self.labeled.tree();
+        4 * t.radius() + 2 * self.max_guide_depth.max(1) as u64 * t.max_edge()
+    }
+
+    /// Route from tree node `from` toward the network id `target`,
+    /// using only per-node storage plus an O(log² n) header (the target
+    /// id, the source label, and — once learned — the target label).
+    /// Returns the outcome and the full node path walked.
+    pub fn route(&self, from: TreeIx, target: NodeId) -> (CoverOutcome, Vec<TreeIx>) {
+        let tree = self.labeled.tree();
+        let mut cost: Cost = 0;
+        let mut path = vec![from];
+        let source_label = self.labeled.label(from).clone(); // carried in the header
+        let mut at = from;
+        // Short-circuit: the source is the target.
+        if tree.graph_id(at) == target {
+            return (CoverOutcome::Found { cost: 0, delivered_at: at }, path);
+        }
+        // Phase 1: climb to the root.
+        while let Some(p) = tree.parent(at) {
+            cost += tree.parent_weight(at);
+            at = p;
+            path.push(at);
+        }
+        // Phase 2: descend to the directory position.
+        let pos = self.position_of(target);
+        loop {
+            let me = self.labeled.local(at);
+            if me.dfs_in == pos {
+                break;
+            }
+            debug_assert!(pos > me.dfs_in && pos < me.dfs_out, "descent left the interval");
+            // Pick from my child guide the last boundary ≤ pos.
+            let mut next = guide_pick(&self.nodes[at as usize].child_guide, pos)
+                .expect("interior node with target below must have a guide entry");
+            cost += edge_w(tree, at, next);
+            let parent = at;
+            path.push(next);
+            // Sibling corrections while pos is not inside `next`'s subtree:
+            // consult the *tightest* guide at `next` covering pos. A group
+            // leader also leads its own sub-groups, so the tightest guide
+            // never returns `next` itself — each correction strictly
+            // descends one guide level.
+            let mut guard = 0;
+            while !{
+                let l = self.labeled.local(next);
+                pos >= l.dfs_in && pos < l.dfs_out
+            } {
+                let cand = self.nodes[next as usize]
+                    .sibling_guides
+                    .iter()
+                    .filter(|g| g.start <= pos && pos < g.end)
+                    .min_by_key(|g| g.end - g.start)
+                    .and_then(|g| guide_pick(&g.entries, pos))
+                    .expect("a sibling guide must cover the position");
+                assert_ne!(cand, next, "sibling guide made no progress");
+                // Correction: next -> parent -> cand (2 edges).
+                cost += edge_w(tree, next, parent) + edge_w(tree, parent, cand);
+                path.push(parent);
+                path.push(cand);
+                next = cand;
+                guard += 1;
+                assert!(guard <= self.max_guide_depth + 1, "guide descent diverged");
+            }
+            at = next;
+        }
+        // Phase 3: directory lookup.
+        let hit = self.nodes[at as usize]
+            .bucket
+            .iter()
+            .find(|(gid, _)| *gid == target.0)
+            .map(|(_, l)| l.clone());
+        match hit {
+            Some(label) => {
+                let (mut walk, c) =
+                    self.labeled.route(at, &label).expect("bucket label must route");
+                cost += c;
+                let delivered_at = *walk.last().unwrap();
+                walk.remove(0);
+                path.extend(walk);
+                (CoverOutcome::Found { cost, delivered_at }, path)
+            }
+            None => {
+                // Unknown name: report failure back to the source using
+                // the header's source label.
+                let (mut walk, c) =
+                    self.labeled.route(at, &source_label).expect("source label must route");
+                cost += c;
+                walk.remove(0);
+                path.extend(walk);
+                (CoverOutcome::NotFound { cost }, path)
+            }
+        }
+    }
+
+    /// Storage bits of tree node `t` under this scheme (φ(T,t) in the
+    /// paper's notation).
+    pub fn node_bits(&self, t: TreeIx) -> u64 {
+        let m = self.labeled.tree().size();
+        let b = bits_for_node(m);
+        let node = &self.nodes[t as usize];
+        let mut bits = self.labeled.local_bits(t) + self.hash.storage_bits();
+        bits += node.child_guide.len() as u64 * 2 * b;
+        for g in &node.sibling_guides {
+            bits += 2 * b + g.entries.len() as u64 * 2 * b;
+        }
+        for (_, label) in &node.bucket {
+            bits += b + self.label_bits(label);
+        }
+        // The header-resident source label is storage at the source too.
+        bits + self.label_bits(self.labeled.label(t))
+    }
+
+    fn label_bits(&self, label: &RouteLabel) -> u64 {
+        let b = bits_for_node(self.labeled.tree().size());
+        b + label.light_path.len() as u64 * 2 * b + b
+    }
+
+    /// Largest directory bucket (w.h.p. O(log m / log log m)).
+    pub fn max_bucket(&self) -> usize {
+        self.nodes.iter().map(|n| n.bucket.len()).max().unwrap_or(0)
+    }
+}
+
+enum GuideOwner {
+    Node(TreeIx),
+    Leader(TreeIx),
+}
+
+/// Last guide entry with boundary ≤ pos.
+fn guide_pick(guide: &[(u32, TreeIx)], pos: u32) -> Option<TreeIx> {
+    let i = guide.partition_point(|&(b, _)| b <= pos);
+    if i == 0 {
+        None
+    } else {
+        Some(guide[i - 1].1)
+    }
+}
+
+/// Weight of the tree edge between adjacent nodes.
+fn edge_w(tree: &Tree, a: TreeIx, b: TreeIx) -> Cost {
+    if tree.parent(a) == Some(b) {
+        tree.parent_weight(a)
+    } else {
+        debug_assert_eq!(tree.parent(b), Some(a));
+        tree.parent_weight(b)
+    }
+}
+
+impl StorageCost for CoverTreeRouter {
+    fn storage_bits(&self) -> u64 {
+        (0..self.labeled.tree().size() as u32).map(|t| self.node_bits(t)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphkit::gen::{self, WeightDist};
+    use graphkit::{dijkstra, Graph};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn spanning_tree(g: &Graph, root: NodeId) -> Tree {
+        let sp = dijkstra::dijkstra(g, root);
+        Tree::from_sssp(g, &sp, g.nodes())
+    }
+
+    fn check_all_lookups(r: &CoverTreeRouter) {
+        let m = r.labeled().tree().size() as u32;
+        let budget = r.cost_budget();
+        for from in 0..m {
+            for t in 0..m {
+                let target = r.labeled().tree().graph_id(t);
+                let (outcome, path) = r.route(from, target);
+                match outcome {
+                    CoverOutcome::Found { cost, delivered_at } => {
+                        assert_eq!(delivered_at, t);
+                        assert_eq!(*path.last().unwrap(), t);
+                        assert!(
+                            cost <= budget,
+                            "cost {cost} > budget {budget} ({from}->{t})"
+                        );
+                    }
+                    CoverOutcome::NotFound { .. } => panic!("missed in-tree node {t}"),
+                }
+            }
+        }
+    }
+
+    fn check_misses(r: &CoverTreeRouter, absent: &[u32]) {
+        let m = r.labeled().tree().size() as u32;
+        let budget = r.cost_budget();
+        for &gid in absent {
+            for from in (0..m).step_by(7) {
+                let (outcome, path) = r.route(from, NodeId(gid));
+                match outcome {
+                    CoverOutcome::Found { .. } => panic!("found absent id {gid}"),
+                    CoverOutcome::NotFound { cost } => {
+                        assert_eq!(*path.last().unwrap(), from, "miss must return to source");
+                        assert!(cost <= budget, "miss cost {cost} > budget {budget}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_tree() {
+        let g = gen::path(20, 3);
+        let r = CoverTreeRouter::new(spanning_tree(&g, NodeId(0)), 3, 1);
+        check_all_lookups(&r);
+        check_misses(&r, &[500, 501]);
+    }
+
+    #[test]
+    fn random_tree() {
+        let mut rng = SmallRng::seed_from_u64(50);
+        let g = gen::random_tree(90, WeightDist::UniformInt { lo: 1, hi: 9 }, &mut rng);
+        let r = CoverTreeRouter::new(spanning_tree(&g, NodeId(4)), 3, 2);
+        check_all_lookups(&r);
+        check_misses(&r, &[7777]);
+    }
+
+    #[test]
+    fn high_degree_star_exercises_guides() {
+        // Star of degree 150 with sigma = 2: fanout = 2*8 = 16 < 150, so
+        // descent must use sibling guides; the cost bound still holds.
+        let g = gen::star(151, 4);
+        let r = CoverTreeRouter::new(spanning_tree(&g, NodeId(0)), 2, 3);
+        assert!(r.max_guide_depth() >= 2, "star must trigger grouped guides");
+        check_all_lookups(&r);
+        check_misses(&r, &[99999]);
+    }
+
+    #[test]
+    fn caterpillar_tree() {
+        let mut rng = SmallRng::seed_from_u64(51);
+        let g = gen::caterpillar(10, 6, WeightDist::UniformInt { lo: 1, hi: 5 }, &mut rng);
+        let r = CoverTreeRouter::new(spanning_tree(&g, NodeId(0)), 3, 4);
+        check_all_lookups(&r);
+    }
+
+    #[test]
+    fn deep_guides_only_when_needed() {
+        let mut rng = SmallRng::seed_from_u64(52);
+        let g = gen::random_tree(100, WeightDist::Unit, &mut rng);
+        let r = CoverTreeRouter::new(spanning_tree(&g, NodeId(0)), 4, 5);
+        // Random recursive trees have max degree ~log n < fanout.
+        assert_eq!(r.max_guide_depth(), 1);
+    }
+
+    #[test]
+    fn buckets_cover_every_node() {
+        let mut rng = SmallRng::seed_from_u64(53);
+        let g = gen::random_tree(120, WeightDist::Unit, &mut rng);
+        let r = CoverTreeRouter::new(spanning_tree(&g, NodeId(0)), 3, 6);
+        let total: usize = r.nodes.iter().map(|n| n.bucket.len()).sum();
+        assert_eq!(total, 120);
+        // Max load stays logarithmic-ish.
+        assert!(r.max_bucket() <= 16, "bucket load {}", r.max_bucket());
+    }
+
+    #[test]
+    fn storage_within_lemma_bound() {
+        // Lemma 7: O(k n^{1/k} log n) per node — ours is O(σ log² m);
+        // assert with an explicit constant.
+        let mut rng = SmallRng::seed_from_u64(54);
+        let g = gen::random_tree(200, WeightDist::Unit, &mut rng);
+        let sigma = 3u64;
+        let r = CoverTreeRouter::new(spanning_tree(&g, NodeId(0)), sigma, 7);
+        let log = ceil_log2(200) as u64;
+        let bound = 64 * sigma * log * log;
+        for t in 0..200u32 {
+            assert!(r.node_bits(t) <= bound, "node {t}: {} > {bound}", r.node_bits(t));
+        }
+    }
+
+    #[test]
+    fn singleton_tree() {
+        let t = Tree::from_parents(vec![5], vec![u32::MAX], vec![0]);
+        let r = CoverTreeRouter::new(t, 2, 8);
+        let (outcome, _) = r.route(0, NodeId(5));
+        assert_eq!(outcome, CoverOutcome::Found { cost: 0, delivered_at: 0 });
+        let (outcome, _) = r.route(0, NodeId(9));
+        assert_eq!(outcome, CoverOutcome::NotFound { cost: 0 });
+    }
+}

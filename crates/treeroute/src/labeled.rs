@@ -1,0 +1,435 @@
+//! Labeled (topology-dependent-name) tree routing — the paper's Lemma 5
+//! (Fraigniaud–Gavoille ICALP'01, Thorup–Zwick SPAA'01).
+//!
+//! Given a rooted weighted tree, every node gets a *label*; a message
+//! carrying the destination label is forwarded along the unique tree
+//! path using only the local node's O(log n)-bit routing info plus the
+//! label. Our variant is the heavy-path scheme:
+//!
+//! * nodes are numbered by heavy-first DFS, so each subtree is a
+//!   contiguous interval;
+//! * per-node info `µ(T,u)`: own interval, heavy-child interval, light
+//!   depth — O(log n) bits;
+//! * label `λ(T,v)`: v's DFS number plus one entry per *light* edge on
+//!   the root→v path — O(log² n) bits worst case.
+//!
+//! Lemma 5 as stated trades storage `O(m^{1/k} log m)` against labels
+//! `O(k log m)`; our point on the frontier has strictly smaller storage
+//! (`O(log m)`) and `O(log² m)` labels, which keeps every storage bound
+//! downstream within Theorem 1's `O(k² n^{1/k} log³ n)` (see DESIGN.md).
+
+use graphkit::bits::{bits_for_node, StorageCost};
+use graphkit::{Cost, Tree, TreeIx};
+
+/// One light edge on the root→v path: the light child entered, plus its
+/// DFS number (used to sanity-check foreign labels).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LightHop {
+    /// DFS number of the light child entered.
+    pub child_dfs: u32,
+    /// Physical port: the tree index of that child.
+    pub child: TreeIx,
+}
+
+/// Destination label `λ(T,v)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteLabel {
+    /// DFS number of the destination.
+    pub dfs: u32,
+    /// Light edges on the root→destination path, in order.
+    pub light_path: Vec<LightHop>,
+}
+
+/// Per-node routing information `µ(T,u)`.
+#[derive(Clone, Debug)]
+pub struct NodeLocal {
+    /// Own DFS number (= interval start).
+    pub dfs_in: u32,
+    /// Interval end, exclusive: the subtree of `u` is `[dfs_in, dfs_out)`.
+    pub dfs_out: u32,
+    /// Heavy child's `(dfs_in, dfs_out, tree index)`, absent at leaves.
+    pub heavy: Option<(u32, u32, TreeIx)>,
+    /// Number of light edges on the root→u path.
+    pub light_depth: u32,
+}
+
+/// Outcome of a single local forwarding decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// The current node is the destination.
+    Deliver,
+    /// Forward to this tree neighbor.
+    Forward(TreeIx),
+    /// The label does not belong to this tree (or is corrupt).
+    NotInTree,
+}
+
+/// A tree equipped with the labeled routing scheme.
+#[derive(Clone, Debug)]
+pub struct LabeledTree {
+    tree: Tree,
+    locals: Vec<NodeLocal>,
+    labels: Vec<RouteLabel>,
+    /// `dfs_order[d]` = tree index of the node with DFS number `d`.
+    dfs_order: Vec<TreeIx>,
+}
+
+impl LabeledTree {
+    /// Preprocess `tree` for labeled routing. O(m) time.
+    pub fn new(tree: Tree) -> Self {
+        let m = tree.size();
+        // Subtree sizes by iterative post-order.
+        let mut sizes = vec![1u32; m];
+        let order = post_order(&tree);
+        for &t in &order {
+            if let Some(p) = tree.parent(t) {
+                sizes[p as usize] += sizes[t as usize];
+            }
+        }
+        // Heavy child per node: max subtree size, ties to smaller index.
+        let mut heavy_child: Vec<Option<TreeIx>> = vec![None; m];
+        for t in 0..m as u32 {
+            let mut best: Option<TreeIx> = None;
+            for &c in tree.children(t) {
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        sizes[c as usize] > sizes[b as usize]
+                            || (sizes[c as usize] == sizes[b as usize] && c < b)
+                    }
+                };
+                if better {
+                    best = Some(c);
+                }
+            }
+            heavy_child[t as usize] = best;
+        }
+        // Heavy-first DFS: assign dfs_in/out, light depth, labels.
+        let mut locals: Vec<NodeLocal> = (0..m)
+            .map(|_| NodeLocal { dfs_in: 0, dfs_out: 0, heavy: None, light_depth: 0 })
+            .collect();
+        let mut labels: Vec<RouteLabel> =
+            (0..m).map(|_| RouteLabel { dfs: 0, light_path: Vec::new() }).collect();
+        let mut dfs_order = vec![0 as TreeIx; m];
+        // Stack carries (node, light_path up to node).
+        let mut counter: u32 = 0;
+        // Explicit stack of (node, entered-via-light: Option<parent light path len snapshot>).
+        // We rebuild light paths incrementally: store each node's light
+        // path directly in its label (paths share prefixes; total size is
+        // O(m log m) worst case which is fine at our scales).
+        let mut stack: Vec<(TreeIx, Vec<LightHop>, u32)> = vec![(tree.root(), Vec::new(), 0)];
+        while let Some((t, lp, ld)) = stack.pop() {
+            let dfs = counter;
+            counter += 1;
+            dfs_order[dfs as usize] = t;
+            locals[t as usize].dfs_in = dfs;
+            locals[t as usize].light_depth = ld;
+            labels[t as usize] = RouteLabel { dfs, light_path: lp.clone() };
+            // Push children: light ones (reverse order) then heavy, so the
+            // heavy child is visited first and gets dfs_in + 1.
+            let hc = heavy_child[t as usize];
+            let mut lights: Vec<TreeIx> =
+                tree.children(t).iter().copied().filter(|&c| Some(c) != hc).collect();
+            lights.sort_unstable_by(|a, b| b.cmp(a)); // reversed push order
+            for c in lights {
+                let mut clp = lp.clone();
+                clp.push(LightHop { child_dfs: 0, child: c }); // dfs filled later
+                stack.push((c, clp, ld + 1));
+            }
+            if let Some(h) = hc {
+                stack.push((h, lp, ld));
+            }
+        }
+        debug_assert_eq!(counter as usize, m);
+        // dfs_out by post-order accumulation: out = max over subtree + 1.
+        let mut outs: Vec<u32> = locals.iter().map(|l| l.dfs_in + 1).collect();
+        for &t in &order {
+            if let Some(p) = tree.parent(t) {
+                outs[p as usize] = outs[p as usize].max(outs[t as usize]);
+            }
+        }
+        for t in 0..m {
+            locals[t].dfs_out = outs[t];
+        }
+        // Fill heavy intervals and patch light-hop child_dfs values.
+        for t in 0..m as u32 {
+            if let Some(h) = heavy_child[t as usize] {
+                locals[t as usize].heavy =
+                    Some((locals[h as usize].dfs_in, locals[h as usize].dfs_out, h));
+            }
+        }
+        for label in &mut labels {
+            for hop in &mut label.light_path {
+                hop.child_dfs = locals[hop.child as usize].dfs_in;
+            }
+        }
+        LabeledTree { tree, locals, labels, dfs_order }
+    }
+
+    /// The underlying physical tree.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Label of tree node `t`.
+    pub fn label(&self, t: TreeIx) -> &RouteLabel {
+        &self.labels[t as usize]
+    }
+
+    /// Local routing info of tree node `t`.
+    pub fn local(&self, t: TreeIx) -> &NodeLocal {
+        &self.locals[t as usize]
+    }
+
+    /// Tree node with DFS number `d`.
+    pub fn node_at_dfs(&self, d: u32) -> TreeIx {
+        self.dfs_order[d as usize]
+    }
+
+    /// One forwarding decision at `at` toward `label` — uses only
+    /// `µ(T,at)` and the label (plus physical ports).
+    pub fn route_step(&self, at: TreeIx, label: &RouteLabel) -> Step {
+        let me = &self.locals[at as usize];
+        if label.dfs == me.dfs_in {
+            return Step::Deliver;
+        }
+        if label.dfs < me.dfs_in || label.dfs >= me.dfs_out {
+            // Destination outside my subtree: go up.
+            return match self.tree.parent(at) {
+                Some(p) => Step::Forward(p),
+                None => Step::NotInTree,
+            };
+        }
+        if let Some((hi, ho, hc)) = me.heavy {
+            if label.dfs >= hi && label.dfs < ho {
+                return Step::Forward(hc);
+            }
+        }
+        // Destination is in one of my light subtrees; the light path
+        // entry at index `light_depth` is the edge leaving me.
+        match label.light_path.get(me.light_depth as usize) {
+            Some(hop) if hop.child_dfs > me.dfs_in && hop.child_dfs < me.dfs_out => {
+                Step::Forward(hop.child)
+            }
+            _ => Step::NotInTree,
+        }
+    }
+
+    /// Route from `from` to the node carrying `label`. Returns the visited
+    /// tree path (inclusive) and its cost, or `None` for foreign labels.
+    pub fn route(&self, from: TreeIx, label: &RouteLabel) -> Option<(Vec<TreeIx>, Cost)> {
+        let mut at = from;
+        let mut path = vec![at];
+        let mut cost: Cost = 0;
+        // A tree walk never revisits nodes; size() + 1 steps means a bug.
+        for _ in 0..=self.tree.size() {
+            match self.route_step(at, label) {
+                Step::Deliver => return Some((path, cost)),
+                Step::NotInTree => return None,
+                Step::Forward(next) => {
+                    cost += edge_weight(&self.tree, at, next);
+                    at = next;
+                    path.push(at);
+                }
+            }
+        }
+        panic!("labeled routing failed to terminate — broken invariants");
+    }
+
+    /// Max light-path length over all labels (≤ ceil(log2 m)).
+    pub fn max_light_depth(&self) -> u32 {
+        self.locals.iter().map(|l| l.light_depth).max().unwrap_or(0)
+    }
+
+    /// Storage bits of `µ(T,t)` for one node.
+    pub fn local_bits(&self, t: TreeIx) -> u64 {
+        let b = bits_for_node(self.tree.size());
+        // dfs_in + dfs_out + heavy option (2 interval ends + port) + light depth.
+        let heavy = 1 + if self.locals[t as usize].heavy.is_some() { 3 * b } else { 0 };
+        2 * b + heavy + b
+    }
+
+    /// Storage bits of `λ(T,t)`.
+    pub fn label_bits(&self, t: TreeIx) -> u64 {
+        let b = bits_for_node(self.tree.size());
+        let hops = self.labels[t as usize].light_path.len() as u64;
+        b + hops * 2 * b + bits_for_node(self.tree.size()) // dfs + hops + length field
+    }
+}
+
+impl StorageCost for RouteLabel {
+    fn storage_bits(&self) -> u64 {
+        // Conservative: 32-bit fields; schemes that know their tree size
+        // should prefer `LabeledTree::label_bits`.
+        32 + self.light_path.len() as u64 * 64
+    }
+}
+
+/// Weight of the tree edge between adjacent nodes `a` and `b`.
+fn edge_weight(tree: &Tree, a: TreeIx, b: TreeIx) -> Cost {
+    if tree.parent(a) == Some(b) {
+        tree.parent_weight(a)
+    } else {
+        debug_assert_eq!(tree.parent(b), Some(a), "route step between non-adjacent nodes");
+        tree.parent_weight(b)
+    }
+}
+
+/// Iterative post-order (children before parents).
+fn post_order(tree: &Tree) -> Vec<TreeIx> {
+    let m = tree.size();
+    let mut order = Vec::with_capacity(m);
+    let mut stack = vec![tree.root()];
+    while let Some(t) = stack.pop() {
+        order.push(t);
+        stack.extend_from_slice(tree.children(t));
+    }
+    order.reverse(); // reverse preorder = valid post-order for size sums
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphkit::gen::{self, WeightDist};
+    use graphkit::{dijkstra, Graph, NodeId, Tree};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn spanning_tree(g: &Graph, root: NodeId) -> Tree {
+        let sp = dijkstra::dijkstra(g, root);
+        Tree::from_sssp(g, &sp, g.nodes())
+    }
+
+    fn check_all_pairs(lt: &LabeledTree) {
+        let m = lt.tree().size() as u32;
+        for s in 0..m {
+            for t in 0..m {
+                let (path, cost) =
+                    lt.route(s, lt.label(t)).expect("in-tree label must route");
+                assert_eq!(*path.first().unwrap(), s);
+                assert_eq!(*path.last().unwrap(), t);
+                // Optimality: cost equals the unique tree distance.
+                assert_eq!(cost, lt.tree().tree_distance(s, t), "suboptimal {s}->{t}");
+                // Path length equals tree path length (no detours).
+                assert_eq!(path.len(), lt.tree().tree_path(s, t).len());
+            }
+        }
+    }
+
+    #[test]
+    fn path_tree_routes_exactly() {
+        let g = gen::path(10, 3);
+        let lt = LabeledTree::new(spanning_tree(&g, NodeId(0)));
+        check_all_pairs(&lt);
+    }
+
+    #[test]
+    fn star_routes_exactly() {
+        let g = gen::star(12, 2);
+        let lt = LabeledTree::new(spanning_tree(&g, NodeId(0)));
+        check_all_pairs(&lt);
+    }
+
+    #[test]
+    fn balanced_tree_routes_exactly() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let g = gen::balanced_tree(3, 3, WeightDist::UniformInt { lo: 1, hi: 9 }, &mut rng);
+        let lt = LabeledTree::new(spanning_tree(&g, NodeId(0)));
+        check_all_pairs(&lt);
+    }
+
+    #[test]
+    fn random_trees_route_exactly() {
+        for seed in 0..5 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = gen::random_tree(60, WeightDist::UniformInt { lo: 1, hi: 20 }, &mut rng);
+            // Root somewhere non-trivial.
+            let lt = LabeledTree::new(spanning_tree(&g, NodeId(7)));
+            check_all_pairs(&lt);
+        }
+    }
+
+    #[test]
+    fn caterpillar_routes_exactly() {
+        let mut rng = SmallRng::seed_from_u64(32);
+        let g = gen::caterpillar(8, 4, WeightDist::Unit, &mut rng);
+        let lt = LabeledTree::new(spanning_tree(&g, NodeId(0)));
+        check_all_pairs(&lt);
+    }
+
+    #[test]
+    fn dfs_numbers_are_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(33);
+        let g = gen::random_tree(100, WeightDist::Unit, &mut rng);
+        let lt = LabeledTree::new(spanning_tree(&g, NodeId(0)));
+        let mut seen = [false; 100];
+        for t in 0..100u32 {
+            let d = lt.local(t).dfs_in as usize;
+            assert!(!seen[d]);
+            seen[d] = true;
+            assert_eq!(lt.node_at_dfs(d as u32), t);
+        }
+    }
+
+    #[test]
+    fn subtree_intervals_nest() {
+        let mut rng = SmallRng::seed_from_u64(34);
+        let g = gen::random_tree(80, WeightDist::Unit, &mut rng);
+        let lt = LabeledTree::new(spanning_tree(&g, NodeId(0)));
+        for t in 0..80u32 {
+            let me = lt.local(t);
+            assert!(me.dfs_in < me.dfs_out);
+            for &c in lt.tree().children(t) {
+                let ch = lt.local(c);
+                assert!(me.dfs_in < ch.dfs_in && ch.dfs_out <= me.dfs_out);
+            }
+            if let Some((hi, ho, hc)) = me.heavy {
+                assert_eq!(hi, me.dfs_in + 1, "heavy child must be visited first");
+                assert_eq!(lt.local(hc).dfs_in, hi);
+                assert_eq!(lt.local(hc).dfs_out, ho);
+            }
+        }
+    }
+
+    #[test]
+    fn light_depth_is_logarithmic() {
+        let mut rng = SmallRng::seed_from_u64(35);
+        let g = gen::random_tree(512, WeightDist::Unit, &mut rng);
+        let lt = LabeledTree::new(spanning_tree(&g, NodeId(0)));
+        // Heavy-path decomposition: light depth <= log2(m).
+        assert!(lt.max_light_depth() <= 9, "light depth {}", lt.max_light_depth());
+    }
+
+    #[test]
+    fn foreign_label_rejected() {
+        let g1 = gen::path(6, 1);
+        let lt1 = LabeledTree::new(spanning_tree(&g1, NodeId(0)));
+        // A label with a DFS number past the tree size cannot route.
+        let bogus = RouteLabel { dfs: 99, light_path: vec![] };
+        assert_eq!(lt1.route(3, &bogus), None);
+    }
+
+    #[test]
+    fn singleton_tree_delivers_immediately() {
+        let t = Tree::from_parents(vec![0], vec![u32::MAX], vec![0]);
+        let lt = LabeledTree::new(t);
+        let (path, cost) = lt.route(0, lt.label(0)).unwrap();
+        assert_eq!(path, vec![0]);
+        assert_eq!(cost, 0);
+    }
+
+    #[test]
+    fn storage_bits_reasonable() {
+        let mut rng = SmallRng::seed_from_u64(36);
+        let g = gen::random_tree(256, WeightDist::Unit, &mut rng);
+        let lt = LabeledTree::new(spanning_tree(&g, NodeId(0)));
+        let b = graphkit::bits::bits_for_node(256); // 8
+        for t in 0..256u32 {
+            // µ is O(log m): at most 6 node-id fields + flag.
+            assert!(lt.local_bits(t) <= 6 * b + 1);
+            // λ is O(log^2 m): light depth * 2 ids + 2 ids.
+            assert!(lt.label_bits(t) <= (2 * lt.max_light_depth() as u64 + 2) * b + 64);
+        }
+    }
+}

@@ -1,0 +1,630 @@
+//! Name-independent **error-reporting** tree routing — the paper's
+//! Lemma 4 (an enhancement of Laing's scheme \[21\]).
+//!
+//! On a rooted weighted tree with `m` nodes and alphabet
+//! `Σ = {0, …, σ−1}`:
+//!
+//! * nodes are *primary-named* by distance rank from the root
+//!   ([`crate::names::Naming`]): the root is ε, the next σ nodes get
+//!   1-digit names, the next σ² get 2-digit names, …;
+//! * a Θ(log n)-wise independent hash ([`crate::hashing::PolyHash`])
+//!   maps arbitrary network ids to digit strings in Σ^k;
+//! * the node named `(x₁…x_j)` stores (1) its labeled-routing info
+//!   `µ(T,u)`, (2) the labels of all nodes named `(x₁…x_j, y)`, and
+//!   (3) a directory with the labels of the `σ·log n` closest-to-root
+//!   nodes whose hash starts with `(x₁…x_j)`.
+//!
+//! A *j-bounded search* from the root follows the target's hash digits
+//! through at most `j−1` named hops; Lemma 4 guarantees it finds any
+//! node of `V_j` (the `Σ_{t≤j} σ^t` closest nodes) with stretch
+//! `2j−1`, and otherwise reports failure back to the root at cost
+//! `(2j−2)·max{d(root,v) : v ∈ V_{j−1}}`. Both bounds are asserted by
+//! the test-suite and re-measured by experiment L4.
+
+use std::collections::HashMap;
+
+use graphkit::bits::{bits_for_node, StorageCost};
+use graphkit::ids::ceil_log2;
+use graphkit::{Cost, NodeId, Tree, TreeIx};
+
+use crate::hashing::PolyHash;
+use crate::labeled::{LabeledTree, RouteLabel};
+use crate::names::Naming;
+
+/// Per-node storage of the Lemma 4 scheme (beyond `µ(T,u)`).
+#[derive(Clone, Debug, Default)]
+pub struct LaingNode {
+    /// Item (2): labels of the name-children `(x₁…x_j, y)`, keyed by the
+    /// extra digit `y`. Sparse: only digits whose name exists.
+    pub name_children: Vec<(u32, RouteLabel)>,
+    /// Item (3): `graph id → label` for the `σ·log n` closest-to-root
+    /// nodes whose hash extends this node's name.
+    pub hash_dir: Vec<(u32, RouteLabel)>,
+}
+
+/// Outcome of a j-bounded search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SearchOutcome {
+    /// Target reached; `cost` is the total weighted path cost from the
+    /// root, `delivered_at` the tree index of the target.
+    Found {
+        /// Total weighted cost of the search walk.
+        cost: Cost,
+        /// Tree index of the target.
+        delivered_at: TreeIx,
+    },
+    /// Target not found within the bound; the search returned to the
+    /// root having paid `cost` in total (the closed-path cost).
+    NotFound {
+        /// Total cost of the closed path back to the root.
+        cost: Cost,
+    },
+}
+
+impl SearchOutcome {
+    /// Total cost paid, found or not.
+    pub fn cost(&self) -> Cost {
+        match *self {
+            SearchOutcome::Found { cost, .. } => cost,
+            SearchOutcome::NotFound { cost } => cost,
+        }
+    }
+
+    /// Did the search deliver?
+    pub fn is_found(&self) -> bool {
+        matches!(self, SearchOutcome::Found { .. })
+    }
+}
+
+/// A tree equipped with the Lemma 4 name-independent error-reporting
+/// scheme.
+#[derive(Clone, Debug)]
+pub struct ErrorReportingTree {
+    labeled: LabeledTree,
+    naming: Naming,
+    hash: PolyHash,
+    k: usize,
+    sigma: u64,
+    max_load: usize,
+    /// rank (depth order) → tree index.
+    node_of_rank: Vec<TreeIx>,
+    /// tree index → rank.
+    rank_of: Vec<u32>,
+    nodes: Vec<LaingNode>,
+    /// Whether the hash verification succeeded within the retry budget.
+    hash_verified: bool,
+}
+
+impl ErrorReportingTree {
+    /// Build with `σ = ⌈m^{1/k}⌉` (the paper's choice uses the *graph*
+    /// size; pass it explicitly via [`ErrorReportingTree::with_sigma`]).
+    pub fn new(tree: Tree, k: usize, seed: u64) -> Self {
+        let sigma = graphkit::ids::nth_root_ceil(tree.size() as u64, k as u32).max(2);
+        Self::with_sigma(tree, k, sigma, seed)
+    }
+
+    /// Build with an explicit alphabet size.
+    pub fn with_sigma(tree: Tree, k: usize, sigma: u64, seed: u64) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(sigma >= 1);
+        let m = tree.size();
+        let order = tree.nodes_by_depth();
+        let mut rank_of = vec![0u32; m];
+        for (r, &t) in order.iter().enumerate() {
+            rank_of[t as usize] = r as u32;
+        }
+        let naming = Naming::new(m, sigma);
+        let labeled = LabeledTree::new(tree);
+        // σ·log n directory budget (≥ σ + 2 so tiny trees stay correct).
+        let max_load = ((sigma as usize) * (ceil_log2(m.max(2) as u64) as usize).max(1))
+            .max(sigma as usize + 2);
+        // Hash selection with verification + reseeding.
+        let degree = PolyHash::degree_for(m);
+        let mut chosen: Option<PolyHash> = None;
+        let mut best: Option<(usize, PolyHash)> = None;
+        let mut verified = false;
+        for attempt in 0..32u64 {
+            let h = PolyHash::new(degree, seed.wrapping_add(attempt.wrapping_mul(0x9e37_79b9)));
+            let load = Self::max_prefix_load(&h, &labeled, &order, &naming, k, sigma);
+            if load <= max_load {
+                chosen = Some(h);
+                verified = true;
+                break;
+            }
+            if best.as_ref().is_none_or(|(bl, _)| load < *bl) {
+                best = Some((load, h));
+            }
+        }
+        let hash = chosen.unwrap_or_else(|| best.expect("at least one attempt").1);
+        let mut s = ErrorReportingTree {
+            labeled,
+            naming,
+            hash,
+            k,
+            sigma,
+            max_load,
+            node_of_rank: order,
+            rank_of,
+            nodes: vec![LaingNode::default(); m],
+            hash_verified: verified,
+        };
+        s.build_directories();
+        s
+    }
+
+    /// Worst prefix load of `h` over all levels (the quantity the paper
+    /// bounds by `σ·log n` w.h.p.).
+    fn max_prefix_load(
+        h: &PolyHash,
+        labeled: &LabeledTree,
+        order: &[TreeIx],
+        naming: &Naming,
+        k: usize,
+        sigma: u64,
+    ) -> usize {
+        let mut worst = 0usize;
+        for plen in 0..k.min(naming.max_level() + 1) {
+            let vj = naming.level_capacity(plen + 1);
+            let mut counts: HashMap<Vec<u32>, usize> = HashMap::new();
+            for &t in order.iter().take(vj) {
+                let gid = labeled.tree().graph_id(t).0 as u64;
+                let digits = h.digits(gid, sigma, k);
+                *counts.entry(digits[..plen].to_vec()).or_insert(0) += 1;
+            }
+            worst = worst.max(counts.values().copied().max().unwrap_or(0));
+        }
+        worst
+    }
+
+    fn build_directories(&mut self) {
+        let m = self.labeled.tree().size();
+        // Item (2): name-children labels.
+        for rank in 0..m {
+            let name = self.naming.name_of_rank(rank);
+            if name.len() >= self.k {
+                continue; // names never exceed k digits in searches
+            }
+            let mut kids = Vec::new();
+            for y in 0..self.sigma as u32 {
+                let mut child = name.clone();
+                child.push(y);
+                if let Some(cr) = self.naming.rank_of_name(&child) {
+                    let ct = self.node_of_rank[cr];
+                    kids.push((y, self.labeled.label(ct).clone()));
+                }
+            }
+            let t = self.node_of_rank[rank];
+            self.nodes[t as usize].name_children = kids;
+        }
+        // Item (3): hash directories. Group nodes by full digit string
+        // once, then for each node-with-name collect matching prefixes in
+        // rank order. Simpler: for each rank r (close to far), push its
+        // label into every ancestor-prefix node's directory that still
+        // has budget.
+        let digits_of: Vec<Vec<u32>> = (0..m)
+            .map(|rank| {
+                let gid = self.labeled.tree().graph_id(self.node_of_rank[rank]).0 as u64;
+                self.hash.digits(gid, self.sigma, self.k)
+            })
+            .collect();
+        // Map name -> tree index for prefix owners.
+        let mut owner_of_name: HashMap<Vec<u32>, TreeIx> = HashMap::new();
+        for rank in 0..m {
+            let name = self.naming.name_of_rank(rank);
+            if name.len() < self.k {
+                owner_of_name.insert(name, self.node_of_rank[rank]);
+            }
+        }
+        for rank in 0..m {
+            let t = self.node_of_rank[rank];
+            let gid = self.labeled.tree().graph_id(t).0;
+            let label = self.labeled.label(t).clone();
+            for plen in 0..=self.k.min(digits_of[rank].len()) {
+                let prefix = digits_of[rank][..plen.min(digits_of[rank].len())].to_vec();
+                if prefix.len() != plen {
+                    break;
+                }
+                if let Some(&owner) = owner_of_name.get(&prefix) {
+                    let dir = &mut self.nodes[owner as usize].hash_dir;
+                    if dir.len() < self.max_load {
+                        dir.push((gid, label.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The underlying labeled scheme (and physical tree).
+    pub fn labeled(&self) -> &LabeledTree {
+        &self.labeled
+    }
+
+    /// The naming plan.
+    pub fn naming(&self) -> &Naming {
+        &self.naming
+    }
+
+    /// Alphabet size σ.
+    pub fn sigma(&self) -> u64 {
+        self.sigma
+    }
+
+    /// Directory budget σ·log n.
+    pub fn max_load(&self) -> usize {
+        self.max_load
+    }
+
+    /// Did the hash pass the prefix-load verification?
+    pub fn hash_verified(&self) -> bool {
+        self.hash_verified
+    }
+
+    /// Distance rank of tree node `t` (0 = root).
+    pub fn rank(&self, t: TreeIx) -> u32 {
+        self.rank_of[t as usize]
+    }
+
+    /// Tree node at distance rank `r`.
+    pub fn node_at_rank(&self, r: usize) -> TreeIx {
+        self.node_of_rank[r]
+    }
+
+    /// Depth of the farthest node in `V_j` (used by the Lemma 4 cost
+    /// bound on negative responses).
+    pub fn max_depth_in_level(&self, j: usize) -> Cost {
+        let cap = self.naming.level_capacity(j);
+        (0..cap)
+            .map(|r| self.labeled.tree().depth(self.node_of_rank[r]))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Smallest `j` such that a j-bounded search finds every node in
+    /// `members` (tree indices). This is the paper's `b(u,i)` quantity:
+    /// the level that covers a given set. Computed structurally (the
+    /// level of the deepest-ranked member's *hash discovery round*).
+    pub fn level_covering(&self, members: impl IntoIterator<Item = TreeIx>) -> usize {
+        let mut j = 1usize;
+        for t in members {
+            let rank = self.rank_of[t as usize] as usize;
+            j = j.max(self.naming.level_of_rank(rank).max(1));
+        }
+        j.min(self.k)
+    }
+
+    /// Execute a `j`-bounded search from the root for the node whose
+    /// network id is `target`. Pure simulation: every decision uses only
+    /// the current node's stored directories. Returns the outcome and
+    /// the sequence of tree nodes visited.
+    pub fn search(&self, target: NodeId, j: usize) -> (SearchOutcome, Vec<TreeIx>) {
+        assert!(j >= 1, "searches must be at least 1-bounded");
+        let j = j.min(self.k);
+        let y = self.hash.digits(target.0 as u64, self.sigma, self.k);
+        let root = self.labeled.tree().root();
+        let mut current = root;
+        let mut cost: Cost = 0;
+        let mut visited = vec![root];
+        let mut round = 1usize;
+        loop {
+            // Does `current` know the target?
+            let known = self.lookup_at(current, target);
+            if let Some(label) = known {
+                let (mut path, c) = self
+                    .labeled
+                    .route(current, &label)
+                    .expect("stored label must belong to this tree");
+                cost += c;
+                let delivered_at = *path.last().unwrap();
+                path.remove(0);
+                visited.extend(path);
+                return (SearchOutcome::Found { cost, delivered_at }, visited);
+            }
+            if round >= j {
+                // Bounded out: report failure back to the root.
+                let (mut path, c) = self
+                    .labeled
+                    .route(current, self.labeled.label(root))
+                    .expect("root label");
+                cost += c;
+                path.remove(0);
+                visited.extend(path);
+                return (SearchOutcome::NotFound { cost }, visited);
+            }
+            // Move to the node named (y_1 … y_round).
+            let digit = y[round - 1];
+            let next_label = self.nodes[current as usize]
+                .name_children
+                .iter()
+                .find(|(d, _)| *d == digit)
+                .map(|(_, l)| l.clone());
+            match next_label {
+                Some(label) => {
+                    let (mut path, c) =
+                        self.labeled.route(current, &label).expect("child label");
+                    cost += c;
+                    current = *path.last().unwrap();
+                    path.remove(0);
+                    visited.extend(path);
+                    round += 1;
+                }
+                None => {
+                    // The name does not exist ⇒ the target is not in the
+                    // tree at all (names fill rank-by-rank; see module
+                    // docs). Report failure.
+                    let (mut path, c) = self
+                        .labeled
+                        .route(current, self.labeled.label(root))
+                        .expect("root label");
+                    cost += c;
+                    path.remove(0);
+                    visited.extend(path);
+                    return (SearchOutcome::NotFound { cost }, visited);
+                }
+            }
+        }
+    }
+
+    /// Local lookup: does tree node `t` store the target's label?
+    fn lookup_at(&self, t: TreeIx, target: NodeId) -> Option<RouteLabel> {
+        if self.labeled.tree().graph_id(t) == target {
+            return Some(self.labeled.label(t).clone());
+        }
+        self.nodes[t as usize]
+            .hash_dir
+            .iter()
+            .find(|(gid, _)| *gid == target.0)
+            .map(|(_, l)| l.clone())
+    }
+
+    /// Storage bits of tree node `t` under this scheme: µ(T,t) + the two
+    /// directories + the hash description (τ(T,t) in the paper's
+    /// notation).
+    pub fn node_bits(&self, t: TreeIx) -> u64 {
+        let m = self.labeled.tree().size();
+        let id_bits = bits_for_node(m);
+        let node = &self.nodes[t as usize];
+        let mut bits = self.labeled.local_bits(t) + self.hash.storage_bits();
+        for (_, label) in &node.name_children {
+            bits += ceil_log2(self.sigma) as u64 + label_bits(label, m);
+        }
+        for (_, label) in &node.hash_dir {
+            bits += id_bits + label_bits(label, m);
+        }
+        bits
+    }
+
+    /// Total storage over all nodes.
+    pub fn total_bits(&self) -> u64 {
+        (0..self.labeled.tree().size() as u32).map(|t| self.node_bits(t)).sum()
+    }
+}
+
+/// Bits of a label in an `m`-node tree.
+fn label_bits(label: &RouteLabel, m: usize) -> u64 {
+    let b = bits_for_node(m);
+    b + label.light_path.len() as u64 * 2 * b + b
+}
+
+impl StorageCost for ErrorReportingTree {
+    fn storage_bits(&self) -> u64 {
+        self.total_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphkit::gen::{self, WeightDist};
+    use graphkit::{dijkstra, Graph};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn spanning_tree(g: &Graph, root: NodeId) -> Tree {
+        let sp = dijkstra::dijkstra(g, root);
+        Tree::from_sssp(g, &sp, g.nodes())
+    }
+
+    fn build(g: &Graph, root: NodeId, k: usize, seed: u64) -> ErrorReportingTree {
+        ErrorReportingTree::new(spanning_tree(g, root), k, seed)
+    }
+
+    /// Lemma 4(a): every node of V_j is found by a j-bounded search with
+    /// stretch ≤ 2j−1 (w.r.t. its tree depth), for every j.
+    fn check_hit_guarantee(s: &ErrorReportingTree) {
+        let m = s.labeled().tree().size();
+        for rank in 0..m {
+            let t = s.node_at_rank(rank);
+            let target = s.labeled().tree().graph_id(t);
+            let level = s.naming().level_of_rank(rank).max(1);
+            for j in level..=s.k {
+                let (outcome, _) = s.search(target, j);
+                match outcome {
+                    SearchOutcome::Found { cost, delivered_at } => {
+                        assert_eq!(delivered_at, t, "delivered to wrong node");
+                        let depth = s.labeled().tree().depth(t);
+                        let bound = (2 * level as u64).saturating_sub(1) * depth;
+                        if depth > 0 {
+                            assert!(
+                                cost <= bound.max(depth),
+                                "stretch violated: rank={rank} level={level} j={j} \
+                                 cost={cost} depth={depth}"
+                            );
+                        } else {
+                            assert_eq!(cost, 0);
+                        }
+                    }
+                    SearchOutcome::NotFound { .. } => {
+                        panic!("rank {rank} in V_{j} not found by {j}-bounded search")
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lemma 4(b): a j-bounded search that misses costs at most
+    /// (2j−2)·max{d(r,v) : v ∈ V_{j−1}} and ends back at the root.
+    fn check_miss_guarantee(s: &ErrorReportingTree, absent: &[u32]) {
+        for &gid in absent {
+            for j in 1..=s.k {
+                let (outcome, visited) = s.search(NodeId(gid), j);
+                match outcome {
+                    SearchOutcome::Found { .. } => panic!("found a node not in the tree"),
+                    SearchOutcome::NotFound { cost } => {
+                        assert_eq!(
+                            *visited.last().unwrap(),
+                            s.labeled().tree().root(),
+                            "negative response must return to the root"
+                        );
+                        let bound = (2 * j as u64).saturating_sub(2)
+                            * s.max_depth_in_level(j.saturating_sub(1)).max(1);
+                        assert!(
+                            cost <= bound,
+                            "miss cost {cost} exceeds (2j-2)*maxdepth bound {bound} (j={j})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_tree_searches() {
+        let g = gen::path(30, 2);
+        let s = build(&g, NodeId(0), 3, 1);
+        check_hit_guarantee(&s);
+        check_miss_guarantee(&s, &[1000, 2000]);
+    }
+
+    #[test]
+    fn star_tree_searches() {
+        let g = gen::star(40, 3);
+        let s = build(&g, NodeId(0), 2, 2);
+        check_hit_guarantee(&s);
+        check_miss_guarantee(&s, &[999]);
+    }
+
+    #[test]
+    fn random_tree_searches_k3() {
+        let mut rng = SmallRng::seed_from_u64(40);
+        let g = gen::random_tree(120, WeightDist::UniformInt { lo: 1, hi: 12 }, &mut rng);
+        let s = build(&g, NodeId(0), 3, 3);
+        assert!(s.hash_verified());
+        check_hit_guarantee(&s);
+        check_miss_guarantee(&s, &[5000, 5001, 5002]);
+    }
+
+    #[test]
+    fn random_tree_searches_k1() {
+        // k = 1: the root stores everything; stretch 1.
+        let mut rng = SmallRng::seed_from_u64(41);
+        let g = gen::random_tree(50, WeightDist::Unit, &mut rng);
+        let s = build(&g, NodeId(0), 1, 4);
+        check_hit_guarantee(&s);
+        for rank in 0..50 {
+            let t = s.node_at_rank(rank);
+            let (outcome, _) = s.search(s.labeled().tree().graph_id(t), 1);
+            // 1-bounded: found exactly at optimal cost from the root.
+            assert_eq!(outcome.cost(), s.labeled().tree().depth(t));
+        }
+    }
+
+    #[test]
+    fn caterpillar_searches_k4() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let g = gen::caterpillar(12, 5, WeightDist::UniformInt { lo: 1, hi: 4 }, &mut rng);
+        let s = build(&g, NodeId(3), 4, 5);
+        check_hit_guarantee(&s);
+        check_miss_guarantee(&s, &[77777]);
+    }
+
+    #[test]
+    fn bounded_search_misses_deep_nodes() {
+        // With k = 3 and sigma = ceil(100^{1/3}) = 5, V_1 holds 6 nodes:
+        // a 1-bounded search must miss nodes of rank >= 6.
+        let mut rng = SmallRng::seed_from_u64(43);
+        let g = gen::random_tree(100, WeightDist::Unit, &mut rng);
+        let s = build(&g, NodeId(0), 3, 6);
+        let cap1 = s.naming().level_capacity(1);
+        let mut missed = 0;
+        for rank in cap1..100 {
+            let t = s.node_at_rank(rank);
+            let (outcome, _) = s.search(s.labeled().tree().graph_id(t), 1);
+            if !outcome.is_found() {
+                missed += 1;
+            }
+        }
+        // Nodes outside V_1 may still be found via the root's hash
+        // directory, but far-ranked ones must eventually be missed.
+        assert!(missed > 0, "1-bounded search implausibly found every node");
+    }
+
+    #[test]
+    fn rank_order_is_depth_order() {
+        let mut rng = SmallRng::seed_from_u64(44);
+        let g = gen::random_tree(60, WeightDist::UniformInt { lo: 1, hi: 5 }, &mut rng);
+        let s = build(&g, NodeId(0), 3, 7);
+        let mut prev = 0;
+        for rank in 0..60 {
+            let d = s.labeled().tree().depth(s.node_at_rank(rank));
+            assert!(d >= prev);
+            prev = d;
+        }
+        assert_eq!(s.rank(s.labeled().tree().root()), 0);
+    }
+
+    #[test]
+    fn level_covering_bounds() {
+        let mut rng = SmallRng::seed_from_u64(45);
+        let g = gen::random_tree(80, WeightDist::Unit, &mut rng);
+        let s = build(&g, NodeId(0), 3, 8);
+        // Root alone is covered by level 1.
+        assert_eq!(s.level_covering([s.labeled().tree().root()]), 1);
+        // Everything is covered by at most k.
+        let all: Vec<TreeIx> = (0..80u32).collect();
+        assert!(s.level_covering(all) <= 3);
+    }
+
+    #[test]
+    fn storage_within_lemma_bound() {
+        // Lemma 4: O(k · n^{1/k} · log² n) bits per node. Check against
+        // the explicit constant-free form with a generous constant.
+        let mut rng = SmallRng::seed_from_u64(46);
+        let g = gen::random_tree(200, WeightDist::Unit, &mut rng);
+        let k = 3;
+        let s = build(&g, NodeId(0), k, 9);
+        let m = 200u64;
+        let sigma = s.sigma();
+        let log = ceil_log2(m) as u64;
+        let bound = 64 * (k as u64) * sigma * log * log;
+        for t in 0..200u32 {
+            assert!(
+                s.node_bits(t) <= bound,
+                "node {t} stores {} bits > bound {bound}",
+                s.node_bits(t)
+            );
+        }
+    }
+
+    #[test]
+    fn directory_budget_respected() {
+        let mut rng = SmallRng::seed_from_u64(47);
+        let g = gen::random_tree(300, WeightDist::Unit, &mut rng);
+        let s = build(&g, NodeId(0), 3, 10);
+        for t in 0..300usize {
+            assert!(s.nodes[t].hash_dir.len() <= s.max_load());
+            assert!(s.nodes[t].name_children.len() <= s.sigma() as usize);
+        }
+    }
+
+    #[test]
+    fn searches_deterministic() {
+        let mut rng = SmallRng::seed_from_u64(48);
+        let g = gen::random_tree(70, WeightDist::Unit, &mut rng);
+        let s = build(&g, NodeId(0), 3, 11);
+        for gid in [0u32, 10, 42, 9999] {
+            let a = s.search(NodeId(gid), 3);
+            let b = s.search(NodeId(gid), 3);
+            assert_eq!(a, b);
+        }
+    }
+}

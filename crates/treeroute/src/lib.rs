@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # treeroute — tree routing schemes
+//!
+//! The three tree-routing building blocks of the AGM SPAA'06 scheme:
+//!
+//! * [`labeled`] — exact routing with topology-dependent labels
+//!   (Lemma 5; heavy-path variant of Fraigniaud–Gavoille /
+//!   Thorup–Zwick);
+//! * [`laing`] — name-independent *error-reporting* routing with
+//!   j-bounded searches (Lemma 4), used on the landmark trees of sparse
+//!   levels;
+//! * [`cover_router`] — name-independent routing with a fixed
+//!   `4·rad + 2k·maxE` budget (Lemma 7), used on the cover trees of
+//!   dense levels;
+//!
+//! plus the shared machinery: [`names`] (Σ-ary distance-rank naming)
+//! and [`hashing`] (Θ(log n)-wise independent polynomial hashing).
+
+pub mod cover_router;
+pub mod hashing;
+pub mod labeled;
+pub mod laing;
+pub mod names;
+
+pub use cover_router::{CoverOutcome, CoverTreeRouter};
+pub use hashing::PolyHash;
+pub use labeled::{LabeledTree, RouteLabel, Step};
+pub use laing::{ErrorReportingTree, SearchOutcome};
+pub use names::{Name, Naming};

@@ -1,0 +1,79 @@
+//! The paper's motivating application (§1): name-independent routing as
+//! a DHT substrate. DHTs assign nodes *fixed identifiers* (hashes) that
+//! say nothing about network position — exactly the name-independent
+//! model. This example stores key→value pairs on the node whose id is
+//! the closest hash successor, then serves GETs by routing to that id
+//! with the AGM scheme, measuring the total link cost per lookup
+//! against the optimal path.
+//!
+//! ```text
+//! cargo run --release --example overlay_dht
+//! ```
+
+use compact_routing::prelude::*;
+use treeroute::PolyHash;
+
+/// The node responsible for a key: successor of `hash(key)` on the id
+/// ring (consistent hashing over arbitrary node ids).
+fn responsible(n: usize, h: &PolyHash, key: &str) -> NodeId {
+    let target = h.eval(key.bytes().fold(0u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64)));
+    // Node ids are 0..n; hash each and pick the circular successor.
+    let mut best: Option<(u64, u32)> = None;
+    let mut min: Option<(u64, u32)> = None;
+    for v in 0..n as u32 {
+        let hv = h.eval(v as u64);
+        if min.is_none_or(|(m, _)| hv < m) {
+            min = Some((hv, v));
+        }
+        if hv >= target && best.is_none_or(|(b, _)| hv < b) {
+            best = Some((hv, v));
+        }
+    }
+    NodeId(best.or(min).unwrap().1)
+}
+
+fn main() {
+    // An internet-like topology: preferential attachment, 300 nodes.
+    let n = 300;
+    let g = Family::PrefAttach.generate(n, 21);
+    let d = graphkit::apsp(&g);
+    let scheme = Scheme::build_with_matrix(g.clone(), &d, SchemeParams::new(3, 9));
+    let h = PolyHash::new(8, 2026);
+
+    let keys = [
+        "alpha.bin", "beta.conf", "gamma.log", "delta.db", "epsilon.txt",
+        "zeta.iso", "eta.tar", "theta.json", "iota.wasm", "kappa.rs",
+    ];
+    println!("DHT over a {n}-node preferential-attachment network (k=3)\n");
+    println!("{:<14} {:>6} {:>6} {:>8} {:>8} {:>9}", "key", "home", "from", "cost", "optimal", "stretch");
+
+    let mut total_cost = 0u64;
+    let mut total_opt = 0u64;
+    for (i, key) in keys.iter().enumerate() {
+        let home = responsible(n, &h, key);
+        // GET issued from an arbitrary client node.
+        let client = NodeId((i as u32 * 37 + 5) % n as u32);
+        let trace = scheme.route(client, home);
+        assert!(trace.delivered, "lookup must reach the responsible node");
+        let opt = d.d(client, home);
+        total_cost += trace.cost;
+        total_opt += opt;
+        println!(
+            "{:<14} {:>6} {:>6} {:>8} {:>8} {:>8.2}x",
+            key,
+            home,
+            client,
+            trace.cost,
+            opt,
+            if opt == 0 { 1.0 } else { trace.cost as f64 / opt as f64 }
+        );
+    }
+    println!(
+        "\naggregate lookup cost: {} vs optimal {} ({:.2}x)",
+        total_cost,
+        total_opt,
+        total_cost as f64 / total_opt.max(1) as f64
+    );
+    println!("No node was renamed and no key placement consulted the topology —");
+    println!("the name-independent guarantee DHTs need (paper §1).");
+}

@@ -1,0 +1,127 @@
+//! `route-cli` — build routing schemes on graph files and query routes.
+//!
+//! ```text
+//! route-cli gen <family> <n> <seed> > net.gr       # emit a workload graph
+//! route-cli info net.gr                            # metric summary
+//! route-cli route net.gr <k> <src> <dst> [seed]    # route one message
+//! route-cli eval  net.gr <k> [pairs] [seed]        # stretch + storage report
+//! ```
+//!
+//! Graph files use the DIMACS-flavored format of [`graphkit::io`].
+
+use compact_routing::prelude::*;
+use graphkit::metrics::apsp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(|s| s.as_str()) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("route") => cmd_route(&args[1..]),
+        Some("eval") => cmd_eval(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage:\n  route-cli gen <family> <n> <seed>\n  route-cli info <file>\n  \
+                 route-cli route <file> <k> <src> <dst> [seed]\n  \
+                 route-cli eval <file> <k> [pairs] [seed]\n\nfamilies: {}",
+                Family::ALL.map(|f| f.label()).join(", ")
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+type CliResult = Result<(), String>;
+
+fn load(path: &str) -> Result<Graph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    graphkit::io::parse_graph(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn arg<T: std::str::FromStr>(args: &[String], i: usize, name: &str) -> Result<T, String> {
+    args.get(i)
+        .ok_or_else(|| format!("missing argument <{name}>"))?
+        .parse()
+        .map_err(|_| format!("bad value for <{name}>: {}", args[i]))
+}
+
+fn cmd_gen(args: &[String]) -> CliResult {
+    let name: String = arg(args, 0, "family")?;
+    let n: usize = arg(args, 1, "n")?;
+    let seed: u64 = arg(args, 2, "seed")?;
+    let fam = Family::ALL
+        .into_iter()
+        .find(|f| f.label() == name)
+        .ok_or_else(|| format!("unknown family {name}"))?;
+    print!("{}", graphkit::io::write_graph(&fam.generate(n, seed)));
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> CliResult {
+    let g = load(&arg::<String>(args, 0, "file")?)?;
+    let d = apsp(&g);
+    println!("nodes       {}", g.n());
+    println!("edges       {}", g.m());
+    println!("connected   {}", d.connected());
+    println!("diameter    {}", d.diameter());
+    println!("min dist    {}", d.min_distance());
+    println!(
+        "aspect Δ    {:.1} (log2 ≈ {:.1})",
+        d.aspect_ratio().unwrap_or(1.0),
+        d.aspect_ratio().unwrap_or(1.0).log2()
+    );
+    Ok(())
+}
+
+fn cmd_route(args: &[String]) -> CliResult {
+    let g = load(&arg::<String>(args, 0, "file")?)?;
+    let k: usize = arg(args, 1, "k")?;
+    let src: u32 = arg(args, 2, "src")?;
+    let dst: u32 = arg(args, 3, "dst")?;
+    let seed: u64 = arg(args, 4, "seed").unwrap_or(42);
+    if src as usize >= g.n() || dst as usize >= g.n() {
+        return Err("src/dst out of range".into());
+    }
+    let d = apsp(&g);
+    let scheme = Scheme::build_with_matrix(g.clone(), &d, SchemeParams::new(k, seed));
+    let trace = scheme.route(NodeId(src), NodeId(dst));
+    if !trace.delivered {
+        return Err("not delivered (disconnected?)".into());
+    }
+    sim::validate_trace(&g, NodeId(src), NodeId(dst), &trace)
+        .map_err(|e| format!("trace audit failed: {e:?}"))?;
+    let opt = d.d(NodeId(src), NodeId(dst));
+    println!("delivered in {} hops, cost {}", trace.hops(), trace.cost);
+    println!("optimal cost {}, stretch {:.3}", opt, trace.cost as f64 / opt.max(1) as f64);
+    let walk: Vec<String> = trace.path.iter().map(|v| v.to_string()).collect();
+    println!("walk: {}", walk.join(" -> "));
+    Ok(())
+}
+
+fn cmd_eval(args: &[String]) -> CliResult {
+    let g = load(&arg::<String>(args, 0, "file")?)?;
+    let k: usize = arg(args, 1, "k")?;
+    let num_pairs: usize = arg(args, 2, "pairs").unwrap_or(2000);
+    let seed: u64 = arg(args, 3, "seed").unwrap_or(42);
+    let d = apsp(&g);
+    let scheme = Scheme::build_with_matrix(g.clone(), &d, SchemeParams::new(k, seed));
+    let workload = if g.n() * (g.n() - 1) <= num_pairs {
+        pairs::all(g.n())
+    } else {
+        pairs::sample(g.n(), num_pairs, seed)
+    };
+    let stats = evaluate(&g, &d, &scheme, &workload);
+    let audit = StorageAudit::collect(&scheme, g.n());
+    println!("pairs        {}", stats.pairs);
+    println!("max stretch  {:.3}", stats.max_stretch);
+    println!("mean stretch {:.3}", stats.mean_stretch);
+    println!("p99 stretch  {:.3}", stats.p99_stretch);
+    println!("mean hops    {:.1}", stats.mean_hops);
+    println!("bits/node    mean {:.0}, max {}", audit.mean_bits(), audit.max_bits());
+    println!("total tables {}", graphkit::bits::fmt_bits(audit.total_bits()));
+    Ok(())
+}
