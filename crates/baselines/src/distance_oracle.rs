@@ -41,8 +41,7 @@ impl DistanceOracle {
             levels.push(next);
         }
         if levels[k - 1].is_empty() {
-            let seed_node =
-                levels.iter().rev().find(|l| !l.is_empty()).map(|l| l[0]).unwrap_or(0);
+            let seed_node = levels.iter().rev().find(|l| !l.is_empty()).map(|l| l[0]).unwrap_or(0);
             for level in levels.iter_mut().skip(1) {
                 if level.is_empty() {
                     level.push(seed_node);
@@ -77,11 +76,8 @@ impl DistanceOracle {
             let row = d.row(NodeId(u));
             for w in 0..n as u32 {
                 let i = level_of[w as usize];
-                let member = if i >= k - 1 {
-                    true
-                } else {
-                    row[w as usize] < pivots[u as usize][i + 1].1
-                };
+                let member =
+                    if i >= k - 1 { true } else { row[w as usize] < pivots[u as usize][i + 1].1 };
                 if member {
                     bunch[u as usize].insert(w, row[w as usize]);
                 }
@@ -127,11 +123,9 @@ impl DistanceOracle {
     /// Storage bits at `u`: pivots + bunch entries.
     pub fn node_bits(&self, u: NodeId, n: usize) -> u64 {
         let id = bits_for_node(n);
-        let mut bits = self.pivots[u.idx()]
-            .iter()
-            .map(|&(_, d)| id + bits_for_distance(d))
-            .sum::<u64>();
-        for (_, &d) in &self.bunch[u.idx()] {
+        let mut bits =
+            self.pivots[u.idx()].iter().map(|&(_, d)| id + bits_for_distance(d)).sum::<u64>();
+        for &d in self.bunch[u.idx()].values() {
             bits += id + bits_for_distance(d);
         }
         bits
@@ -194,11 +188,7 @@ mod tests {
             (0..300u32).map(|u| o.bunch_size(NodeId(u))).sum::<usize>() as f64 / 300.0
         };
         assert_eq!(mean(&o1), 300.0, "k=1 bunch is everything");
-        assert!(
-            mean(&o3) < 120.0,
-            "k=3 bunches should be far below n: {}",
-            mean(&o3)
-        );
+        assert!(mean(&o3) < 120.0, "k=3 bunches should be far below n: {}", mean(&o3));
     }
 
     #[test]

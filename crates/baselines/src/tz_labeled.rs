@@ -79,12 +79,7 @@ impl TzLabeled {
             levels.push(next);
         }
         if levels[k - 1].is_empty() {
-            let seed_node = levels
-                .iter()
-                .rev()
-                .find(|l| !l.is_empty())
-                .map(|l| l[0])
-                .unwrap_or(0);
+            let seed_node = levels.iter().rev().find(|l| !l.is_empty()).map(|l| l[0]).unwrap_or(0);
             for level in levels.iter_mut().skip(1) {
                 if level.is_empty() {
                     level.push(seed_node);

@@ -2,7 +2,9 @@
 //! every scheme on the same graph — the time cost of each point on the
 //! space-stretch curve (plus the distance oracle's O(k) queries).
 
-use baselines::{DistanceOracle, HierarchicalScheme, LandmarkChaining, ShortestPathTables, TzLabeled};
+use baselines::{
+    DistanceOracle, HierarchicalScheme, LandmarkChaining, ShortestPathTables, TzLabeled,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 use graphkit::gen::Family;
 use graphkit::metrics::apsp;

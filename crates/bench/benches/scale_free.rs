@@ -12,19 +12,15 @@ fn build_vs_aspect_ratio(c: &mut Criterion) {
     for e in [4u32, 20, 40] {
         let g = gen::exponential_ring(64, e);
         let d = apsp(&g);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("logdelta{e}")),
-            &e,
-            |b, _| {
-                b.iter(|| {
-                    std::hint::black_box(Scheme::build_with_matrix(
-                        g.clone(),
-                        &d,
-                        SchemeParams::new(2, 8),
-                    ))
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(format!("logdelta{e}")), &e, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(Scheme::build_with_matrix(
+                    g.clone(),
+                    &d,
+                    SchemeParams::new(2, 8),
+                ))
+            });
+        });
     }
     group.finish();
 }

@@ -43,8 +43,17 @@ fn pair_workload(n: usize, quick: bool) -> Vec<(NodeId, NodeId)> {
 pub fn t1(quick: bool) -> String {
     let mut t = Table::new(
         "T1 — Theorem 1: stretch and storage vs k",
-        &["family", "n", "k", "max-stretch", "mean-stretch", "O(k) bound 12k",
-          "mean bits/node", "max bits/node", "thm1 bound"],
+        &[
+            "family",
+            "n",
+            "k",
+            "max-stretch",
+            "mean-stretch",
+            "O(k) bound 12k",
+            "mean bits/node",
+            "max bits/node",
+            "thm1 bound",
+        ],
     );
     let sizes: &[usize] = if quick { &[128] } else { &[128, 256, 512, 1024] };
     let ks: &[usize] = if quick { &[2, 3] } else { &[1, 2, 3, 4] };
@@ -59,8 +68,7 @@ pub fn t1(quick: bool) -> String {
                 if k == 2 && n > 512 {
                     continue; // k=2 S-budgets scale with n^{2/2}=n; cap the sweep
                 }
-                let scheme =
-                    Scheme::build_with_matrix(g.clone(), &d, SchemeParams::new(k, 77));
+                let scheme = Scheme::build_with_matrix(g.clone(), &d, SchemeParams::new(k, 77));
                 let stats = evaluate(&g, &d, &scheme, &pair_workload(g.n(), quick));
                 let audit = StorageAudit::collect(&scheme, g.n());
                 t.row(vec![
@@ -94,8 +102,14 @@ pub fn t2(quick: bool) -> String {
     let k = 3;
     let mut t = Table::new(
         format!("T2 — storage breakdown by component (n={n}, k={k})"),
-        &["family", "plans (mean)", "landmark trees (mean)", "cover trees (mean)",
-          "total (mean)", "total (max)"],
+        &[
+            "family",
+            "plans (mean)",
+            "landmark trees (mean)",
+            "cover trees (mean)",
+            "total (mean)",
+            "total (max)",
+        ],
     );
     for &fam in &[Family::ErdosRenyi, Family::Geometric, Family::ExpRing] {
         let g = fam.generate(n, 2000);
@@ -171,8 +185,14 @@ pub fn f2(quick: bool) -> String {
     let n = if quick { 100 } else { 256 };
     let mut t = Table::new(
         format!("F2 — Lemma 3: sparse neighborhoods (n={n})"),
-        &["family", "k", "triples checked", "violations", "tuned S budgets",
-          "paper budget 16n^(2/k)ln n"],
+        &[
+            "family",
+            "k",
+            "triples checked",
+            "violations",
+            "tuned S budgets",
+            "paper budget 16n^(2/k)ln n",
+        ],
     );
     for &fam in &[Family::Geometric, Family::Ring, Family::ExpRing, Family::ExpTree] {
         for k in [2usize, 3] {
@@ -264,15 +284,29 @@ pub fn l4(quick: bool) -> String {
     let k = 3;
     let mut t = Table::new(
         format!("L4 — Lemma 4: j-bounded searches on {n}-node trees (k={k})"),
-        &["tree", "j", "hits", "max hit stretch", "bound 2j-1", "misses",
-          "max miss cost ratio", "storage max bits"],
+        &[
+            "tree",
+            "j",
+            "hits",
+            "max hit stretch",
+            "bound 2j-1",
+            "misses",
+            "max miss cost ratio",
+            "storage max bits",
+        ],
     );
     let mut rng = SmallRng::seed_from_u64(90);
     let shapes: Vec<(&str, Graph)> = vec![
         ("random", gen::random_tree(n, WeightDist::UniformInt { lo: 1, hi: 16 }, &mut rng)),
-        ("caterpillar", gen::caterpillar(n / 6, 5, WeightDist::UniformInt { lo: 1, hi: 8 }, &mut rng)),
+        (
+            "caterpillar",
+            gen::caterpillar(n / 6, 5, WeightDist::UniformInt { lo: 1, hi: 8 }, &mut rng),
+        ),
         ("star", gen::star(n, 3)),
-        ("binary", gen::balanced_tree(2, ceil_log2(n as u64) as usize - 1, WeightDist::Unit, &mut rng)),
+        (
+            "binary",
+            gen::balanced_tree(2, ceil_log2(n as u64) as usize - 1, WeightDist::Unit, &mut rng),
+        ),
     ];
     for (name, g) in shapes {
         let s = ErrorReportingTree::new(spanning_tree(&g, NodeId(0)), k, 91);
@@ -310,8 +344,7 @@ pub fn l4(quick: bool) -> String {
                     }
                 }
             }
-            let max_storage =
-                (0..m as u32).map(|x| s.node_bits(x)).max().unwrap_or(0);
+            let max_storage = (0..m as u32).map(|x| s.node_bits(x)).max().unwrap_or(0);
             t.row(vec![
                 name.into(),
                 j.to_string(),
@@ -380,8 +413,19 @@ pub fn l6(quick: bool) -> String {
     let n = if quick { 100 } else { 300 };
     let mut t = Table::new(
         format!("L6 — Lemma 6: sparse tree covers TC_k,rho (n={n})"),
-        &["family", "k", "rho", "trees", "cover ok", "max overlap", "bound 2k n^(1/k)",
-          "max radius", "bound (2k-1)rho", "max edge", "bound 2rho"],
+        &[
+            "family",
+            "k",
+            "rho",
+            "trees",
+            "cover ok",
+            "max overlap",
+            "bound 2k n^(1/k)",
+            "max radius",
+            "bound (2k-1)rho",
+            "max edge",
+            "bound 2rho",
+        ],
     );
     for &fam in &[Family::ErdosRenyi, Family::Geometric, Family::Grid, Family::Ring] {
         let g = fam.generate(n, 6000);
@@ -421,14 +465,24 @@ pub fn l7(quick: bool) -> String {
     let n = if quick { 150 } else { 400 };
     let mut t = Table::new(
         format!("L7 — Lemma 7: cover-tree routing budget (trees of ~{n} nodes)"),
-        &["tree", "lookups", "max cost", "budget 4rad+2k·maxE", "guide depth",
-          "max bucket", "miss max cost"],
+        &[
+            "tree",
+            "lookups",
+            "max cost",
+            "budget 4rad+2k·maxE",
+            "guide depth",
+            "max bucket",
+            "miss max cost",
+        ],
     );
     let mut rng = SmallRng::seed_from_u64(97);
     let shapes: Vec<(&str, Graph)> = vec![
         ("random", gen::random_tree(n, WeightDist::UniformInt { lo: 1, hi: 12 }, &mut rng)),
         ("star", gen::star(n, 5)),
-        ("caterpillar", gen::caterpillar(n / 5, 4, WeightDist::UniformInt { lo: 1, hi: 6 }, &mut rng)),
+        (
+            "caterpillar",
+            gen::caterpillar(n / 5, 4, WeightDist::UniformInt { lo: 1, hi: 6 }, &mut rng),
+        ),
     ];
     for (name, g) in shapes {
         let r = CoverTreeRouter::new(spanning_tree(&g, NodeId(0)), 2, 98);
@@ -474,16 +528,20 @@ pub fn sf(quick: bool) -> String {
     let k = 2;
     let mut t = Table::new(
         format!("SF — storage vs aspect ratio (ring n={n}, k={k})"),
-        &["log2(Delta)", "agm mean bits", "agm max bits", "hier mean bits",
-          "hier max bits", "hier scales", "agm stretch", "hier stretch"],
+        &[
+            "log2(Delta)",
+            "agm mean bits",
+            "agm max bits",
+            "hier mean bits",
+            "hier max bits",
+            "hier scales",
+            "agm stretch",
+            "hier stretch",
+        ],
     );
     let exps: &[u32] = if quick { &[4, 16, 32] } else { &[4, 8, 16, 24, 32, 40] };
     for &e in exps {
-        let g = if e <= 6 {
-            gen::ring(n, 1)
-        } else {
-            gen::exponential_ring(n, e)
-        };
+        let g = if e <= 6 { gen::ring(n, 1) } else { gen::exponential_ring(n, e) };
         let d = apsp(&g);
         let scheme = Scheme::build_with_matrix(g.clone(), &d, SchemeParams::new(k, 100));
         let hier = baselines::HierarchicalScheme::build(g.clone(), k, 100);
@@ -518,8 +576,15 @@ pub fn x1(quick: bool) -> String {
     let n = if quick { 128 } else { 256 };
     let mut t = Table::new(
         format!("X1 — stretch vs k: exponential baseline vs AGM (geometric n={n})"),
-        &["k", "agm max", "agm mean", "chain max", "chain mean",
-          "agm mean bits", "chain mean bits"],
+        &[
+            "k",
+            "agm max",
+            "agm mean",
+            "chain max",
+            "chain mean",
+            "agm mean bits",
+            "chain mean bits",
+        ],
     );
     let g = Family::Geometric.generate(n, 7000);
     let d = apsp(&g);
@@ -559,8 +624,7 @@ pub fn x2(quick: bool) -> String {
     let k = 3;
     let mut t = Table::new(
         format!("X2 — space-stretch frontier (geometric n={n}, k={k})"),
-        &["scheme", "model", "max stretch", "mean stretch", "mean bits/node",
-          "max bits/node"],
+        &["scheme", "model", "max stretch", "mean stretch", "mean bits/node", "max bits/node"],
     );
     let g = Family::Geometric.generate(n, 8000);
     let d = apsp(&g);
@@ -568,11 +632,15 @@ pub fn x2(quick: bool) -> String {
     let routers: Vec<(&str, Box<dyn Router>)> = vec![
         ("name-indep", Box::new(baselines::ShortestPathTables::build(g.clone()))),
         ("name-indep", Box::new(baselines::HierarchicalScheme::build(g.clone(), k, 102))),
-        ("name-indep",
-         Box::new(baselines::LandmarkChaining::build_with_matrix(g.clone(), &d, k, 102))),
+        (
+            "name-indep",
+            Box::new(baselines::LandmarkChaining::build_with_matrix(g.clone(), &d, k, 102)),
+        ),
         ("labeled", Box::new(baselines::TzLabeled::build_with_matrix(g.clone(), &d, k, 102))),
-        ("name-indep",
-         Box::new(Scheme::build_with_matrix(g.clone(), &d, SchemeParams::new(k, 102)))),
+        (
+            "name-indep",
+            Box::new(Scheme::build_with_matrix(g.clone(), &d, SchemeParams::new(k, 102))),
+        ),
     ];
     for (model, r) in routers {
         let stats = evaluate(&g, &d, r.as_ref(), &workload);
@@ -618,8 +686,7 @@ pub fn a1(quick: bool) -> String {
             let scheme = Scheme::build_with_matrix(g.clone(), &d, params);
             let stats = evaluate_lenient(&g, &d, &scheme, &workload);
             let audit = StorageAudit::collect(&scheme, g.n());
-            let delivered =
-                100.0 * (stats.pairs - stats.failures) as f64 / stats.pairs as f64;
+            let delivered = 100.0 * (stats.pairs - stats.failures) as f64 / stats.pairs as f64;
             t.row(vec![
                 fam.label().into(),
                 label.into(),
@@ -648,8 +715,14 @@ pub fn dx(quick: bool) -> String {
     let n = if quick { 60 } else { 120 };
     let mut t = Table::new(
         format!("DX — directed extension: round-trip routing (n={n})"),
-        &["arcs/node", "k", "delivered %", "max rt-stretch", "mean rt-stretch",
-          "support distortion"],
+        &[
+            "arcs/node",
+            "k",
+            "delivered %",
+            "max rt-stretch",
+            "mean rt-stretch",
+            "support distortion",
+        ],
     );
     use graphkit::digraph::random_strongly_connected;
     use routing_core::{validate_directed_trace, DirectedScheme};

@@ -134,7 +134,7 @@ mod tests {
     #[test]
     fn float_formats() {
         assert_eq!(f(0.0), "0");
-        assert_eq!(f(2.71828), "2.72");
+        assert_eq!(f(2.71901), "2.72");
         assert_eq!(f(42.123), "42.1");
         assert_eq!(f(4200.0), "4200");
     }

@@ -5,11 +5,9 @@ use std::collections::HashMap;
 
 use decomposition::Decomposition;
 use graphkit::bits::{bits_for_node, bits_for_universe};
-use graphkit::{
-    apsp, dijkstra, induced_subgraph, Cost, DistMatrix, Graph, NodeId, Tree, TreeIx,
-};
+use graphkit::{apsp, dijkstra, induced_subgraph, Cost, DistMatrix, Graph, NodeId, Tree, TreeIx};
 use landmarks::LandmarkHierarchy;
-use sim::{Router, RouteTrace};
+use sim::{RouteTrace, Router};
 use treeroute::cover_router::{CoverOutcome, CoverTreeRouter};
 use treeroute::laing::{ErrorReportingTree, SearchOutcome};
 
@@ -202,11 +200,8 @@ impl Scheme {
                     Some(ForceMode::AllDense) => true,
                     Some(ForceMode::AllSparse) => false,
                 };
-                let center = if dense {
-                    u32::MAX
-                } else {
-                    hier.center(d, u_id, dec.ball_radius(u_id, i)).0
-                };
+                let center =
+                    if dense { u32::MAX } else { hier.center(d, u_id, dec.ball_radius(u_id, i)).0 };
                 row.push(LevelPlan { dense, a, center, b: 1 });
             }
             plans.push(row);
@@ -219,11 +214,8 @@ impl Scheme {
                 let row = d.row(NodeId(v));
                 (0..k)
                     .map(|l| {
-                        let mut m: Vec<(u64, u32)> = hier
-                            .level(l)
-                            .iter()
-                            .map(|&c| (row[c as usize], c))
-                            .collect();
+                        let mut m: Vec<(u64, u32)> =
+                            hier.level(l).iter().map(|&c| (row[c as usize], c)).collect();
                         m.sort_unstable();
                         m
                     })
@@ -261,12 +253,8 @@ impl Scheme {
         // membership: v stores τ(T(c), v) iff c ∈ S(v) under the tuned
         // budgets, i.e. c is among the first budgets[rank(c)] members of
         // v's sorted C_{rank(c)} list.
-        let mut centers: Vec<u32> = plans
-            .iter()
-            .flatten()
-            .filter(|p| !p.dense)
-            .map(|p| p.center)
-            .collect();
+        let mut centers: Vec<u32> =
+            plans.iter().flatten().filter(|p| !p.dense).map(|p| p.center).collect();
         centers.sort_unstable();
         centers.dedup();
         let in_s = |v: u32, c: u32| -> bool {
@@ -280,10 +268,7 @@ impl Scheme {
                 return None;
             }
             let c = u.0;
-            let members: Vec<NodeId> = (0..n as u32)
-                .filter(|&v| in_s(v, c))
-                .map(NodeId)
-                .collect();
+            let members: Vec<NodeId> = (0..n as u32).filter(|&v| in_s(v, c)).map(NodeId).collect();
             let sp = dijkstra::dijkstra(&g, NodeId(c));
             let tree = Tree::from_sssp(&g, &sp, members);
             let ix_of = tree.index_map(n);
@@ -327,12 +312,8 @@ impl Scheme {
         }
 
         // ---- cover trees per dense scale -----------------------------
-        let mut scales: Vec<u32> = plans
-            .iter()
-            .flatten()
-            .filter(|p| p.dense)
-            .map(|p| p.a)
-            .collect();
+        let mut scales: Vec<u32> =
+            plans.iter().flatten().filter(|p| p.dense).map(|p| p.a).collect();
         scales.sort_unstable();
         scales.dedup();
         let mut scale_covers: HashMap<u32, ScaleCover> = HashMap::new();
@@ -561,8 +542,7 @@ impl Scheme {
 /// cover trees into host-graph ids).
 fn remap_tree(t: &Tree, to_host: &[u32]) -> Tree {
     let ids: Vec<u32> = t.graph_ids().iter().map(|&l| to_host[l as usize]).collect();
-    let parents: Vec<u32> =
-        (0..t.size() as u32).map(|x| t.parent(x).unwrap_or(u32::MAX)).collect();
+    let parents: Vec<u32> = (0..t.size() as u32).map(|x| t.parent(x).unwrap_or(u32::MAX)).collect();
     let weights: Vec<u64> = (0..t.size() as u32).map(|x| t.parent_weight(x)).collect();
     Tree::from_parents(ids, parents, weights)
 }

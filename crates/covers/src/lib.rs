@@ -121,11 +121,8 @@ fn grow_cluster(
     loop {
         let y = z.clone();
         // Centers to merge: unserved nodes inside Y not yet merged.
-        let mut new_centers: Vec<u32> = y
-            .iter()
-            .copied()
-            .filter(|&w| !served[w as usize] && !merged.contains(&w))
-            .collect();
+        let mut new_centers: Vec<u32> =
+            y.iter().copied().filter(|&w| !served[w as usize] && !merged.contains(&w)).collect();
         new_centers.sort_unstable();
         if new_centers.is_empty() && !merged.is_empty() {
             // Nothing new to absorb: Z is stable.
@@ -160,12 +157,7 @@ fn cluster_tree(g: &Graph, root: NodeId, members: &[u32], rho: u64) -> Tree {
 
 /// Dijkstra restricted to `members` (sorted host ids) and to edges of
 /// weight ≤ `max_edge`; returns the SPT of the reached members.
-fn restricted_sssp_tree(
-    g: &Graph,
-    root: NodeId,
-    members: &[u32],
-    max_edge: Option<u64>,
-) -> Tree {
+fn restricted_sssp_tree(g: &Graph, root: NodeId, members: &[u32], max_edge: Option<u64>) -> Tree {
     let n = g.n();
     let mut dist = vec![INFINITY; n];
     let mut parent = vec![u32::MAX; n];
@@ -423,10 +415,7 @@ mod tests {
     #[test]
     fn disconnected_graph_covered_per_component() {
         use graphkit::graph_from_edges;
-        let g = graph_from_edges(
-            6,
-            &[(0, 1, 1), (1, 2, 1), (3, 4, 1), (4, 5, 1)],
-        );
+        let g = graph_from_edges(6, &[(0, 1, 1), (1, 2, 1), (3, 4, 1), (4, 5, 1)]);
         let cover = build_cover(&g, 2, 2);
         let rep = verify_cover(&g, &cover);
         assert_eq!(rep.cover_violations, 0);

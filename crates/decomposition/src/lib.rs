@@ -253,8 +253,7 @@ pub fn verify_lemma2(d: &DistMatrix, dec: &Decomposition) -> Lemma2Report {
     let mut report = Lemma2Report::default();
     for u in 0..dec.n() as u32 {
         let u = NodeId(u);
-        report.max_extended_range =
-            report.max_extended_range.max(dec.extended_range_set(u).len());
+        report.max_extended_range = report.max_extended_range.max(dec.extended_range_set(u).len());
         for i in 0..dec.k() {
             if !dec.is_dense(u, i) {
                 continue;
@@ -371,11 +370,7 @@ mod tests {
                 let (_, dec) = dec_for(fam, 120, k, 35);
                 for u in 0..120u32 {
                     let r = dec.extended_range_set(NodeId(u)).len();
-                    assert!(
-                        r <= 6 * (k + 1),
-                        "{} k={k}: |R(u)|={r} exceeds 6(k+1)",
-                        fam.label()
-                    );
+                    assert!(r <= 6 * (k + 1), "{} k={k}: |R(u)|={r} exceeds 6(k+1)", fam.label());
                 }
             }
         }
@@ -450,10 +445,7 @@ mod tests {
                 }
             }
         }
-        assert!(
-            dense * 2 < total,
-            "exp-ring unexpectedly dense: {dense}/{total}"
-        );
+        assert!(dense * 2 < total, "exp-ring unexpectedly dense: {dense}/{total}");
     }
 
     #[test]

@@ -15,12 +15,8 @@ fn arb_instance() -> impl Strategy<Value = (graphkit::Graph, usize)> {
         let mut rng = SmallRng::seed_from_u64(seed);
         // Tree backbone + a few extras; power-of-two weights sweep the
         // aspect ratio up to 2^30 within the strategy.
-        let g = graphkit::gen::erdos_renyi(
-            n,
-            0.05,
-            WeightDist::PowerOfTwo { max_exp: wexp },
-            &mut rng,
-        );
+        let g =
+            graphkit::gen::erdos_renyi(n, 0.05, WeightDist::PowerOfTwo { max_exp: wexp }, &mut rng);
         (g, k)
     })
 }

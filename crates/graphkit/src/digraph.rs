@@ -113,8 +113,7 @@ impl DiGraph {
 
     /// Out-neighbors of `u` with weights.
     pub fn out_arcs(&self, u: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
-        let (s, e) =
-            (self.out_offsets[u.idx()] as usize, self.out_offsets[u.idx() + 1] as usize);
+        let (s, e) = (self.out_offsets[u.idx()] as usize, self.out_offsets[u.idx() + 1] as usize);
         self.out_targets[s..e]
             .iter()
             .copied()
@@ -124,23 +123,14 @@ impl DiGraph {
 
     /// In-neighbors of `u` with weights.
     pub fn in_arcs(&self, u: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
-        let (s, e) =
-            (self.in_offsets[u.idx()] as usize, self.in_offsets[u.idx() + 1] as usize);
-        self.in_sources[s..e]
-            .iter()
-            .copied()
-            .map(NodeId)
-            .zip(self.in_weights[s..e].iter().copied())
+        let (s, e) = (self.in_offsets[u.idx()] as usize, self.in_offsets[u.idx() + 1] as usize);
+        self.in_sources[s..e].iter().copied().map(NodeId).zip(self.in_weights[s..e].iter().copied())
     }
 
     /// Weight of the arc `u → v`, if present.
     pub fn arc_weight(&self, u: NodeId, v: NodeId) -> Option<Weight> {
-        let (s, e) =
-            (self.out_offsets[u.idx()] as usize, self.out_offsets[u.idx() + 1] as usize);
-        self.out_targets[s..e]
-            .binary_search(&v.0)
-            .ok()
-            .map(|i| self.out_weights[s + i])
+        let (s, e) = (self.out_offsets[u.idx()] as usize, self.out_offsets[u.idx() + 1] as usize);
+        self.out_targets[s..e].binary_search(&v.0).ok().map(|i| self.out_weights[s + i])
     }
 
     /// Forward single-source shortest paths (along arc directions).
@@ -263,11 +253,7 @@ pub fn random_strongly_connected(
     use rand::seq::SliceRandom;
     order.shuffle(rng);
     for i in 0..n {
-        b.add_arc(
-            NodeId(order[i]),
-            NodeId(order[(i + 1) % n]),
-            rng.gen_range(lo..=hi),
-        );
+        b.add_arc(NodeId(order[i]), NodeId(order[(i + 1) % n]), rng.gen_range(lo..=hi));
     }
     let mut added = 0;
     let mut guard = 0;

@@ -199,10 +199,7 @@ mod tests {
 
     fn weighted() -> Graph {
         // Square with a costly diagonal and a pendant.
-        graph_from_edges(
-            5,
-            &[(0, 1, 2), (1, 2, 2), (2, 3, 2), (3, 0, 2), (0, 2, 10), (3, 4, 7)],
-        )
+        graph_from_edges(5, &[(0, 1, 2), (1, 2, 2), (2, 3, 2), (3, 0, 2), (0, 2, 10), (3, 4, 7)])
     }
 
     #[test]

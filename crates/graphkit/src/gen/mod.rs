@@ -92,9 +92,7 @@ impl Family {
             }
             Family::Ring => ring(n, 1),
             Family::ExpRing => exponential_ring(n, 40),
-            Family::ExpTree => {
-                random_tree(n, WeightDist::PowerOfTwo { max_exp: 30 }, &mut rng)
-            }
+            Family::ExpTree => random_tree(n, WeightDist::PowerOfTwo { max_exp: 30 }, &mut rng),
         }
     }
 }

@@ -138,12 +138,7 @@ pub fn random_geometric(n: usize, radius: f64, scale: u64, rng: &mut impl Rng) -
 
 /// Barabási–Albert preferential attachment: nodes arrive one by one and
 /// connect `m` edges to existing nodes chosen proportionally to degree.
-pub fn preferential_attachment(
-    n: usize,
-    m: usize,
-    dist: WeightDist,
-    rng: &mut impl Rng,
-) -> Graph {
+pub fn preferential_attachment(n: usize, m: usize, dist: WeightDist, rng: &mut impl Rng) -> Graph {
     assert!(n >= 2 && m >= 1);
     let mut b = GraphBuilder::with_nodes(n);
     // Repeated-endpoint list: choosing uniformly from it is
@@ -274,10 +269,7 @@ mod tests {
         assert!(apsp(&g).connected());
         let max_deg = g.nodes().map(|u| g.degree(u)).max().unwrap();
         let mean_deg = 2.0 * g.m() as f64 / g.n() as f64;
-        assert!(
-            max_deg as f64 > 3.0 * mean_deg,
-            "expected a hub: max {max_deg}, mean {mean_deg}"
-        );
+        assert!(max_deg as f64 > 3.0 * mean_deg, "expected a hub: max {max_deg}, mean {mean_deg}");
     }
 
     #[test]

@@ -166,11 +166,7 @@ impl Graph {
     /// `(neighbor, weight)` pairs of `u`.
     pub fn edges_of(&self, u: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
         let (s, e) = self.span(u);
-        self.targets[s..e]
-            .iter()
-            .copied()
-            .map(NodeId)
-            .zip(self.weights[s..e].iter().copied())
+        self.targets[s..e].iter().copied().map(NodeId).zip(self.weights[s..e].iter().copied())
     }
 
     /// The port at `u` leading to neighbor `v`, if the edge exists.

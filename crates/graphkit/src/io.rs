@@ -119,21 +119,14 @@ pub fn parse_graph(text: &str) -> Result<Graph, ParseError> {
                         b.add_edge(NodeId(u), NodeId(v), w);
                         found_edges += 1;
                     }
-                    _ => {
-                        return Err(ParseError::BadEdge { line, content: trimmed.to_string() })
-                    }
+                    _ => return Err(ParseError::BadEdge { line, content: trimmed.to_string() }),
                 }
             }
-            _ => {
-                return Err(ParseError::UnknownLine { line, content: trimmed.to_string() })
-            }
+            _ => return Err(ParseError::UnknownLine { line, content: trimmed.to_string() }),
         }
     }
     if found_edges != declared_edges {
-        return Err(ParseError::EdgeCountMismatch {
-            expected: declared_edges,
-            found: found_edges,
-        });
+        return Err(ParseError::EdgeCountMismatch { expected: declared_edges, found: found_edges });
     }
     let b = builder.ok_or_else(|| ParseError::BadHeader("empty input".into()))?;
     Ok(b.build())
@@ -186,10 +179,7 @@ mod tests {
             parse_graph("p 2 1\ne 0 x 2\n"),
             Err(ParseError::BadEdge { line: 2, .. })
         ));
-        assert!(matches!(
-            parse_graph("p 2 1\ne 0 1\n"),
-            Err(ParseError::BadEdge { .. })
-        ));
+        assert!(matches!(parse_graph("p 2 1\ne 0 1\n"), Err(ParseError::BadEdge { .. })));
     }
 
     #[test]
@@ -202,10 +192,7 @@ mod tests {
 
     #[test]
     fn rejects_unknown_line() {
-        assert!(matches!(
-            parse_graph("p 2 1\nq 1 2 3\n"),
-            Err(ParseError::UnknownLine { .. })
-        ));
+        assert!(matches!(parse_graph("p 2 1\nq 1 2 3\n"), Err(ParseError::UnknownLine { .. })));
     }
 
     #[test]

@@ -54,12 +54,7 @@ impl DistMatrix {
 
     /// Smallest nonzero pairwise distance.
     pub fn min_distance(&self) -> Cost {
-        self.d
-            .iter()
-            .copied()
-            .filter(|&x| x != 0 && x != INFINITY)
-            .min()
-            .unwrap_or(0)
+        self.d.iter().copied().filter(|&x| x != 0 && x != INFINITY).min().unwrap_or(0)
     }
 
     /// Aspect ratio Δ = max d(u,v) / min_{u≠v} d(u,v), the paper's

@@ -98,10 +98,7 @@ mod tests {
     use crate::graph::graph_from_edges;
 
     fn sample() -> Graph {
-        graph_from_edges(
-            6,
-            &[(0, 1, 2), (1, 2, 3), (2, 3, 4), (3, 4, 5), (4, 5, 6), (0, 5, 7)],
-        )
+        graph_from_edges(6, &[(0, 1, 2), (1, 2, 3), (2, 3, 4), (3, 4, 5), (4, 5, 6), (0, 5, 7)])
     }
 
     #[test]

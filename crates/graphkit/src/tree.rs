@@ -33,7 +33,11 @@ impl Tree {
     /// and `parents\[0\] == u32::MAX`; every other parent index must be a
     /// valid tree index appearing *before* use is not required (any order
     /// accepted), but the parent relation must be acyclic.
-    pub fn from_parents(graph_ids: Vec<u32>, parents: Vec<TreeIx>, parent_weights: Vec<Weight>) -> Self {
+    pub fn from_parents(
+        graph_ids: Vec<u32>,
+        parents: Vec<TreeIx>,
+        parent_weights: Vec<Weight>,
+    ) -> Self {
         let n = graph_ids.len();
         assert_eq!(parents.len(), n);
         assert_eq!(parent_weights.len(), n);
@@ -66,7 +70,8 @@ impl Tree {
         let mut stack = vec![0 as TreeIx];
         let mut visited = 1usize;
         while let Some(u) = stack.pop() {
-            let (s, e) = (child_offsets[u as usize] as usize, child_offsets[u as usize + 1] as usize);
+            let (s, e) =
+                (child_offsets[u as usize] as usize, child_offsets[u as usize + 1] as usize);
             for &c in &children[s..e] {
                 depths[c as usize] = depths[u as usize] + parent_weights[c as usize];
                 visited += 1;
@@ -120,9 +125,8 @@ impl Tree {
             match sp.parent_of(v) {
                 Some(p) if v != sp.source => {
                     parents.push(tree_ix[p.idx()]);
-                    parent_weights.push(
-                        g.edge_weight(p, v).expect("SPT edge must be a graph edge"),
-                    );
+                    parent_weights
+                        .push(g.edge_weight(p, v).expect("SPT edge must be a graph edge"));
                 }
                 _ => {
                     parents.push(u32::MAX);
@@ -191,10 +195,8 @@ impl Tree {
     /// Children of `t`.
     #[inline(always)]
     pub fn children(&self, t: TreeIx) -> &[TreeIx] {
-        let (s, e) = (
-            self.child_offsets[t as usize] as usize,
-            self.child_offsets[t as usize + 1] as usize,
-        );
+        let (s, e) =
+            (self.child_offsets[t as usize] as usize, self.child_offsets[t as usize + 1] as usize);
         &self.children[s..e]
     }
 
@@ -307,10 +309,7 @@ mod tests {
 
     #[test]
     fn from_sssp_spans_members() {
-        let g = graph_from_edges(
-            6,
-            &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (0, 4, 10), (4, 5, 1)],
-        );
+        let g = graph_from_edges(6, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (0, 4, 10), (4, 5, 1)]);
         let sp = dijkstra(&g, NodeId(0));
         let t = Tree::from_sssp(&g, &sp, [NodeId(3), NodeId(5)]);
         // Must contain all ancestors: 0,1,2,3,4,5.

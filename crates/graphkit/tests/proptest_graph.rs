@@ -10,15 +10,8 @@ use proptest::prelude::*;
 /// A random (possibly disconnected) graph as an edge list.
 fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32, u64)>)> {
     (3usize..24).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 1u64..100),
-            0..(n * 2),
-        )
-        .prop_map(|es| {
-            es.into_iter()
-                .filter(|(u, v, _)| u != v)
-                .collect::<Vec<_>>()
-        });
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 1u64..100), 0..(n * 2))
+            .prop_map(|es| es.into_iter().filter(|(u, v, _)| u != v).collect::<Vec<_>>());
         (Just(n), edges)
     })
 }
@@ -26,8 +19,8 @@ fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32, u64)>)> {
 fn floyd_warshall(g: &Graph) -> Vec<Vec<Cost>> {
     let n = g.n();
     let mut d = vec![vec![INFINITY; n]; n];
-    for v in 0..n {
-        d[v][v] = 0;
+    for (v, row) in d.iter_mut().enumerate() {
+        row[v] = 0;
     }
     for (u, v, w) in g.all_edges() {
         d[u.idx()][v.idx()] = d[u.idx()][v.idx()].min(w);

@@ -77,8 +77,7 @@ pub fn verify_claims(d: &DistMatrix, h: &LandmarkHierarchy) -> ClaimReport {
         // Sorted member distances per level for |B ∩ C_j| counting.
         let member_d: Vec<Vec<u64>> = (1..k)
             .map(|j| {
-                let mut v: Vec<u64> =
-                    h.level(j).iter().map(|&m| row[m as usize]).collect();
+                let mut v: Vec<u64> = h.level(j).iter().map(|&m| row[m as usize]).collect();
                 v.sort_unstable();
                 v
             })

@@ -44,17 +44,12 @@ pub fn greedy_hierarchy(d: &DistMatrix, k: usize) -> LandmarkHierarchy {
             .map(|&(u, r, _)| (u, r))
             .collect();
         // Drop balls already hit by higher levels (current ⊆ C_j).
-        unhit.retain(|&(u, r)| {
-            !current.iter().any(|&c| d.d(NodeId(u), NodeId(c)) <= r)
-        });
+        unhit.retain(|&(u, r)| !current.iter().any(|&c| d.d(NodeId(u), NodeId(c)) <= r));
         while !unhit.is_empty() {
             // Pick the node inside the most unhit balls (ties: smaller id).
             let mut best = (0usize, 0u32);
             for v in 0..n as u32 {
-                let cover = unhit
-                    .iter()
-                    .filter(|&&(u, r)| d.d(NodeId(u), NodeId(v)) <= r)
-                    .count();
+                let cover = unhit.iter().filter(|&&(u, r)| d.d(NodeId(u), NodeId(v)) <= r).count();
                 if cover > best.0 {
                     best = (cover, v);
                 }

@@ -92,8 +92,7 @@ impl LandmarkHierarchy {
         assert_eq!(levels[0].len(), n, "C_0 must be V");
         let mut rank = vec![0u8; n];
         for (i, level) in levels.iter().enumerate().skip(1) {
-            let prev: std::collections::HashSet<u32> =
-                levels[i - 1].iter().copied().collect();
+            let prev: std::collections::HashSet<u32> = levels[i - 1].iter().copied().collect();
             for &v in level {
                 assert!(prev.contains(&v), "levels must be nested");
                 rank[v as usize] = i as u8;
@@ -234,10 +233,7 @@ mod tests {
     fn level_sizes_shrink_geometrically() {
         let h = LandmarkHierarchy::sample(2000, 4, 2);
         for i in 1..4 {
-            assert!(
-                h.level(i).len() < h.level(i - 1).len(),
-                "level {i} did not shrink"
-            );
+            assert!(h.level(i).len() < h.level(i - 1).len(), "level {i} did not shrink");
         }
         // Expected size of C_1 ≈ n * p; allow 3x slack both ways.
         let expect = 2000.0 * survival_probability(2000, 4);

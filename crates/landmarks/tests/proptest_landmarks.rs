@@ -12,12 +12,8 @@ use rand::SeedableRng;
 fn arb_instance() -> impl Strategy<Value = (graphkit::Graph, usize, u64)> {
     (8usize..60, 1usize..5, any::<u64>(), 0.0f64..0.2).prop_map(|(n, k, seed, p)| {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let g = graphkit::gen::erdos_renyi(
-            n,
-            p,
-            WeightDist::UniformInt { lo: 1, hi: 32 },
-            &mut rng,
-        );
+        let g =
+            graphkit::gen::erdos_renyi(n, p, WeightDist::UniformInt { lo: 1, hi: 32 }, &mut rng);
         (g, k, seed)
     })
 }

@@ -1,0 +1,191 @@
+//! Offline shim for the subset of `criterion` this workspace's bench
+//! targets use: [`criterion_group!`] / [`criterion_main!`],
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size` / `bench_with_input` / `finish`, [`BenchmarkId`], and
+//! [`black_box`].
+//!
+//! The build container has no crates registry, so the workspace pins
+//! `criterion` to this path dependency. Each benchmark does a short
+//! warmup, times `sample_size` batches with [`std::time::Instant`],
+//! and prints the per-iteration mean — a sanity-check harness, not a
+//! statistics engine. Swap for the real crate when a registry is
+//! reachable.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Entry point handed to every bench function.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Run one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: DEFAULT_SAMPLE_SIZE }
+    }
+}
+
+/// A named benchmark group; ids print as `group/id`.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed batches per benchmark (upstream: sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        let mut bencher = Bencher { sample_size: self.sample_size, total_ns: 0, iters: 0 };
+        f(&mut bencher, input);
+        bencher.report(&label);
+        self
+    }
+
+    /// End the group (upstream writes reports here; we already print
+    /// per-bench lines, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id carrying just the parameter's display form.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new(name: impl Display, p: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Times closures handed to [`Bencher::iter`].
+pub struct Bencher {
+    sample_size: usize,
+    total_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, called `sample_size` times after one warmup call.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        black_box(f()); // warmup; also forces lazy setup in `f`
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(f());
+        }
+        self.total_ns += start.elapsed().as_nanos();
+        self.iters += self.sample_size as u64;
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters == 0 {
+            println!("bench {label:<40} (no iterations)");
+        } else {
+            let per_iter = self.total_ns / self.iters as u128;
+            println!("bench {label:<40} {per_iter:>12} ns/iter ({} iters)", self.iters);
+        }
+    }
+}
+
+fn run_bench<F>(label: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher { sample_size, total_ns: 0, iters: 0 };
+    f(&mut bencher);
+    bencher.report(label);
+}
+
+/// Collect bench functions into one runnable group fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run_closures() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("unit/direct", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(3);
+        let mut with_input = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter("n4"), &4u64, |b, &n| {
+            b.iter(|| with_input += n)
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        assert_eq!(with_input, 4 * 4); // warmup + 3 samples
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::from_parameter(7).0, "7");
+        assert_eq!(BenchmarkId::new("f", 7).0, "f/7");
+    }
+}

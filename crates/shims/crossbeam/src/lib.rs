@@ -1,0 +1,70 @@
+//! Offline shim for `crossbeam::scope`, the only crossbeam API this
+//! workspace uses, implemented over [`std::thread::scope`].
+//!
+//! Semantics match the call sites' expectations: spawned closures
+//! receive a `&Scope` (callers write `move |_|`), the scope joins all
+//! threads before returning, and each thread writes a disjoint
+//! `chunks_mut` slice so no synchronization is needed. One divergence:
+//! upstream returns `Err` when a child panicked, while std's scope
+//! propagates the panic at join — callers only `.expect()` the result,
+//! so both surface as a panic.
+
+use std::any::Any;
+
+/// Scope handle passed to [`scope`] closures; `spawn` borrows data
+/// from the enclosing stack frame.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure gets a `&Scope` so it can
+    /// spawn nested work, mirroring crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            let s = Scope { inner };
+            f(&s)
+        });
+    }
+}
+
+/// Run `f` with a scope in which borrowed scoped threads can be
+/// spawned; joins them all before returning.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn disjoint_chunk_writes() {
+        let mut data = vec![0u32; 1000];
+        super::scope(|s| {
+            for (c, chunk) in data.chunks_mut(100).enumerate() {
+                s.spawn(move |_| {
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        *slot = (c * 100 + i) as u32;
+                    }
+                });
+            }
+        })
+        .expect("worker panicked");
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u32);
+        }
+    }
+
+    #[test]
+    fn returns_closure_value() {
+        let out = super::scope(|_| 41 + 1).unwrap();
+        assert_eq!(out, 42);
+    }
+}

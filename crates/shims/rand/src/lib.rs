@@ -1,0 +1,394 @@
+//! Offline shim for the subset of the `rand 0.8` API this workspace
+//! uses: [`Rng`] (`gen`, `gen_range`, `gen_bool`, `sample`),
+//! [`SeedableRng::seed_from_u64`], [`rngs::SmallRng`], and
+//! [`seq::SliceRandom`] (`shuffle`, `choose`).
+//!
+//! The container that builds this workspace has no access to a crates
+//! registry, so the workspace pins `rand` to this path dependency. The
+//! generator is xoshiro256++ seeded through SplitMix64 — deterministic
+//! across platforms, which is what every seeded test in the workspace
+//! relies on. The exact streams differ from upstream `rand`'s
+//! `SmallRng` (upstream documents its streams as unstable anyway), so
+//! seeds here are workspace-stable, not upstream-stable.
+
+/// A source of random 32/64-bit words; object-safe like upstream.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// Seeding interface; only the `seed_from_u64` entry point upstream
+/// callers in this workspace use.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`] just as in upstream rand.
+pub trait Rng: RngCore {
+    /// A uniform value of type `T` (see [`distributions::Standard`]).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Uniform value in `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p ∈ [0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        standard_f64(self) < p
+    }
+
+    /// Sample from an explicit distribution.
+    fn sample<T, D>(&mut self, distr: D) -> T
+    where
+        D: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Uniform f64 in [0, 1) from the top 53 bits of one output word.
+fn standard_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the same family upstream `SmallRng` uses on
+    /// 64-bit targets. Small, fast, and plenty for test workloads.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, per the xoshiro authors' guidance
+            // for seeding from a single word.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod distributions {
+    //! The `Standard` distribution and the uniform-range plumbing
+    //! behind [`Rng::gen_range`](super::Rng::gen_range).
+
+    use super::RngCore;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" uniform distribution for primitives: full range
+    /// for integers, `[0, 1)` for floats, fair coin for `bool`.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Standard;
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            super::standard_f64(rng)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    pub mod uniform {
+        //! Range sampling. Integer ranges use widening-multiply
+        //! rejection (Lemire) so results are exactly uniform.
+
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// A range that can produce a uniform sample of `T`.
+        pub trait SampleRange<T> {
+            /// Draw one value from the range; panics on empty ranges.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        /// Uniform u64 in `[0, span)` by Lemire's method.
+        fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            if span.is_power_of_two() {
+                return rng.next_u64() & (span - 1);
+            }
+            loop {
+                let x = rng.next_u64();
+                let m = (x as u128).wrapping_mul(span as u128);
+                let lo = m as u64;
+                if lo >= span.wrapping_neg() % span {
+                    return (m >> 64) as u64;
+                }
+            }
+        }
+
+        macro_rules! impl_int_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "gen_range: empty range");
+                        let span = (self.end as u64).wrapping_sub(self.start as u64);
+                        self.start.wrapping_add(uniform_below(rng, span) as $t)
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "gen_range: empty range");
+                        let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                        if span == 0 {
+                            // Full-width inclusive range: every word is valid.
+                            return rng.next_u64() as $t;
+                        }
+                        lo.wrapping_add(uniform_below(rng, span) as $t)
+                    }
+                }
+            )*};
+        }
+        impl_int_range!(u8, u16, u32, u64, usize);
+
+        macro_rules! impl_signed_range {
+            ($($t:ty : $u:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "gen_range: empty range");
+                        let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                        self.start.wrapping_add(uniform_below(rng, span) as $t)
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "gen_range: empty range");
+                        let span =
+                            ((hi as $u).wrapping_sub(lo as $u) as u64).wrapping_add(1);
+                        if span == 0 {
+                            return rng.next_u64() as $t;
+                        }
+                        lo.wrapping_add(uniform_below(rng, span) as $t)
+                    }
+                }
+            )*};
+        }
+        impl_signed_range!(i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+
+        impl SampleRange<f64> for Range<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = crate::standard_f64(rng);
+                let v = self.start + u * (self.end - self.start);
+                // Floating rounding can land exactly on `end`; clamp
+                // back inside the half-open interval.
+                if v >= self.end {
+                    self.start
+                } else {
+                    v
+                }
+            }
+        }
+
+        impl SampleRange<f32> for Range<f32> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = crate::standard_f64(rng) as f32;
+                let v = self.start + u * (self.end - self.start);
+                if v >= self.end {
+                    self.start
+                } else {
+                    v
+                }
+            }
+        }
+    }
+}
+
+pub mod seq {
+    //! Slice helpers (`shuffle`, `choose`).
+
+    use super::Rng;
+
+    /// The slice extension trait, as in `rand::seq`.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            use crate::distributions::uniform::SampleRange;
+            for i in (1..self.len()).rev() {
+                let j = (0..=i).sample_single(rng);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            use crate::distributions::uniform::SampleRange;
+            if self.is_empty() {
+                None
+            } else {
+                self.get((0..self.len()).sample_single(rng))
+            }
+        }
+    }
+}
+
+/// Re-export mirror of `rand::prelude`.
+pub mod prelude {
+    pub use super::distributions::Distribution;
+    pub use super::rngs::SmallRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: u32 = rng.gen_range(5..17);
+            assert!((5..17).contains(&x));
+            let y: u64 = rng.gen_range(3..=9);
+            assert!((3..=9).contains(&y));
+            let z: f64 = rng.gen_range(0.25..0.5);
+            assert!((0.25..0.5).contains(&z));
+            let w: usize = rng.gen_range(0..1);
+            assert_eq!(w, 0);
+        }
+    }
+
+    #[test]
+    fn bool_and_float_shapes() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut heads = 0;
+        for _ in 0..2000 {
+            if rng.gen_bool(0.5) {
+                heads += 1;
+            }
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert!((600..1400).contains(&heads), "badly biased coin: {heads}");
+        assert!(!rng.gen_bool(0.0));
+        // standard_f64 yields [0, 1), so p = 1.0 always succeeds.
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

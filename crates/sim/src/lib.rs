@@ -97,9 +97,7 @@ pub fn validate_trace(
     for (i, win) in trace.path.windows(2).enumerate() {
         match g.edge_weight(win[0], win[1]) {
             Some(w) => actual += w,
-            None => {
-                return Err(TraceError::NotAnEdge { position: i, from: win[0], to: win[1] })
-            }
+            None => return Err(TraceError::NotAnEdge { position: i, from: win[0], to: win[1] }),
         }
     }
     if actual != trace.cost {
@@ -321,8 +319,8 @@ mod tests {
     use super::*;
     use graphkit::dijkstra::dijkstra;
     use graphkit::gen::Family;
-    use graphkit::metrics::apsp;
     use graphkit::graph_from_edges;
+    use graphkit::metrics::apsp;
 
     /// Oracle router: follows true shortest paths (stretch exactly 1).
     struct Oracle<'a> {
@@ -352,11 +350,8 @@ mod tests {
     #[test]
     fn validate_accepts_real_walks() {
         let g = small();
-        let t = RouteTrace {
-            path: vec![NodeId(0), NodeId(1), NodeId(2)],
-            cost: 5,
-            delivered: true,
-        };
+        let t =
+            RouteTrace { path: vec![NodeId(0), NodeId(1), NodeId(2)], cost: 5, delivered: true };
         assert!(validate_trace(&g, NodeId(0), NodeId(2), &t).is_ok());
     }
 
@@ -373,11 +368,8 @@ mod tests {
     #[test]
     fn validate_rejects_cost_fraud() {
         let g = small();
-        let t = RouteTrace {
-            path: vec![NodeId(0), NodeId(1), NodeId(2)],
-            cost: 4,
-            delivered: true,
-        };
+        let t =
+            RouteTrace { path: vec![NodeId(0), NodeId(1), NodeId(2)], cost: 4, delivered: true };
         assert!(matches!(
             validate_trace(&g, NodeId(0), NodeId(2), &t),
             Err(TraceError::CostMismatch { claimed: 4, actual: 5 })
@@ -397,11 +389,12 @@ mod tests {
             Err(TraceError::WrongDestination { .. })
         ));
         assert_eq!(
-            validate_trace(&g, NodeId(0), NodeId(2), &RouteTrace {
-                path: vec![],
-                cost: 0,
-                delivered: false
-            }),
+            validate_trace(
+                &g,
+                NodeId(0),
+                NodeId(2),
+                &RouteTrace { path: vec![], cost: 0, delivered: false }
+            ),
             Err(TraceError::Empty)
         );
     }

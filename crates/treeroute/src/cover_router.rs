@@ -377,10 +377,7 @@ mod tests {
                     CoverOutcome::Found { cost, delivered_at } => {
                         assert_eq!(delivered_at, t);
                         assert_eq!(*path.last().unwrap(), t);
-                        assert!(
-                            cost <= budget,
-                            "cost {cost} > budget {budget} ({from}->{t})"
-                        );
+                        assert!(cost <= budget, "cost {cost} > budget {budget} ({from}->{t})");
                     }
                     CoverOutcome::NotFound { .. } => panic!("missed in-tree node {t}"),
                 }

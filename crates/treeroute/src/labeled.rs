@@ -305,8 +305,7 @@ mod tests {
         let m = lt.tree().size() as u32;
         for s in 0..m {
             for t in 0..m {
-                let (path, cost) =
-                    lt.route(s, lt.label(t)).expect("in-tree label must route");
+                let (path, cost) = lt.route(s, lt.label(t)).expect("in-tree label must route");
                 assert_eq!(*path.first().unwrap(), s);
                 assert_eq!(*path.last().unwrap(), t);
                 // Optimality: cost equals the unique tree distance.

@@ -273,10 +273,7 @@ impl ErrorReportingTree {
     /// bound on negative responses).
     pub fn max_depth_in_level(&self, j: usize) -> Cost {
         let cap = self.naming.level_capacity(j);
-        (0..cap)
-            .map(|r| self.labeled.tree().depth(self.node_of_rank[r]))
-            .max()
-            .unwrap_or(0)
+        (0..cap).map(|r| self.labeled.tree().depth(self.node_of_rank[r])).max().unwrap_or(0)
     }
 
     /// Smallest `j` such that a j-bounded search finds every node in
@@ -321,10 +318,8 @@ impl ErrorReportingTree {
             }
             if round >= j {
                 // Bounded out: report failure back to the root.
-                let (mut path, c) = self
-                    .labeled
-                    .route(current, self.labeled.label(root))
-                    .expect("root label");
+                let (mut path, c) =
+                    self.labeled.route(current, self.labeled.label(root)).expect("root label");
                 cost += c;
                 path.remove(0);
                 visited.extend(path);
@@ -339,8 +334,7 @@ impl ErrorReportingTree {
                 .map(|(_, l)| l.clone());
             match next_label {
                 Some(label) => {
-                    let (mut path, c) =
-                        self.labeled.route(current, &label).expect("child label");
+                    let (mut path, c) = self.labeled.route(current, &label).expect("child label");
                     cost += c;
                     current = *path.last().unwrap();
                     path.remove(0);
@@ -351,10 +345,8 @@ impl ErrorReportingTree {
                     // The name does not exist ⇒ the target is not in the
                     // tree at all (names fill rank-by-rank; see module
                     // docs). Report failure.
-                    let (mut path, c) = self
-                        .labeled
-                        .route(current, self.labeled.label(root))
-                        .expect("root label");
+                    let (mut path, c) =
+                        self.labeled.route(current, self.labeled.label(root)).expect("root label");
                     cost += c;
                     path.remove(0);
                     visited.extend(path);

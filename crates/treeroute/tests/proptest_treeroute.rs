@@ -20,9 +20,9 @@ fn arb_tree() -> impl Strategy<Value = Graph> {
         let mut b = graphkit::GraphBuilder::with_nodes(n);
         for i in 1..n {
             let parent = match bias {
-                0 => rng.gen_range(0..i),          // uniform recursive
-                1 => 0,                            // star
-                _ => i - 1,                        // path
+                0 => rng.gen_range(0..i), // uniform recursive
+                1 => 0,                   // star
+                _ => i - 1,               // path
             };
             let w = rng.gen_range(1..=wmax);
             b.add_edge(NodeId(i as u32), NodeId(parent as u32), w);

@@ -20,10 +20,7 @@ fn main() {
     println!("digraph: {} nodes, {} arcs, strongly connected\n", dg.n(), dg.m());
 
     let scheme = DirectedScheme::build(dg, SchemeParams::new(3, 9));
-    println!(
-        "support-graph distortion d_H/rt on this instance: {:.2}",
-        scheme.max_distortion()
-    );
+    println!("support-graph distortion d_H/rt on this instance: {:.2}", scheme.max_distortion());
 
     let mut worst: f64 = 0.0;
     let mut mean = 0.0;

@@ -16,7 +16,8 @@ use treeroute::PolyHash;
 /// The node responsible for a key: successor of `hash(key)` on the id
 /// ring (consistent hashing over arbitrary node ids).
 fn responsible(n: usize, h: &PolyHash, key: &str) -> NodeId {
-    let target = h.eval(key.bytes().fold(0u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64)));
+    let target =
+        h.eval(key.bytes().fold(0u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64)));
     // Node ids are 0..n; hash each and pick the circular successor.
     let mut best: Option<(u64, u32)> = None;
     let mut min: Option<(u64, u32)> = None;
@@ -41,11 +42,22 @@ fn main() {
     let h = PolyHash::new(8, 2026);
 
     let keys = [
-        "alpha.bin", "beta.conf", "gamma.log", "delta.db", "epsilon.txt",
-        "zeta.iso", "eta.tar", "theta.json", "iota.wasm", "kappa.rs",
+        "alpha.bin",
+        "beta.conf",
+        "gamma.log",
+        "delta.db",
+        "epsilon.txt",
+        "zeta.iso",
+        "eta.tar",
+        "theta.json",
+        "iota.wasm",
+        "kappa.rs",
     ];
     println!("DHT over a {n}-node preferential-attachment network (k=3)\n");
-    println!("{:<14} {:>6} {:>6} {:>8} {:>8} {:>9}", "key", "home", "from", "cost", "optimal", "stretch");
+    println!(
+        "{:<14} {:>6} {:>6} {:>8} {:>8} {:>9}",
+        "key", "home", "from", "cost", "optimal", "stretch"
+    );
 
     let mut total_cost = 0u64;
     let mut total_opt = 0u64;

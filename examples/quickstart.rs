@@ -16,11 +16,7 @@ fn main() {
 
     // Ground truth for reporting stretch (not used by the router).
     let d = graphkit::apsp(&g);
-    println!(
-        "diameter {}, aspect ratio {:.1}",
-        d.diameter(),
-        d.aspect_ratio().unwrap_or(1.0)
-    );
+    println!("diameter {}, aspect ratio {:.1}", d.diameter(), d.aspect_ratio().unwrap_or(1.0));
 
     // Preprocess the routing scheme: k trades table size for stretch.
     let k = 3;

@@ -18,11 +18,8 @@ fn main() {
         "log2(Δ)", "AGM bits/node", "hier bits/node", "hier scales", "AGM stretch"
     );
     for e in [4u32, 12, 20, 28, 36, 44] {
-        let g = if e <= 6 {
-            graphkit::gen::ring(n, 1)
-        } else {
-            graphkit::gen::exponential_ring(n, e)
-        };
+        let g =
+            if e <= 6 { graphkit::gen::ring(n, 1) } else { graphkit::gen::exponential_ring(n, e) };
         let d = graphkit::apsp(&g);
         let agm = Scheme::build_with_matrix(g.clone(), &d, SchemeParams::new(k, 11));
         let hier = HierarchicalScheme::build(g.clone(), k, 11);
@@ -38,8 +35,6 @@ fn main() {
             stats.max_stretch,
         );
     }
-    println!(
-        "\nThe AGM column is governed by n and k alone (scale-free); the hierarchical"
-    );
+    println!("\nThe AGM column is governed by n and k alone (scale-free); the hierarchical");
     println!("column tracks its scale count, which is exactly ⌈log2 Δ⌉ + 1.");
 }

@@ -49,6 +49,20 @@ fn arg<T: std::str::FromStr>(args: &[String], i: usize, name: &str) -> Result<T,
         .map_err(|_| format!("bad value for <{name}>: {}", args[i]))
 }
 
+/// Optional positional: `default` only when absent — a present but
+/// unparsable value is an error, never silently replaced.
+fn arg_or<T: std::str::FromStr>(
+    args: &[String],
+    i: usize,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match args.get(i) {
+        None => Ok(default),
+        Some(_) => arg(args, i, name),
+    }
+}
+
 fn cmd_gen(args: &[String]) -> CliResult {
     let name: String = arg(args, 0, "family")?;
     let n: usize = arg(args, 1, "n")?;
@@ -82,7 +96,7 @@ fn cmd_route(args: &[String]) -> CliResult {
     let k: usize = arg(args, 1, "k")?;
     let src: u32 = arg(args, 2, "src")?;
     let dst: u32 = arg(args, 3, "dst")?;
-    let seed: u64 = arg(args, 4, "seed").unwrap_or(42);
+    let seed: u64 = arg_or(args, 4, "seed", 42)?;
     if src as usize >= g.n() || dst as usize >= g.n() {
         return Err("src/dst out of range".into());
     }
@@ -105,8 +119,8 @@ fn cmd_route(args: &[String]) -> CliResult {
 fn cmd_eval(args: &[String]) -> CliResult {
     let g = load(&arg::<String>(args, 0, "file")?)?;
     let k: usize = arg(args, 1, "k")?;
-    let num_pairs: usize = arg(args, 2, "pairs").unwrap_or(2000);
-    let seed: u64 = arg(args, 3, "seed").unwrap_or(42);
+    let num_pairs: usize = arg_or(args, 2, "pairs", 2000)?;
+    let seed: u64 = arg_or(args, 3, "seed", 42)?;
     let d = apsp(&g);
     let scheme = Scheme::build_with_matrix(g.clone(), &d, SchemeParams::new(k, seed));
     let workload = if g.n() * (g.n() - 1) <= num_pairs {

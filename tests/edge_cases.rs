@@ -25,11 +25,7 @@ fn two_node_graph() {
 fn three_node_path_and_triangle() {
     for k in [1usize, 2, 4] {
         check_all_pairs(graphkit::graph_from_edges(3, &[(0, 1, 1), (1, 2, 1)]), k, 2);
-        check_all_pairs(
-            graphkit::graph_from_edges(3, &[(0, 1, 1), (1, 2, 1), (0, 2, 1)]),
-            k,
-            2,
-        );
+        check_all_pairs(graphkit::graph_from_edges(3, &[(0, 1, 1), (1, 2, 1), (0, 2, 1)]), k, 2);
     }
 }
 
@@ -100,22 +96,10 @@ fn baselines_on_tiny_graphs() {
     let g = graphkit::graph_from_edges(3, &[(0, 1, 2), (1, 2, 3)]);
     let d = apsp(&g);
     let w = pairs::all(3);
-    assert_eq!(
-        evaluate(&g, &d, &ShortestPathTables::build(g.clone()), &w).failures,
-        0
-    );
-    assert_eq!(
-        evaluate(&g, &d, &HierarchicalScheme::build(g.clone(), 2, 1), &w).failures,
-        0
-    );
-    assert_eq!(
-        evaluate(&g, &d, &LandmarkChaining::build(g.clone(), 2, 1), &w).failures,
-        0
-    );
-    assert_eq!(
-        evaluate(&g, &d, &TzLabeled::build(g.clone(), 2, 1), &w).failures,
-        0
-    );
+    assert_eq!(evaluate(&g, &d, &ShortestPathTables::build(g.clone()), &w).failures, 0);
+    assert_eq!(evaluate(&g, &d, &HierarchicalScheme::build(g.clone(), 2, 1), &w).failures, 0);
+    assert_eq!(evaluate(&g, &d, &LandmarkChaining::build(g.clone(), 2, 1), &w).failures, 0);
+    assert_eq!(evaluate(&g, &d, &TzLabeled::build(g.clone(), 2, 1), &w).failures, 0);
 }
 
 #[test]

@@ -41,11 +41,7 @@ fn stretch_envelope_grows_mildly_with_k() {
         assert!(s4.max_stretch <= 48.0, "{}", fam.label());
         // And the space side of the trade-off: k=4 must not cost more
         // storage than k=2 on the same instance (up to 1.5x noise).
-        assert!(
-            b4 <= 1.5 * b2,
-            "{}: storage did not shrink with k: {b2} -> {b4}",
-            fam.label()
-        );
+        assert!(b4 <= 1.5 * b2, "{}: storage did not shrink with k: {b2} -> {b4}", fam.label());
     }
 }
 

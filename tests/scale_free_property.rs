@@ -14,11 +14,8 @@ fn storage_at_exponent(e: u32, k: usize) -> (f64, f64, usize) {
     let mut scales = 0;
     let seeds = [1u64, 2, 3];
     for &s in &seeds {
-        let g = if e == 0 {
-            graphkit::gen::ring(n, 1)
-        } else {
-            graphkit::gen::exponential_ring(n, e)
-        };
+        let g =
+            if e == 0 { graphkit::gen::ring(n, 1) } else { graphkit::gen::exponential_ring(n, e) };
         let d = apsp(&g);
         let ours = Scheme::build_with_matrix(g.clone(), &d, SchemeParams::new(k, s));
         let hier = HierarchicalScheme::build(g.clone(), k, s);
@@ -44,10 +41,7 @@ fn storage_flat_in_delta_ours_growing_for_hierarchical() {
     );
     // Ours must stay within a constant band across 36 octaves of Δ.
     let ratio = ours_hi.max(ours_lo) / ours_hi.min(ours_lo);
-    assert!(
-        ratio < 4.0,
-        "scale-free storage drifted {ratio:.2}x: {ours_lo:.0} -> {ours_hi:.0}"
-    );
+    assert!(ratio < 4.0, "scale-free storage drifted {ratio:.2}x: {ours_lo:.0} -> {ours_hi:.0}");
 }
 
 #[test]

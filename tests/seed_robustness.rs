@@ -42,8 +42,6 @@ fn seeds_change_structure_not_guarantees() {
     let d = apsp(&g);
     let a = Scheme::build_with_matrix(g.clone(), &d, SchemeParams::new(3, 1));
     let b = Scheme::build_with_matrix(g.clone(), &d, SchemeParams::new(3, 2));
-    let differs = pairs::sample(g.n(), 200, 9)
-        .iter()
-        .any(|&(s, t)| a.route(s, t) != b.route(s, t));
+    let differs = pairs::sample(g.n(), 200, 9).iter().any(|&(s, t)| a.route(s, t) != b.route(s, t));
     assert!(differs, "two seeds produced identical routing — seed unused?");
 }
