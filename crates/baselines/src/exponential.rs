@@ -49,13 +49,10 @@ impl LandmarkChaining {
         Self::build_with_matrix(g, &d, k, seed)
     }
 
-    /// Build reusing a distance matrix.
-    pub fn build_with_matrix(g: Graph, d: &DistMatrix, k: usize, seed: u64) -> Self {
-        assert!(d.connected(), "landmark chaining requires a connected graph");
-        let n = g.n();
-        let hier = LandmarkHierarchy::sample(n, k.max(2), seed);
-        // Levels 1..k−1 from the hierarchy; level k = a single root
-        // (the global min-id member of the last nonempty level).
+    /// The level sets the scheme registers at: levels 1..k−1 from the
+    /// hierarchy (empty levels collapse to node 0) plus a single root
+    /// level, shared by both constructors.
+    fn level_sets(hier: &LandmarkHierarchy, k: usize) -> Vec<Vec<u32>> {
         let mut level_sets: Vec<Vec<u32>> = Vec::new();
         for i in 1..k {
             let mut l = hier.level(i).to_vec();
@@ -66,6 +63,15 @@ impl LandmarkChaining {
         }
         let root = level_sets.last().map(|l| l[0]).unwrap_or(0);
         level_sets.push(vec![root]);
+        level_sets
+    }
+
+    /// Build reusing a distance matrix.
+    pub fn build_with_matrix(g: Graph, d: &DistMatrix, k: usize, seed: u64) -> Self {
+        assert!(d.connected(), "landmark chaining requires a connected graph");
+        let n = g.n();
+        let hier = LandmarkHierarchy::sample(n, k.max(2), seed);
+        let level_sets = Self::level_sets(&hier, k);
         // Closest landmark per level per node (ties by id).
         let sps: Vec<_> = graphkit::metrics::par_per_node(&g, |u| dijkstra::dijkstra(&g, u));
         let closest = |u: u32, set: &[u32]| -> u32 {
@@ -92,8 +98,137 @@ impl LandmarkChaining {
         }
         for r in &mut registry {
             r.sort_unstable_by_key(|x| x.node);
+            // A landmark serving several levels (e.g. the collapsed
+            // root) would otherwise store the same node once per level.
+            r.dedup_by_key(|x| x.node);
         }
         LandmarkChaining { g, k: level_sets.len(), registry, nodes }
+    }
+
+    /// Build without ever materializing a dense distance matrix: one
+    /// Dijkstra per *landmark* (≈ n^{1/2} of them at the default k)
+    /// instead of APSP plus one per node — O(L·n) memory and work, so
+    /// the scheme assembles at 10⁵–10⁶ nodes where `build` cannot.
+    ///
+    /// Landmark choices and registration costs are identical to
+    /// [`Self::build_with_matrix`] (same hierarchy, same `(distance,
+    /// id)` tie-break); stored walks — and therefore exact storage
+    /// bits — may differ among equal-cost shortest paths because they
+    /// are extracted from the landmark's shortest-path tree rather
+    /// than the node's.
+    pub fn build_on_demand(g: Graph, k: usize, seed: u64) -> Self {
+        let n = g.n();
+        let hier = LandmarkHierarchy::sample(n, k.max(2), seed);
+        let level_sets = Self::level_sets(&hier, k);
+        let num_levels = level_sets.len();
+        let mut landmarks: Vec<u32> = level_sets.concat();
+        landmarks.sort_unstable();
+        landmarks.dedup();
+        // levels_of[landmark] = indices of the level sets containing it.
+        let mut levels_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (j, set) in level_sets.iter().enumerate() {
+            for &l in set {
+                levels_of[l as usize].push(j);
+            }
+        }
+        let threads = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1);
+        let chunk = landmarks.len().div_ceil(threads);
+
+        // Pass 1: per-landmark distance rows, folded into the closest
+        // landmark per (node, level) under the (distance, id) order.
+        // Each worker folds its landmark chunk locally; the sequential
+        // merge keeps the result deterministic in any thread count.
+        const NONE: (u64, u32) = (u64::MAX, u32::MAX);
+        let mut folds: Vec<Vec<(u64, u32)>> =
+            vec![Vec::new(); landmarks.len().div_ceil(chunk.max(1))];
+        let (g_ref, levels_of_ref) = (&g, &levels_of);
+        crossbeam::scope(|s| {
+            for (slot, chunk_lms) in folds.iter_mut().zip(landmarks.chunks(chunk.max(1))) {
+                s.spawn(move |_| {
+                    let mut best = vec![NONE; n * num_levels];
+                    for &l in chunk_lms {
+                        let sp = dijkstra::dijkstra(g_ref, NodeId(l));
+                        for &j in &levels_of_ref[l as usize] {
+                            for u in 0..n {
+                                let cand = (sp.dist[u], l);
+                                let slot = &mut best[u * num_levels + j];
+                                if cand < *slot {
+                                    *slot = cand;
+                                }
+                            }
+                        }
+                    }
+                    *slot = best;
+                });
+            }
+        })
+        .expect("landmark-distance worker panicked");
+        let mut best = vec![NONE; n * num_levels];
+        for fold in folds {
+            for (slot, cand) in best.iter_mut().zip(fold) {
+                if cand < *slot {
+                    *slot = cand;
+                }
+            }
+        }
+        assert!(
+            best.iter().all(|&(d, _)| d != u64::MAX),
+            "landmark chaining requires a connected graph"
+        );
+
+        // Pass 2: re-run each landmark's Dijkstra and extract the walks
+        // for exactly the (node, level) slots it won.
+        type Up = (u32, Vec<u32>, u64); // (landmark, walk to it, cost)
+                                        // (landmark, node, level, walk landmark→node, cost)
+        type Won = (u32, u32, usize, Vec<u32>, u64);
+        let best_ref = &best;
+        let mut extracted: Vec<Vec<Won>> = vec![Vec::new(); landmarks.len().div_ceil(chunk.max(1))];
+        crossbeam::scope(|s| {
+            for (slot, chunk_lms) in extracted.iter_mut().zip(landmarks.chunks(chunk.max(1))) {
+                s.spawn(move |_| {
+                    let mut out = Vec::new();
+                    for &l in chunk_lms {
+                        let sp = dijkstra::dijkstra(g_ref, NodeId(l));
+                        for u in 0..n {
+                            for j in 0..num_levels {
+                                if best_ref[u * num_levels + j].1 != l {
+                                    continue;
+                                }
+                                let down: Vec<u32> = sp
+                                    .path_to(NodeId(u as u32))
+                                    .expect("winner must be reachable")
+                                    .iter()
+                                    .map(|x| x.0)
+                                    .collect();
+                                out.push((l, u as u32, j, down, sp.dist[u]));
+                            }
+                        }
+                    }
+                    *slot = out;
+                });
+            }
+        })
+        .expect("landmark-path worker panicked");
+
+        let mut registry: Vec<Vec<Registration>> = (0..n).map(|_| Vec::new()).collect();
+        let mut ups: Vec<Vec<Option<Up>>> = vec![vec![None; num_levels]; n];
+        for (l, u, j, down, cost) in extracted.into_iter().flatten() {
+            let mut up_walk = down.clone();
+            up_walk.reverse();
+            registry[l as usize].push(Registration { node: u, path: down, cost });
+            ups[u as usize][j] = Some((l, up_walk, cost));
+        }
+        for r in &mut registry {
+            r.sort_unstable_by_key(|x| x.node);
+            r.dedup_by_key(|x| x.node); // a landmark may win several levels
+        }
+        let nodes: Vec<NodeState> = ups
+            .into_iter()
+            .map(|row| NodeState {
+                up: row.into_iter().map(|e| e.expect("every level has a winner")).collect(),
+            })
+            .collect();
+        LandmarkChaining { g, k: num_levels, registry, nodes }
     }
 
     fn lookup(&self, landmark: u32, node: u32) -> Option<&Registration> {
@@ -191,6 +326,49 @@ mod tests {
         let a = StorageAudit::collect(&rs, 48).mean_bits();
         let b = StorageAudit::collect(&rb, 48).mean_bits();
         assert!(b < 3.0 * a, "storage should be Δ-independent: {a} vs {b}");
+    }
+
+    #[test]
+    fn on_demand_build_matches_matrix_build() {
+        for fam in [Family::Geometric, Family::PrefAttach, Family::ExpRing] {
+            let g = fam.generate(80, 54);
+            let d = apsp(&g);
+            let a = LandmarkChaining::build_with_matrix(g.clone(), &d, 3, 54);
+            let b = LandmarkChaining::build_on_demand(g.clone(), 3, 54);
+            assert_eq!(a.k, b.k, "{}", fam.label());
+            // Same landmark assignments and climb costs at every node
+            // and level (walks may differ among equal-cost paths).
+            for u in 0..g.n() {
+                for j in 0..a.k {
+                    let (la, _, ca) = &a.nodes[u].up[j];
+                    let (lb, _, cb) = &b.nodes[u].up[j];
+                    assert_eq!((la, ca), (lb, cb), "{} node {u} level {j}", fam.label());
+                }
+            }
+            // Same evaluation results (costs drive every aggregate
+            // except hop counts, which tie-broken walks may shift).
+            let workload = pairs::sample(g.n(), 400, 55);
+            let sa = evaluate(&g, &d, &a, &workload);
+            let sb = evaluate(&g, &d, &b, &workload);
+            assert_eq!(sa.failures, sb.failures, "{}", fam.label());
+            assert_eq!(sa.max_stretch.to_bits(), sb.max_stretch.to_bits(), "{}", fam.label());
+            assert_eq!(sa.mean_stretch.to_bits(), sb.mean_stretch.to_bits(), "{}", fam.label());
+        }
+    }
+
+    #[test]
+    fn on_demand_build_scales_without_matrix() {
+        // A graph size where the dense matrix would already be 128 MB;
+        // the on-demand build must stay comfortably lazy (one Dijkstra
+        // per landmark, two passes).
+        let g = Family::PrefAttach.generate(4000, 56);
+        let r = LandmarkChaining::build_on_demand(g.clone(), 2, 56);
+        let workload = pairs::sample_grouped(g.n(), 32, 8, 56);
+        let mut truth = graphkit::OnDemandTruth::new(&g);
+        truth.prefetch_pairs(&workload, 0);
+        let stats = sim::evaluate_parallel(&g, &truth, &r, &workload, 0);
+        assert_eq!(stats.failures, 0);
+        assert!(stats.max_stretch >= 1.0);
     }
 
     #[test]

@@ -28,3 +28,14 @@ pub use exponential::LandmarkChaining;
 pub use hierarchical::HierarchicalScheme;
 pub use shortest_path::ShortestPathTables;
 pub use tz_labeled::{TzLabel, TzLabeled};
+
+// Every baseline router must stay shareable across threads so
+// `sim::evaluate_parallel` can shard pair workloads over them.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<ShortestPathTables>();
+    assert_sync::<HierarchicalScheme>();
+    assert_sync::<LandmarkChaining>();
+    assert_sync::<TzLabeled>();
+    assert_sync::<DistanceOracle>();
+};

@@ -1,0 +1,43 @@
+//! Criterion bench for the evaluation engine itself: sequential vs
+//! sharded routing, and dense-matrix vs on-demand ground truth, on a
+//! scale-free instance. The parallel/on-demand combinations must give
+//! bit-identical stats — this bench tracks what they cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphkit::gen::{self, WeightDist};
+use graphkit::metrics::apsp;
+use graphkit::OnDemandTruth;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sim::{evaluate, evaluate_parallel, pairs};
+
+fn eval_engines(c: &mut Criterion) {
+    let n = 1500;
+    let mut rng = SmallRng::seed_from_u64(0xE7A1);
+    let g = gen::preferential_attachment(n, 3, WeightDist::PowerOfTwo { max_exp: 20 }, &mut rng);
+    let router = baselines::LandmarkChaining::build_on_demand(g.clone(), 2, 0xE7A1);
+    let workload = pairs::sample_grouped(n, 32, 32, 0xE7A1);
+    let d = apsp(&g);
+
+    let mut group = c.benchmark_group("eval_scaling");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("dense", "seq"), &workload, |b, w| {
+        b.iter(|| black_box(evaluate(&g, &d, &router, w)));
+    });
+    group.bench_with_input(BenchmarkId::new("dense", "par"), &workload, |b, w| {
+        b.iter(|| black_box(evaluate_parallel(&g, &d, &router, w, 0)));
+    });
+    // On-demand: prefetch + evaluate per iteration — the end-to-end
+    // cost a matrix-free experiment actually pays.
+    group.bench_with_input(BenchmarkId::new("ondemand", "par"), &workload, |b, w| {
+        b.iter(|| {
+            let mut truth = OnDemandTruth::new(&g);
+            truth.prefetch_pairs(w, 0);
+            black_box(evaluate_parallel(&g, &truth, &router, w, 0))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, eval_engines);
+criterion_main!(benches);

@@ -1,31 +1,80 @@
 //! Regenerate the paper's tables/figures.
 //!
 //! ```text
-//! experiments [--quick] [ids…|all]
+//! experiments [--quick] [--pairs-sampled N] [--threads T]
+//!             [--truth dense|ondemand] [ids…|all]
 //! ```
 //!
 //! Without ids, prints the registry. `--quick` shrinks instance sizes
-//! (the mode the integration tests run).
+//! (the mode the integration tests run). `--pairs-sampled` overrides
+//! the evaluation workload budget, `--threads` the evaluation/prefetch
+//! worker count (0 = auto), and `--truth` selects the ground-truth
+//! engine (the dense Θ(n²) matrix or on-demand Dijkstra). Tables are
+//! bit-identical across `--threads` and `--truth` settings.
+
+use routing_bench::{RunConfig, TruthKind};
+
+fn usage(registry: &[(&str, &str, routing_bench::Runner)]) -> ! {
+    eprintln!(
+        "usage: experiments [--quick] [--pairs-sampled N] [--threads T] \
+         [--truth dense|ondemand] [ids…|all]\n\navailable experiments:"
+    );
+    for (id, desc, _) in registry {
+        eprintln!("  {id:<4} {desc}");
+    }
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let ids: Vec<&str> = args.iter().filter(|a| *a != "--quick").map(|s| s.as_str()).collect();
     let registry = routing_bench::registry();
-    if ids.is_empty() {
-        eprintln!("usage: experiments [--quick] [ids…|all]\n\navailable experiments:");
-        for (id, desc, _) in &registry {
-            eprintln!("  {id:<4} {desc}");
+    let mut cfg = RunConfig::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => cfg.quick = true,
+            "--pairs-sampled" => {
+                let v = it.next().and_then(|v| v.parse().ok()).filter(|&v: &usize| v > 0);
+                let Some(v) = v else {
+                    eprintln!("--pairs-sampled needs a positive integer");
+                    usage(&registry);
+                };
+                cfg.pairs_sampled = Some(v);
+            }
+            "--threads" => {
+                let v = it.next().and_then(|v| v.parse().ok());
+                let Some(v) = v else {
+                    eprintln!("--threads needs an integer (0 = auto)");
+                    usage(&registry);
+                };
+                cfg.threads = v;
+            }
+            "--truth" => match it.next().as_deref() {
+                Some("dense") => cfg.truth = TruthKind::Dense,
+                Some("ondemand") => cfg.truth = TruthKind::OnDemand,
+                _ => {
+                    eprintln!("--truth must be 'dense' or 'ondemand'");
+                    usage(&registry);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                usage(&registry);
+            }
+            other => ids.push(other.to_string()),
         }
-        std::process::exit(2);
     }
-    let run_all = ids.contains(&"all");
+    if ids.is_empty() {
+        usage(&registry);
+    }
+    let run_all = ids.iter().any(|i| i == "all");
     let mut ran = 0;
     for (id, desc, runner) in &registry {
-        if run_all || ids.contains(id) {
+        if run_all || ids.iter().any(|i| i == id) {
             eprintln!("[experiments] running {id} — {desc}");
             let started = std::time::Instant::now();
-            print!("{}", runner(quick));
+            print!("{}", runner(&cfg));
             eprintln!("[experiments] {id} done in {:.1}s", started.elapsed().as_secs_f64());
             ran += 1;
         }

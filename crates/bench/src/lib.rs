@@ -1,9 +1,10 @@
 #![warn(missing_docs)]
 //! # routing-bench — the experiment harness
 //!
-//! One function per experiment in DESIGN.md §3's index; each returns a
-//! formatted table so the `experiments` binary, the integration tests,
-//! and EXPERIMENTS.md all draw from the same code. Run
+//! One function per experiment in DESIGN.md §3's index; each takes the
+//! shared [`RunConfig`] and returns a formatted table so the
+//! `experiments` binary, the integration tests, and EXPERIMENTS.md all
+//! draw from the same code. Run
 //! `cargo run --release -p routing-bench --bin experiments -- all`
 //! to regenerate everything.
 
@@ -12,8 +13,42 @@ pub mod table;
 
 pub use table::Table;
 
+/// Which ground truth the evaluation engine uses (`--truth`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TruthKind {
+    /// Dense APSP matrix (Θ(n²) memory; exact, small n).
+    #[default]
+    Dense,
+    /// [`graphkit::OnDemandTruth`]: lazy per-source Dijkstra with a
+    /// parallel pair prefetch — same answers, no n² anywhere.
+    OnDemand,
+}
+
+/// Knobs shared by every experiment runner — the CLI surface of the
+/// `experiments` binary (`--quick`, `--pairs-sampled`, `--threads`,
+/// `--truth`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunConfig {
+    /// Shrink instance sizes (the mode the integration tests run).
+    pub quick: bool,
+    /// Override the sampled-pair budget of evaluation workloads.
+    pub pairs_sampled: Option<usize>,
+    /// Worker threads for evaluation and truth prefetch (0 = available
+    /// parallelism).
+    pub threads: usize,
+    /// Ground-truth engine for stretch evaluation.
+    pub truth: TruthKind,
+}
+
+impl RunConfig {
+    /// Defaults with the given quick flag (dense truth, auto threads).
+    pub fn new(quick: bool) -> Self {
+        RunConfig { quick, ..Default::default() }
+    }
+}
+
 /// The experiment registry: (id, description, runner).
-pub type Runner = fn(quick: bool) -> String;
+pub type Runner = fn(&RunConfig) -> String;
 
 /// All experiments in DESIGN.md order.
 pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
@@ -33,6 +68,7 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
         ("x2", "Space-stretch frontier across schemes", experiments::x2),
         ("a1", "Ablation: sparse-only / dense-only", experiments::a1),
         ("dx", "Directed extension (paper §4)", experiments::dx),
+        ("sc", "Scaling: sampled-pair evaluation beyond the n² wall", experiments::sc),
     ]
 }
 
@@ -46,6 +82,6 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), before);
-        assert_eq!(before, 15);
+        assert_eq!(before, 16);
     }
 }

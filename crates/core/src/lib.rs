@@ -158,6 +158,28 @@ mod tests {
     }
 
     #[test]
+    fn parallel_evaluation_matches_sequential() {
+        // Scheme::evaluate (the parallel engine) must agree bit-for-bit
+        // with sim::evaluate, with dense and on-demand truth alike.
+        let g = Family::Geometric.generate(110, 21);
+        let d = apsp(&g);
+        let scheme = Scheme::build_with_matrix(g.clone(), &d, SchemeParams::new(2, 21));
+        let workload = pairs::sample(g.n(), 400, 22);
+        let seq = evaluate(&g, &d, &scheme, &workload);
+        let mut truth = graphkit::OnDemandTruth::new(&g);
+        truth.prefetch_pairs(&workload, 3);
+        for par in [scheme.evaluate(&d, &workload, 3), scheme.evaluate(&truth, &workload, 3)] {
+            assert_eq!(seq.pairs, par.pairs);
+            assert_eq!(seq.failures, par.failures);
+            assert_eq!(seq.max_stretch.to_bits(), par.max_stretch.to_bits());
+            assert_eq!(seq.mean_stretch.to_bits(), par.mean_stretch.to_bits());
+            assert_eq!(seq.p50_stretch.to_bits(), par.p50_stretch.to_bits());
+            assert_eq!(seq.p99_stretch.to_bits(), par.p99_stretch.to_bits());
+            assert_eq!(seq.mean_hops.to_bits(), par.mean_hops.to_bits());
+        }
+    }
+
+    #[test]
     fn deterministic_in_seed() {
         let g = Family::ErdosRenyi.generate(80, 14);
         let d = apsp(&g);

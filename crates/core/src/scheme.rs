@@ -7,7 +7,7 @@ use decomposition::Decomposition;
 use graphkit::bits::{bits_for_node, bits_for_universe};
 use graphkit::{apsp, dijkstra, induced_subgraph, Cost, DistMatrix, Graph, NodeId, Tree, TreeIx};
 use landmarks::LandmarkHierarchy;
-use sim::{RouteTrace, Router};
+use sim::{GroundTruth, RouteTrace, Router, StretchStats};
 use treeroute::cover_router::{CoverOutcome, CoverTreeRouter};
 use treeroute::laing::{ErrorReportingTree, SearchOutcome};
 
@@ -466,6 +466,20 @@ impl Scheme {
         }
     }
 
+    /// Evaluate this scheme over `pairs` with the parallel engine
+    /// (`threads` = 0 → available parallelism), against any
+    /// [`GroundTruth`] — the dense matrix used at build time or an
+    /// on-demand truth for larger workloads. Results are bit-identical
+    /// to sequential [`sim::evaluate`].
+    pub fn evaluate(
+        &self,
+        truth: &(dyn GroundTruth + Sync),
+        pairs: &[(NodeId, NodeId)],
+        threads: usize,
+    ) -> StretchStats {
+        sim::evaluate_parallel(&self.g, truth, self, pairs, threads)
+    }
+
     /// Storage bits at node `v`: level plans, landmark-tree state
     /// `τ(T(c), v)` for every tree containing `v`, and cover-tree state
     /// `φ(T, v)` plus the home-root pointer for every scale in `R(v)`.
@@ -562,6 +576,13 @@ fn append_tree_path(tree: &Tree, tpath: &[TreeIx], path: &mut Vec<NodeId>) {
         path.push(tree.graph_id(t));
     }
 }
+
+// The parallel evaluator shards pairs across threads that all borrow
+// the scheme; keep the structure free of interior mutability.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<Scheme>();
+};
 
 impl Router for Scheme {
     fn route(&self, src: NodeId, dst: NodeId) -> RouteTrace {

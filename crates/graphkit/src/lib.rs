@@ -11,6 +11,9 @@
 //! * [`Tree`] — rooted weighted trees over graph-node subsets (landmark
 //!   shortest-path trees, cover trees);
 //! * [`metrics`] — parallel APSP, diameter, aspect ratio Δ;
+//! * [`truth`] — [`truth::OnDemandTruth`], exact distances from lazy
+//!   per-source Dijkstra (bounded row cache + parallel pair prefetch)
+//!   for workloads where the Θ(n²) matrix is unaffordable;
 //! * [`gen`] — synthetic workload families, including the
 //!   exponential-weight graphs (Δ ≈ 2^40) that the scale-free
 //!   experiments require;
@@ -37,6 +40,7 @@ pub mod io;
 pub mod metrics;
 pub mod subgraph;
 pub mod tree;
+pub mod truth;
 
 pub use bits::StorageCost;
 pub use digraph::{DiGraph, DiGraphBuilder};
@@ -46,3 +50,4 @@ pub use ids::{cost_add, Cost, NodeId, Weight, INFINITY};
 pub use metrics::{apsp, DistMatrix};
 pub use subgraph::{components, induced_subgraph, Subgraph};
 pub use tree::{Tree, TreeIx};
+pub use truth::OnDemandTruth;

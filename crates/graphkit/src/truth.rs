@@ -1,0 +1,261 @@
+//! On-demand ground-truth distances: lazy per-source Dijkstra behind a
+//! bounded row cache, plus a parallel prefetch pass over a pair
+//! workload.
+//!
+//! Dense APSP ([`crate::metrics::apsp`]) is exact but Θ(n²) memory — at
+//! n = 10⁵ the matrix alone is 80 GB, so every experiment that
+//! evaluates stretch through a [`crate::DistMatrix`] is capped at
+//! ~10⁴ nodes. [`OnDemandTruth`] serves the same exact distances from
+//! single-source Dijkstra runs performed only for the sources that are
+//! actually queried:
+//!
+//! * [`OnDemandTruth::prefetch_pairs`] groups a pair workload by source,
+//!   runs one Dijkstra per distinct source (fanned across threads with
+//!   `crossbeam::scope`), and pins exactly the `(s, t)` entries the
+//!   workload needs — O(pairs) memory, never O(n²);
+//! * [`OnDemandTruth::d`] answers pinned queries from the pair table
+//!   and anything else from a bounded FIFO cache of full distance rows,
+//!   recomputing a row's Dijkstra on a miss.
+//!
+//! Every answer is an exact shortest-path distance, so evaluation
+//! results are bit-identical to the dense-matrix path.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::dijkstra::dijkstra;
+use crate::graph::Graph;
+use crate::ids::{Cost, NodeId};
+
+/// Default bound on cached full rows (see [`OnDemandTruth::with_capacity`]).
+const DEFAULT_ROW_CAPACITY: usize = 32;
+
+/// Exact shortest-path distances computed lazily, one source at a time.
+pub struct OnDemandTruth<'g> {
+    g: &'g Graph,
+    capacity: usize,
+    /// Entries pinned by [`Self::prefetch_pairs`]: `(s << 32 | t)` → d(s, t).
+    pinned: HashMap<u64, Cost>,
+    cache: Mutex<RowCache>,
+    rows_computed: AtomicUsize,
+}
+
+/// Bounded FIFO cache of full distance rows.
+struct RowCache {
+    rows: HashMap<u32, Arc<Vec<Cost>>>,
+    order: VecDeque<u32>,
+}
+
+impl RowCache {
+    fn get(&self, s: u32) -> Option<Arc<Vec<Cost>>> {
+        self.rows.get(&s).cloned()
+    }
+
+    fn insert(&mut self, s: u32, row: Arc<Vec<Cost>>, capacity: usize) {
+        if self.rows.contains_key(&s) {
+            return; // another thread raced us to the same row
+        }
+        self.rows.insert(s, row);
+        self.order.push_back(s);
+        while self.rows.len() > capacity {
+            let evict = self.order.pop_front().expect("order tracks rows");
+            self.rows.remove(&evict);
+        }
+    }
+}
+
+impl<'g> OnDemandTruth<'g> {
+    /// Truth over `g` with the default row-cache bound.
+    pub fn new(g: &'g Graph) -> Self {
+        Self::with_capacity(g, DEFAULT_ROW_CAPACITY)
+    }
+
+    /// Truth over `g` caching at most `rows` full distance rows
+    /// (each row is `n` costs — size the bound to the memory budget,
+    /// not the workload; prefetched pairs bypass the row cache).
+    pub fn with_capacity(g: &'g Graph, rows: usize) -> Self {
+        OnDemandTruth {
+            g,
+            capacity: rows.max(1),
+            pinned: HashMap::new(),
+            cache: Mutex::new(RowCache { rows: HashMap::new(), order: VecDeque::new() }),
+            rows_computed: AtomicUsize::new(0),
+        }
+    }
+
+    #[inline(always)]
+    fn key(s: u32, t: u32) -> u64 {
+        (s as u64) << 32 | t as u64
+    }
+
+    /// Exact distance from `s` to `t` ([`crate::INFINITY`] if
+    /// unreachable). Pinned prefetch entries are O(1); otherwise the
+    /// row cache answers, running one Dijkstra on a miss.
+    pub fn d(&self, s: NodeId, t: NodeId) -> Cost {
+        if s == t {
+            return 0;
+        }
+        if let Some(&c) = self.pinned.get(&Self::key(s.0, t.0)) {
+            return c;
+        }
+        self.row(s)[t.idx()]
+    }
+
+    /// Full distance row from `s` (computing and caching it on a miss).
+    pub fn row(&self, s: NodeId) -> Arc<Vec<Cost>> {
+        if let Some(row) = self.cache.lock().expect("row cache poisoned").get(s.0) {
+            return row;
+        }
+        // Dijkstra outside the lock: concurrent misses on different
+        // sources must not serialize (duplicated work on the *same*
+        // source is benign — insert dedups).
+        let sp = dijkstra(self.g, s);
+        self.rows_computed.fetch_add(1, Ordering::Relaxed);
+        let row = Arc::new(sp.dist);
+        self.cache.lock().expect("row cache poisoned").insert(s.0, row.clone(), self.capacity);
+        row
+    }
+
+    /// Pin `d(s, t)` for every pair in `pairs`: one Dijkstra per
+    /// distinct source, fanned across `threads` workers (0 = available
+    /// parallelism). After this, [`Self::d`] on any prefetched pair is
+    /// a hash lookup — the evaluation hot path never takes the cache
+    /// lock. Memory is O(|pairs|), independent of n.
+    pub fn prefetch_pairs(&mut self, pairs: &[(NodeId, NodeId)], threads: usize) {
+        let mut by_src: HashMap<u32, Vec<u32>> = HashMap::new();
+        for &(s, t) in pairs {
+            if s != t && !self.pinned.contains_key(&Self::key(s.0, t.0)) {
+                by_src.entry(s.0).or_default().push(t.0);
+            }
+        }
+        if by_src.is_empty() {
+            return;
+        }
+        let mut srcs: Vec<u32> = by_src.keys().copied().collect();
+        srcs.sort_unstable();
+        let threads = resolve_threads(threads);
+        let chunk = srcs.len().div_ceil(threads);
+        let mut found: Vec<Vec<(u64, Cost)>> = vec![Vec::new(); srcs.len().div_ceil(chunk)];
+        let g = self.g;
+        let by_src = &by_src;
+        crossbeam::scope(|scope| {
+            for (slot, chunk_srcs) in found.iter_mut().zip(srcs.chunks(chunk)) {
+                scope.spawn(move |_| {
+                    let mut out = Vec::new();
+                    for &s in chunk_srcs {
+                        let sp = dijkstra(g, NodeId(s));
+                        for &t in &by_src[&s] {
+                            out.push((Self::key(s, t), sp.dist[t as usize]));
+                        }
+                    }
+                    *slot = out;
+                });
+            }
+        })
+        .expect("prefetch worker panicked");
+        self.rows_computed.fetch_add(srcs.len(), Ordering::Relaxed);
+        for shard in found {
+            self.pinned.extend(shard);
+        }
+    }
+
+    /// Number of prefetched `(s, t)` entries held.
+    pub fn pinned_len(&self) -> usize {
+        self.pinned.len()
+    }
+
+    /// Total Dijkstra runs so far (prefetch + cache misses) — the
+    /// quantity scale experiments budget against.
+    pub fn rows_computed(&self) -> usize {
+        self.rows_computed.load(Ordering::Relaxed)
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+}
+
+/// 0 → available parallelism; otherwise the requested worker count.
+/// The shared convention for every `threads` parameter in this
+/// workspace (prefetch, parallel evaluation).
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Family;
+    use crate::metrics::apsp;
+
+    #[test]
+    fn matches_dense_matrix_everywhere() {
+        let g = Family::Geometric.generate(90, 0xA1);
+        let d = apsp(&g);
+        let truth = OnDemandTruth::new(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(truth.d(u, v), d.d(u, v), "{u}->{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_pins_exactly_the_workload() {
+        let g = Family::ErdosRenyi.generate(70, 0xA2);
+        let d = apsp(&g);
+        let pairs: Vec<(NodeId, NodeId)> =
+            (0..60u32).map(|i| (NodeId(i), NodeId((i + 7) % 70))).collect();
+        let mut truth = OnDemandTruth::with_capacity(&g, 4);
+        truth.prefetch_pairs(&pairs, 3);
+        assert_eq!(truth.pinned_len(), pairs.len());
+        let after_prefetch = truth.rows_computed();
+        assert_eq!(after_prefetch, 60, "one Dijkstra per distinct source");
+        for &(s, t) in &pairs {
+            assert_eq!(truth.d(s, t), d.d(s, t));
+        }
+        // Pinned answers must not have touched the row cache.
+        assert_eq!(truth.rows_computed(), after_prefetch);
+    }
+
+    #[test]
+    fn row_cache_is_bounded_and_refills() {
+        let g = Family::Ring.generate(40, 0xA3);
+        let truth = OnDemandTruth::with_capacity(&g, 2);
+        // 3 distinct sources through a 2-row cache: the first is evicted.
+        let a = truth.d(NodeId(0), NodeId(5));
+        truth.d(NodeId(1), NodeId(5));
+        truth.d(NodeId(2), NodeId(5));
+        assert_eq!(truth.rows_computed(), 3);
+        // Re-query source 0: must recompute (evicted), same answer.
+        assert_eq!(truth.d(NodeId(0), NodeId(5)), a);
+        assert_eq!(truth.rows_computed(), 4);
+        // Source 0 is now cached again: no extra Dijkstra.
+        truth.d(NodeId(0), NodeId(6));
+        assert_eq!(truth.rows_computed(), 4);
+    }
+
+    #[test]
+    fn self_distance_is_zero_without_work() {
+        let g = Family::Grid.generate(25, 0xA4);
+        let truth = OnDemandTruth::new(&g);
+        assert_eq!(truth.d(NodeId(3), NodeId(3)), 0);
+        assert_eq!(truth.rows_computed(), 0);
+    }
+
+    #[test]
+    fn empty_prefetch_is_a_noop() {
+        let g = Family::Grid.generate(25, 0xA5);
+        let mut truth = OnDemandTruth::new(&g);
+        truth.prefetch_pairs(&[], 0);
+        truth.prefetch_pairs(&[(NodeId(1), NodeId(1))], 0);
+        assert_eq!(truth.pinned_len(), 0);
+        assert_eq!(truth.rows_computed(), 0);
+    }
+}

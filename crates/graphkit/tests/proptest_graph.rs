@@ -130,6 +130,33 @@ proptest! {
         }
     }
 
+    /// On-demand truth equals the dense matrix on every queried pair,
+    /// regardless of cache capacity, prefetch coverage, or thread
+    /// count (including disconnected graphs, where both report
+    /// INFINITY).
+    #[test]
+    fn on_demand_truth_matches_apsp(
+        (n, edges) in arb_edges(),
+        cap in 1usize..6,
+        threads in 1usize..5,
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let d = graphkit::metrics::apsp(&g);
+        let mut truth = graphkit::OnDemandTruth::with_capacity(&g, cap);
+        // Prefetch an arbitrary slice of the pair space; the rest goes
+        // through the bounded row cache.
+        let prefetched: Vec<(NodeId, NodeId)> = (0..n as u32)
+            .filter(|v| v % 2 == 0)
+            .map(|v| (NodeId(v), NodeId((v + 1) % n as u32)))
+            .collect();
+        truth.prefetch_pairs(&prefetched, threads);
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                prop_assert_eq!(truth.d(NodeId(u), NodeId(v)), d.d(NodeId(u), NodeId(v)));
+            }
+        }
+    }
+
     /// CSR construction: neighbor lists sorted, degrees sum to 2m,
     /// ports invert.
     #[test]

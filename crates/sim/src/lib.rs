@@ -11,13 +11,42 @@
 //!   no creative accounting);
 //! * [`Router`] — the uniform interface every scheme (ours and the
 //!   baselines) implements;
-//! * [`evaluate`] / [`StretchStats`] — per-pair stretch aggregation
-//!   against a ground-truth distance matrix;
+//! * [`GroundTruth`] — pluggable exact-distance source: the dense
+//!   [`DistMatrix`] for small n, or [`graphkit::OnDemandTruth`] (lazy
+//!   per-source Dijkstra) when the Θ(n²) matrix is unaffordable;
+//! * [`evaluate`] / [`evaluate_parallel`] / [`StretchStats`] — per-pair
+//!   stretch aggregation against any ground truth, sequentially or
+//!   sharded across threads (results are bit-identical either way);
 //! * [`StorageAudit`] — bits-per-node accounting with the max/mean/
 //!   total views the tables print;
 //! * [`pairs`] — deterministic all-pairs / sampled-pairs workloads.
+//!
+//! ## Evaluating beyond the n² wall
+//!
+//! ```
+//! use graphkit::{gen::Family, OnDemandTruth};
+//! use sim::{evaluate_parallel, pairs};
+//! # use graphkit::{dijkstra::dijkstra, NodeId};
+//! # struct Oracle { g: graphkit::Graph }
+//! # impl sim::Router for Oracle {
+//! #     fn route(&self, s: NodeId, t: NodeId) -> sim::RouteTrace {
+//! #         let sp = dijkstra(&self.g, s);
+//! #         sim::RouteTrace { path: sp.path_to(t).unwrap(), cost: sp.d(t), delivered: true }
+//! #     }
+//! #     fn name(&self) -> &str { "oracle" }
+//! #     fn node_storage_bits(&self, _v: NodeId) -> u64 { 0 }
+//! # }
+//!
+//! let g = Family::PrefAttach.generate(300, 7);
+//! let router = Oracle { g: g.clone() };
+//! let workload = pairs::sample_grouped(g.n(), 16, 8, 7);
+//! let mut truth = OnDemandTruth::new(&g); // no dense matrix anywhere
+//! truth.prefetch_pairs(&workload, 0);
+//! let stats = evaluate_parallel(&g, &truth, &router, &workload, 0);
+//! assert_eq!(stats.failures, 0);
+//! ```
 
-use graphkit::{Cost, DistMatrix, Graph, NodeId};
+use graphkit::{Cost, DistMatrix, Graph, NodeId, OnDemandTruth};
 
 /// The walk a message took through the graph.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -126,6 +155,32 @@ pub trait Router {
     fn node_storage_bits(&self, v: NodeId) -> u64;
 }
 
+/// Pluggable source of exact shortest-path distances for stretch
+/// evaluation. Implemented by the dense [`DistMatrix`] (Θ(n²) memory,
+/// small n) and by [`graphkit::OnDemandTruth`] (lazy per-source
+/// Dijkstra, scales to 10⁵–10⁶ nodes). Every implementation must
+/// return *exact* distances — the evaluator's sub-optimality assert
+/// and bit-identical parallel merging both rely on it.
+pub trait GroundTruth {
+    /// Exact distance from `s` to `t` (`graphkit::INFINITY` if
+    /// unreachable).
+    fn d(&self, s: NodeId, t: NodeId) -> Cost;
+}
+
+impl GroundTruth for DistMatrix {
+    #[inline(always)]
+    fn d(&self, s: NodeId, t: NodeId) -> Cost {
+        DistMatrix::d(self, s, t)
+    }
+}
+
+impl GroundTruth for OnDemandTruth<'_> {
+    #[inline(always)]
+    fn d(&self, s: NodeId, t: NodeId) -> Cost {
+        OnDemandTruth::d(self, s, t)
+    }
+}
+
 /// Aggregated stretch results over a pair workload.
 #[derive(Clone, Debug, Default)]
 pub struct StretchStats {
@@ -145,54 +200,134 @@ pub struct StretchStats {
     pub mean_hops: f64,
 }
 
-/// Route every pair in `pairs`, validating each trace, and aggregate
-/// stretch against the exact distances in `d`.
-///
-/// Panics on any trace violation or failed delivery — experiments must
-/// not silently average over broken routes.
-pub fn evaluate(
+impl StretchStats {
+    /// Aggregate per-pair samples into the reported order statistics —
+    /// the single tail shared by the sequential and parallel
+    /// evaluators. `stretches` holds one entry per *delivered* pair in
+    /// workload order; sorting uses `f64::total_cmp`, so NaN-free
+    /// inputs are not assumed (NaN sorts last and would surface in
+    /// `max_stretch` rather than panic).
+    pub fn from_samples(
+        pairs: usize,
+        mut stretches: Vec<f64>,
+        hops_total: usize,
+        failures: usize,
+    ) -> Self {
+        stretches.sort_unstable_by(f64::total_cmp);
+        let n = stretches.len();
+        let mean = stretches.iter().sum::<f64>() / n.max(1) as f64;
+        StretchStats {
+            pairs,
+            failures,
+            max_stretch: stretches.last().copied().unwrap_or(0.0),
+            mean_stretch: mean,
+            p50_stretch: percentile(&stretches, 0.50),
+            p99_stretch: percentile(&stretches, 0.99),
+            mean_hops: hops_total as f64 / n.max(1) as f64,
+        }
+    }
+}
+
+/// Per-shard accumulator: one stretch sample per delivered pair (in
+/// workload order), total hops, and the undelivered count.
+#[derive(Default)]
+struct Samples {
+    stretches: Vec<f64>,
+    hops_total: usize,
+    failures: usize,
+}
+
+/// Route one contiguous slice of the workload, validating every trace.
+/// `strict` additionally asserts no route beats the ground truth (a
+/// sub-optimal-impossible check that a lenient ablation run skips,
+/// since its broken configurations may produce degenerate but valid
+/// walks).
+fn route_shard(
     g: &Graph,
-    d: &DistMatrix,
+    truth: &dyn GroundTruth,
     router: &dyn Router,
     pairs: &[(NodeId, NodeId)],
-) -> StretchStats {
-    let mut stretches: Vec<f64> = Vec::with_capacity(pairs.len());
-    let mut hops_total = 0usize;
-    let mut failures = 0usize;
+    strict: bool,
+) -> Samples {
+    let mut out = Samples { stretches: Vec::with_capacity(pairs.len()), ..Samples::default() };
     for &(s, t) in pairs {
         let trace = router.route(s, t);
         if let Err(e) = validate_trace(g, s, t, &trace) {
             panic!("{}: invalid trace {s}->{t}: {e:?}", router.name());
         }
         if !trace.delivered {
-            failures += 1;
+            out.failures += 1;
             continue;
         }
-        let opt = d.d(s, t);
+        let opt = truth.d(s, t);
         let stretch = if opt == 0 { 1.0 } else { trace.cost as f64 / opt as f64 };
-        assert!(
-            stretch >= 1.0 - 1e-9,
-            "{}: sub-optimal impossible: {s}->{t} cost {} < d {}",
-            router.name(),
-            trace.cost,
-            opt
-        );
-        stretches.push(stretch);
-        hops_total += trace.hops();
+        if strict {
+            assert!(
+                stretch >= 1.0 - 1e-9,
+                "{}: sub-optimal impossible: {s}->{t} cost {} < d {}",
+                router.name(),
+                trace.cost,
+                opt
+            );
+        }
+        out.stretches.push(stretch);
+        out.hops_total += trace.hops();
     }
-    assert_eq!(failures, 0, "{}: {failures} undelivered pairs", router.name());
-    stretches.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
-    let n = stretches.len();
-    let mean = stretches.iter().sum::<f64>() / n.max(1) as f64;
-    StretchStats {
-        pairs: pairs.len(),
-        failures,
-        max_stretch: stretches.last().copied().unwrap_or(0.0),
-        mean_stretch: mean,
-        p50_stretch: percentile(&stretches, 0.50),
-        p99_stretch: percentile(&stretches, 0.99),
-        mean_hops: hops_total as f64 / n.max(1) as f64,
+    out
+}
+
+/// Shard `pairs` into contiguous chunks, route them on `threads`
+/// workers, and merge the per-shard samples back in workload order —
+/// so downstream aggregation sees exactly the sequence the sequential
+/// path produces.
+fn route_sharded(
+    g: &Graph,
+    truth: &(dyn GroundTruth + Sync),
+    router: &(dyn Router + Sync),
+    pairs: &[(NodeId, NodeId)],
+    strict: bool,
+    threads: usize,
+) -> Samples {
+    let threads = resolve_threads(threads);
+    if threads <= 1 || pairs.len() < 2 {
+        return route_shard(g, truth, router, pairs, strict);
     }
+    let chunk = pairs.len().div_ceil(threads);
+    let mut shards: Vec<Option<Samples>> = (0..pairs.len().div_ceil(chunk)).map(|_| None).collect();
+    crossbeam::scope(|scope| {
+        for (slot, slice) in shards.iter_mut().zip(pairs.chunks(chunk)) {
+            scope.spawn(move |_| {
+                *slot = Some(route_shard(g, truth, router, slice, strict));
+            });
+        }
+    })
+    .expect("evaluation worker panicked");
+    let mut merged = Samples { stretches: Vec::with_capacity(pairs.len()), ..Samples::default() };
+    for shard in shards {
+        let shard = shard.expect("all shards filled");
+        merged.stretches.extend(shard.stretches);
+        merged.hops_total += shard.hops_total;
+        merged.failures += shard.failures;
+    }
+    merged
+}
+
+use graphkit::truth::resolve_threads;
+
+/// Route every pair in `pairs`, validating each trace, and aggregate
+/// stretch against the exact distances in `truth`.
+///
+/// Panics on any trace violation or failed delivery — experiments must
+/// not silently average over broken routes.
+pub fn evaluate(
+    g: &Graph,
+    truth: &dyn GroundTruth,
+    router: &dyn Router,
+    pairs: &[(NodeId, NodeId)],
+) -> StretchStats {
+    let s = route_shard(g, truth, router, pairs, true);
+    assert_eq!(s.failures, 0, "{}: {} undelivered pairs", router.name(), s.failures);
+    StretchStats::from_samples(pairs.len(), s.stretches, s.hops_total, s.failures)
 }
 
 /// Like [`evaluate`], but tolerates undelivered pairs (they are counted
@@ -201,39 +336,42 @@ pub fn evaluate(
 /// Traces must still be physically valid walks.
 pub fn evaluate_lenient(
     g: &Graph,
-    d: &DistMatrix,
+    truth: &dyn GroundTruth,
     router: &dyn Router,
     pairs: &[(NodeId, NodeId)],
 ) -> StretchStats {
-    let mut stretches: Vec<f64> = Vec::with_capacity(pairs.len());
-    let mut hops_total = 0usize;
-    let mut failures = 0usize;
-    for &(s, t) in pairs {
-        let trace = router.route(s, t);
-        if let Err(e) = validate_trace(g, s, t, &trace) {
-            panic!("{}: invalid trace {s}->{t}: {e:?}", router.name());
-        }
-        if !trace.delivered {
-            failures += 1;
-            continue;
-        }
-        let opt = d.d(s, t);
-        let stretch = if opt == 0 { 1.0 } else { trace.cost as f64 / opt as f64 };
-        stretches.push(stretch);
-        hops_total += trace.hops();
-    }
-    stretches.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
-    let n = stretches.len();
-    let mean = stretches.iter().sum::<f64>() / n.max(1) as f64;
-    StretchStats {
-        pairs: pairs.len(),
-        failures,
-        max_stretch: stretches.last().copied().unwrap_or(0.0),
-        mean_stretch: mean,
-        p50_stretch: percentile(&stretches, 0.50),
-        p99_stretch: percentile(&stretches, 0.99),
-        mean_hops: hops_total as f64 / n.max(1) as f64,
-    }
+    let s = route_shard(g, truth, router, pairs, false);
+    StretchStats::from_samples(pairs.len(), s.stretches, s.hops_total, s.failures)
+}
+
+/// [`evaluate`] with the pair list sharded across `threads` workers
+/// (0 = available parallelism). Output is **bit-identical** to the
+/// sequential path: shards are contiguous slices merged back in
+/// workload order, and the aggregation tail is shared.
+pub fn evaluate_parallel(
+    g: &Graph,
+    truth: &(dyn GroundTruth + Sync),
+    router: &(dyn Router + Sync),
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+) -> StretchStats {
+    let s = route_sharded(g, truth, router, pairs, true, threads);
+    assert_eq!(s.failures, 0, "{}: {} undelivered pairs", router.name(), s.failures);
+    StretchStats::from_samples(pairs.len(), s.stretches, s.hops_total, s.failures)
+}
+
+/// [`evaluate_lenient`] with the pair list sharded across `threads`
+/// workers (0 = available parallelism); bit-identical to the
+/// sequential lenient path.
+pub fn evaluate_parallel_lenient(
+    g: &Graph,
+    truth: &(dyn GroundTruth + Sync),
+    router: &(dyn Router + Sync),
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+) -> StretchStats {
+    let s = route_sharded(g, truth, router, pairs, false, threads);
+    StretchStats::from_samples(pairs.len(), s.stretches, s.hops_total, s.failures)
 }
 
 fn percentile(sorted: &[f64], q: f64) -> f64 {
@@ -285,8 +423,9 @@ pub mod pairs {
     use rand::{Rng, SeedableRng};
 
     /// All ordered pairs (s ≠ t). Quadratic — small graphs only.
+    /// Empty for `n ≤ 1` (a 0- or 1-node graph has no ordered pairs).
     pub fn all(n: usize) -> Vec<(NodeId, NodeId)> {
-        let mut out = Vec::with_capacity(n * (n - 1));
+        let mut out = Vec::with_capacity(n * n.saturating_sub(1));
         for s in 0..n as u32 {
             for t in 0..n as u32 {
                 if s != t {
@@ -311,6 +450,43 @@ pub mod pairs {
                 (NodeId(s), NodeId(t))
             })
             .collect()
+    }
+
+    /// `sources × per_source` pairs: `sources` distinct source nodes,
+    /// each paired with `per_source` sampled targets (s ≠ t),
+    /// deterministic in `seed`. Grouping by source is the workload
+    /// shape for on-demand ground truth — `sources` Dijkstra runs
+    /// cover the whole pair set, instead of one per pair.
+    pub fn sample_grouped(
+        n: usize,
+        sources: usize,
+        per_source: usize,
+        seed: u64,
+    ) -> Vec<(NodeId, NodeId)> {
+        assert!(n >= 2);
+        let sources = sources.min(n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Distinct sources by rejection over a seen-set (sources ≤ n).
+        let mut seen = vec![false; n];
+        let mut srcs: Vec<u32> = Vec::with_capacity(sources);
+        while srcs.len() < sources {
+            let s = rng.gen_range(0..n as u32);
+            if !seen[s as usize] {
+                seen[s as usize] = true;
+                srcs.push(s);
+            }
+        }
+        let mut out = Vec::with_capacity(sources * per_source);
+        for s in srcs {
+            for _ in 0..per_source {
+                let mut t = rng.gen_range(0..n as u32 - 1);
+                if t >= s {
+                    t += 1;
+                }
+                out.push((NodeId(s), NodeId(t)));
+            }
+        }
+        out
     }
 }
 
@@ -436,6 +612,88 @@ mod tests {
         let p = pairs::all(5);
         assert_eq!(p.len(), 20);
         assert!(p.iter().all(|&(s, t)| s != t));
+    }
+
+    #[test]
+    fn all_pairs_degenerate_sizes() {
+        // Regression: n = 0 used to underflow `n * (n - 1)` in the
+        // capacity computation (debug-build panic).
+        assert!(pairs::all(0).is_empty());
+        assert!(pairs::all(1).is_empty());
+        assert_eq!(pairs::all(2), vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(0))]);
+    }
+
+    #[test]
+    fn grouped_pairs_shape_and_determinism() {
+        let a = pairs::sample_grouped(50, 8, 16, 9);
+        assert_eq!(a.len(), 8 * 16);
+        assert!(a.iter().all(|&(s, t)| s != t));
+        let distinct: std::collections::HashSet<u32> = a.iter().map(|&(s, _)| s.0).collect();
+        assert_eq!(distinct.len(), 8);
+        assert_eq!(a, pairs::sample_grouped(50, 8, 16, 9));
+        assert_ne!(a, pairs::sample_grouped(50, 8, 16, 10));
+        // More sources than nodes: clamps to n.
+        assert_eq!(pairs::sample_grouped(4, 100, 2, 1).len(), 4 * 2);
+    }
+
+    #[test]
+    fn empty_workload_and_single_node_graph() {
+        // A 1-node graph has no pairs; every evaluator must return the
+        // zeroed stats instead of panicking.
+        let g = graph_from_edges(1, &[]);
+        let d = apsp(&g);
+        let oracle = Oracle { g: &g };
+        let workload = pairs::all(g.n());
+        assert!(workload.is_empty());
+        for stats in [
+            evaluate(&g, &d, &oracle, &workload),
+            evaluate_lenient(&g, &d, &oracle, &workload),
+            evaluate_parallel(&g, &d, &oracle, &workload, 4),
+            evaluate_parallel_lenient(&g, &d, &oracle, &workload, 4),
+        ] {
+            assert_eq!(stats.pairs, 0);
+            assert_eq!(stats.failures, 0);
+            assert_eq!(stats.max_stretch, 0.0);
+            assert_eq!(stats.mean_stretch, 0.0);
+        }
+    }
+
+    /// Bitwise equality over every field — the parallel engine's
+    /// contract.
+    fn assert_stats_identical(a: &StretchStats, b: &StretchStats) {
+        assert_eq!(a.pairs, b.pairs);
+        assert_eq!(a.failures, b.failures);
+        assert_eq!(a.max_stretch.to_bits(), b.max_stretch.to_bits());
+        assert_eq!(a.mean_stretch.to_bits(), b.mean_stretch.to_bits());
+        assert_eq!(a.p50_stretch.to_bits(), b.p50_stretch.to_bits());
+        assert_eq!(a.p99_stretch.to_bits(), b.p99_stretch.to_bits());
+        assert_eq!(a.mean_hops.to_bits(), b.mean_hops.to_bits());
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        let g = Family::Geometric.generate(80, 82);
+        let d = apsp(&g);
+        let oracle = Oracle { g: &g };
+        let workload = pairs::sample(g.n(), 333, 8);
+        let seq = evaluate(&g, &d, &oracle, &workload);
+        for threads in [1, 2, 3, 7, 64] {
+            let par = evaluate_parallel(&g, &d, &oracle, &workload, threads);
+            assert_stats_identical(&seq, &par);
+        }
+    }
+
+    #[test]
+    fn on_demand_truth_matches_dense_evaluation() {
+        let g = Family::PrefAttach.generate(120, 83);
+        let d = apsp(&g);
+        let oracle = Oracle { g: &g };
+        let workload = pairs::sample_grouped(g.n(), 12, 20, 83);
+        let dense = evaluate(&g, &d, &oracle, &workload);
+        let mut truth = graphkit::OnDemandTruth::new(&g);
+        truth.prefetch_pairs(&workload, 2);
+        let lazy = evaluate_parallel(&g, &truth, &oracle, &workload, 3);
+        assert_stats_identical(&dense, &lazy);
     }
 
     #[test]

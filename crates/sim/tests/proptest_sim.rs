@@ -8,7 +8,10 @@ use graphkit::{Graph, NodeId};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use sim::{evaluate, pairs, validate_trace, RouteTrace, Router, TraceError};
+use sim::{
+    evaluate, evaluate_lenient, evaluate_parallel, evaluate_parallel_lenient, pairs,
+    validate_trace, RouteTrace, Router, StretchStats, TraceError,
+};
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (4usize..40, any::<u64>(), 0.0f64..0.3).prop_map(|(n, seed, p)| {
@@ -123,4 +126,45 @@ proptest! {
         prop_assert!(stats.p99_stretch <= stats.max_stretch + 1e-12);
         prop_assert!(stats.mean_stretch >= 1.0);
     }
+
+    /// The parallel engine is bit-identical to the sequential one on
+    /// random graphs, pair sets, and thread counts — strict and
+    /// lenient, dense and on-demand ground truth alike.
+    #[test]
+    fn parallel_evaluation_is_bit_identical(
+        g in arb_graph(),
+        count in 1usize..150,
+        seed in any::<u64>(),
+        threads in 1usize..9,
+    ) {
+        let d = graphkit::metrics::apsp(&g);
+        if !d.connected() { return Ok(()); }
+        let r = Detour { g: &g };
+        let workload = pairs::sample(g.n(), count, seed);
+
+        let seq = evaluate(&g, &d, &r, &workload);
+        let par = evaluate_parallel(&g, &d, &r, &workload, threads);
+        prop_assert!(stats_bits_equal(&seq, &par));
+
+        let seq_len = evaluate_lenient(&g, &d, &r, &workload);
+        let par_len = evaluate_parallel_lenient(&g, &d, &r, &workload, threads);
+        prop_assert!(stats_bits_equal(&seq_len, &par_len));
+
+        // Swapping in on-demand truth must not change a single bit.
+        let mut truth = graphkit::OnDemandTruth::with_capacity(&g, 3);
+        truth.prefetch_pairs(&workload, threads);
+        let lazy = evaluate_parallel(&g, &truth, &r, &workload, threads);
+        prop_assert!(stats_bits_equal(&seq, &lazy));
+    }
+}
+
+/// Bitwise equality across every aggregate field.
+fn stats_bits_equal(a: &StretchStats, b: &StretchStats) -> bool {
+    a.pairs == b.pairs
+        && a.failures == b.failures
+        && a.max_stretch.to_bits() == b.max_stretch.to_bits()
+        && a.mean_stretch.to_bits() == b.mean_stretch.to_bits()
+        && a.p50_stretch.to_bits() == b.p50_stretch.to_bits()
+        && a.p99_stretch.to_bits() == b.p99_stretch.to_bits()
+        && a.mean_hops.to_bits() == b.mean_hops.to_bits()
 }

@@ -56,7 +56,10 @@ pub use treeroute;
 pub mod prelude {
     pub use baselines::{HierarchicalScheme, LandmarkChaining, ShortestPathTables, TzLabeled};
     pub use graphkit::gen::Family;
-    pub use graphkit::{Cost, Graph, GraphBuilder, NodeId, Weight};
+    pub use graphkit::{Cost, Graph, GraphBuilder, NodeId, OnDemandTruth, Weight};
     pub use routing_core::{ForceMode, Scheme, SchemeParams};
-    pub use sim::{evaluate, pairs, Router, StorageAudit};
+    pub use sim::{
+        evaluate, evaluate_lenient, evaluate_parallel, evaluate_parallel_lenient, pairs,
+        GroundTruth, Router, StorageAudit, StretchStats,
+    };
 }
