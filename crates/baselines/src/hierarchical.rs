@@ -45,7 +45,7 @@ impl HierarchicalScheme {
         let sigma = graphkit::ids::nth_root_ceil(g.n() as u64, k as u32).max(2);
         let mut scales = Vec::with_capacity(max_scale as usize + 1);
         for s in 0..=max_scale {
-            let cover = covers::build_cover(&g, k, 1u64 << s);
+            let cover = covers::build_cover(&g, k, graphkit::ids::octave_radius(s));
             let routers: Vec<Entry> = cover
                 .trees
                 .iter()

@@ -2,22 +2,27 @@
 //!
 //! ```text
 //! experiments [--quick] [--pairs-sampled N] [--threads T]
-//!             [--truth dense|ondemand] [ids…|all]
+//!             [--truth dense|ondemand] [--construction dense|ondemand]
+//!             [ids…|all]
 //! ```
 //!
 //! Without ids, prints the registry. `--quick` shrinks instance sizes
 //! (the mode the integration tests run). `--pairs-sampled` overrides
 //! the evaluation workload budget, `--threads` the evaluation/prefetch
-//! worker count (0 = auto), and `--truth` selects the ground-truth
-//! engine (the dense Θ(n²) matrix or on-demand Dijkstra). Tables are
-//! bit-identical across `--threads` and `--truth` settings.
+//! worker count (0 = auto), `--truth` selects the ground-truth engine
+//! (the dense Θ(n²) matrix or on-demand Dijkstra), and
+//! `--construction` picks the `sc` experiment's scheme preprocessing
+//! (matrix-free by default; `dense` is the APSP-backed parity build).
+//! Tables are bit-identical across `--threads`, `--truth`, and
+//! `--construction` settings.
 
-use routing_bench::{RunConfig, TruthKind};
+use routing_bench::{ConstructionKind, RunConfig, TruthKind};
 
 fn usage(registry: &[(&str, &str, routing_bench::Runner)]) -> ! {
     eprintln!(
         "usage: experiments [--quick] [--pairs-sampled N] [--threads T] \
-         [--truth dense|ondemand] [ids…|all]\n\navailable experiments:"
+         [--truth dense|ondemand] [--construction dense|ondemand] [ids…|all]\n\n\
+         available experiments:"
     );
     for (id, desc, _) in registry {
         eprintln!("  {id:<4} {desc}");
@@ -55,6 +60,14 @@ fn main() {
                 Some("ondemand") => cfg.truth = TruthKind::OnDemand,
                 _ => {
                     eprintln!("--truth must be 'dense' or 'ondemand'");
+                    usage(&registry);
+                }
+            },
+            "--construction" => match it.next().as_deref() {
+                Some("dense") => cfg.construction = ConstructionKind::Dense,
+                Some("ondemand") => cfg.construction = ConstructionKind::OnDemand,
+                _ => {
+                    eprintln!("--construction must be 'dense' or 'ondemand'");
                     usage(&registry);
                 }
             },

@@ -24,9 +24,24 @@ pub enum TruthKind {
     OnDemand,
 }
 
+/// How the AGM `Scheme` is preprocessed in the scaling experiment
+/// (`--construction`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ConstructionKind {
+    /// `Scheme::build_on_demand`: bounded Dijkstras + landmark
+    /// columns, no n×n anywhere — the only affordable option at the
+    /// `sc` sizes, and the default there.
+    #[default]
+    OnDemand,
+    /// `Scheme::build_with_matrix` over a fresh APSP — the parity
+    /// oracle; use with `--quick` (it is exactly the n² wall the
+    /// on-demand path removes).
+    Dense,
+}
+
 /// Knobs shared by every experiment runner — the CLI surface of the
 /// `experiments` binary (`--quick`, `--pairs-sampled`, `--threads`,
-/// `--truth`).
+/// `--truth`, `--construction`).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RunConfig {
     /// Shrink instance sizes (the mode the integration tests run).
@@ -38,6 +53,8 @@ pub struct RunConfig {
     pub threads: usize,
     /// Ground-truth engine for stretch evaluation.
     pub truth: TruthKind,
+    /// Scheme preprocessing engine for the `sc` scaling experiment.
+    pub construction: ConstructionKind,
 }
 
 impl RunConfig {
@@ -68,7 +85,7 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
         ("x2", "Space-stretch frontier across schemes", experiments::x2),
         ("a1", "Ablation: sparse-only / dense-only", experiments::a1),
         ("dx", "Directed extension (paper §4)", experiments::dx),
-        ("sc", "Scaling: sampled-pair evaluation beyond the n² wall", experiments::sc),
+        ("sc", "Scaling: Theorem-1 construction & evaluation beyond the n² wall", experiments::sc),
     ]
 }
 

@@ -20,8 +20,8 @@
 //! `E(u,i) = B(u, 2^{a(u,i+1)}/6)`, and verifies Lemma 2's dense-
 //! neighborhood property per instance.
 
-use graphkit::ids::ceil_log2;
-use graphkit::{Cost, DistMatrix, NodeId};
+use graphkit::ids::{ceil_log2, octave_radius};
+use graphkit::{Cost, DijkstraScratch, DistMatrix, Graph, NodeId};
 
 /// The per-graph decomposition: all ranges `a(u, i)` plus the derived
 /// range sets.
@@ -56,20 +56,54 @@ impl Decomposition {
         assert!(n >= 2);
         let log_delta = ceil_log2(d.diameter().max(1)).max(1) + 3;
         let width = k + 1;
-        let mut ranges = vec![0u32; n * width];
-        let threads = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1);
-        let chunk = n.div_ceil(threads).max(1);
-        crossbeam::scope(|s| {
-            for (c, slice) in ranges.chunks_mut(chunk * width).enumerate() {
-                let base = c * chunk;
-                s.spawn(move |_| {
-                    for (i, row_out) in slice.chunks_mut(width).enumerate() {
-                        compute_ranges(d, NodeId((base + i) as u32), k, log_delta, row_out);
-                    }
-                });
+        let ranges: Vec<u32> = graphkit::metrics::par_chunks(n, |nodes| {
+            let mut out = vec![0u32; nodes.len() * width];
+            for (row_out, u) in out.chunks_mut(width).zip(nodes) {
+                compute_ranges(d, NodeId(u as u32), k, log_delta, row_out);
             }
+            out
         })
-        .expect("range worker panicked");
+        .into_iter()
+        .flatten()
+        .collect();
+        Decomposition { k, n, ranges, log_delta }
+    }
+
+    /// Compute all ranges without a distance matrix: one
+    /// radius/size-bounded Dijkstra per level per node instead of a
+    /// dense row. Computes the exact diameter first (matrix-free, via
+    /// [`graphkit::diameter_matrix_free`]); pass a precomputed value
+    /// through [`Decomposition::build_on_demand_with_diameter`] to
+    /// reuse it. Identical output to [`Decomposition::build`].
+    pub fn build_on_demand(g: &Graph, k: usize) -> Self {
+        Self::build_on_demand_with_diameter(g, k, graphkit::diameter_matrix_free(g))
+    }
+
+    /// [`Decomposition::build_on_demand`] reusing an exact diameter.
+    ///
+    /// Per node, level `i` costs the ball holding the `n^{i/k}`-growth
+    /// target — O(n^{(k−1)/k}) settles per node in total rather than a
+    /// full Dijkstra, which is what lets ranges exist at 10⁵+ nodes.
+    /// (Levels that cap at `⌈log₂ Δ⌉` before `i = k−1` degrade toward
+    /// whole-component balls, exactly as the dense path degrades to
+    /// full rows.)
+    pub fn build_on_demand_with_diameter(g: &Graph, k: usize, diameter: Cost) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        let n = g.n();
+        assert!(n >= 2);
+        let log_delta = ceil_log2(diameter.max(1)).max(1) + 3;
+        let width = k + 1;
+        let ranges: Vec<u32> = graphkit::metrics::par_chunks(n, |nodes| {
+            let mut scratch = DijkstraScratch::new(n);
+            let mut out = vec![0u32; nodes.len() * width];
+            for (row_out, u) in out.chunks_mut(width).zip(nodes) {
+                compute_ranges_on_demand(g, &mut scratch, NodeId(u as u32), k, log_delta, row_out);
+            }
+            out
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         Decomposition { k, n, ranges, log_delta }
     }
 
@@ -95,12 +129,14 @@ impl Decomposition {
     }
 
     /// Radius of `A(u, i)`: `2^{a(u,i)}` for `i ≥ 1`; 0 for `i = 0`
-    /// (the paper sets `A(u,0) = {u}`).
+    /// (the paper sets `A(u,0) = {u}`). Saturating per
+    /// [`octave_radius`] once the exponent leaves `u64` (see the cap
+    /// documented there).
     pub fn ball_radius(&self, u: NodeId, i: usize) -> Cost {
         if i == 0 {
             0
         } else {
-            1u64 << self.a(u, i)
+            octave_radius(self.a(u, i))
         }
     }
 
@@ -156,36 +192,86 @@ impl Decomposition {
 
     /// Members of `F(u, i) = B(u, 2^{a(u,i)−1})`, the region a dense
     /// level's cover tree is guaranteed to reach (Lemma 8).
-    /// Membership test: `2·d(u,v) ≤ 2^{a(u,i)}`.
+    /// Membership test: `2·d(u,v) ≤ 2^{a(u,i)}`, evaluated as
+    /// `d(u,v) ≤ 2^{a(u,i)}/2` so huge distances cannot overflow the
+    /// doubled side.
     pub fn f_members(&self, d: &DistMatrix, u: NodeId, i: usize) -> Vec<u32> {
-        let bound = 1u64 << self.a(u, i);
+        let radius = self.f_radius(u, i);
         d.row(u)
             .iter()
             .enumerate()
-            .filter(|&(_, &dist)| dist != graphkit::INFINITY && 2 * dist <= bound)
+            .filter(|&(_, &dist)| dist != graphkit::INFINITY && dist <= radius)
             .map(|(v, _)| v as u32)
             .collect()
     }
 
+    /// [`Decomposition::f_members`] from the graph alone: one
+    /// radius-bounded Dijkstra instead of a dense row. Identical
+    /// output (ids ascending).
+    pub fn f_members_on_demand(&self, g: &Graph, u: NodeId, i: usize) -> Vec<u32> {
+        ball_ids(g, u, self.f_radius(u, i))
+    }
+
+    /// Largest integer distance inside `F(u, i)`: `⌊2^{a(u,i)}/2⌋`.
+    pub fn f_radius(&self, u: NodeId, i: usize) -> Cost {
+        octave_radius(self.a(u, i)) / 2
+    }
+
     /// Members of `E(u, i) = B(u, 2^{a(u,i+1)}/6)`, the region a sparse
     /// level's landmark search is guaranteed to reach (Lemma 10).
-    /// Membership test: `6·d(u,v) ≤ 2^{a(u,i+1)}`.
+    /// Membership test: `6·d(u,v) ≤ 2^{a(u,i+1)}`, evaluated as
+    /// `d(u,v) ≤ 2^{a(u,i+1)}/6` (overflow-safe, same integer set).
     pub fn e_members(&self, d: &DistMatrix, u: NodeId, i: usize) -> Vec<u32> {
         debug_assert!(i < self.k);
-        let bound = 1u64 << self.a(u, i + 1);
+        let radius = self.e_radius(u, i);
         d.row(u)
             .iter()
             .enumerate()
-            .filter(|&(_, &dist)| dist != graphkit::INFINITY && 6 * dist <= bound)
+            .filter(|&(_, &dist)| dist != graphkit::INFINITY && dist <= radius)
             .map(|(v, _)| v as u32)
             .collect()
+    }
+
+    /// [`Decomposition::e_members`] from the graph alone: one
+    /// radius-bounded Dijkstra instead of a dense row. Identical
+    /// output (ids ascending).
+    pub fn e_members_on_demand(&self, g: &Graph, u: NodeId, i: usize) -> Vec<u32> {
+        debug_assert!(i < self.k);
+        ball_ids(g, u, self.e_radius(u, i))
+    }
+
+    /// [`Decomposition::ball_size`] from the graph alone: one
+    /// radius-bounded Dijkstra instead of a dense row.
+    pub fn ball_size_on_demand(&self, g: &Graph, u: NodeId, i: usize) -> usize {
+        graphkit::ball_size(g, u, self.ball_radius(u, i))
     }
 
     /// Radius of `E(u,i)` as an exact rational bound `2^{a(u,i+1)}/6`,
     /// returned as the largest integer distance that qualifies.
     pub fn e_radius(&self, u: NodeId, i: usize) -> Cost {
-        (1u64 << self.a(u, i + 1)) / 6
+        octave_radius(self.a(u, i + 1)) / 6
     }
+
+    /// Is `E(u, i)` the whole (connected) graph by construction? True
+    /// exactly when `a(u,i+1)` hit the `⌈log₂ Δ⌉ + 3` cap *and* the
+    /// cap's octave is exact, since then `2^{cap}/6 ≥ 8Δ/6 > Δ`. The
+    /// scheme uses this to swap a Θ(n)-member enumeration for an O(1)
+    /// "all nodes" scope.
+    pub fn e_is_global(&self, u: NodeId, i: usize) -> bool {
+        debug_assert!(i < self.k);
+        self.a(u, i + 1) == self.log_delta && self.log_delta < 64
+    }
+}
+
+/// Ids (ascending) of the ball `B(u, radius)` via one bounded Dijkstra.
+fn ball_ids(g: &Graph, u: NodeId, radius: Cost) -> Vec<u32> {
+    let sp = graphkit::dijkstra_bounded(g, u, radius);
+    sp.dist
+        .iter()
+        .enumerate()
+        .filter(|&(_, &dist)| dist != graphkit::INFINITY && dist <= radius)
+        .map(|(v, _)| v as u32)
+        .collect()
 }
 
 /// Compute `a(u, 0..=k)` into `out`.
@@ -193,7 +279,9 @@ fn compute_ranges(d: &DistMatrix, u: NodeId, k: usize, log_delta: u32, out: &mut
     let mut sorted: Vec<u64> = d.row(u).to_vec();
     sorted.sort_unstable();
     let n = d.n() as u64;
-    let size_at = |j: u32| -> u64 { sorted.partition_point(|&x| x <= (1u64 << j)) as u64 };
+    // octave_radius keeps huge caps (⌈log₂Δ⌉ ≥ 61) from overflowing
+    // the shift while still excluding INFINITY (unreachable) entries.
+    let size_at = |j: u32| -> u64 { sorted.partition_point(|&x| x <= octave_radius(j)) as u64 };
     out[0] = 0;
     let mut prev_size = 1u64; // |A(u,0)| = 1
     for i in 1..=k {
@@ -217,6 +305,65 @@ fn compute_ranges(d: &DistMatrix, u: NodeId, k: usize, log_delta: u32, out: &mut
     // Coverage override: the top range always reaches the cap (see
     // `Decomposition::build` docs).
     out[k] = log_delta;
+}
+
+/// Matrix-free twin of [`compute_ranges`]: identical output, but each
+/// level's crossing octave comes from a size-capped Dijkstra (the
+/// `target`-th settled node's distance pins the smallest octave whose
+/// ball reaches the growth target) instead of a sorted dense row.
+fn compute_ranges_on_demand(
+    g: &Graph,
+    scratch: &mut DijkstraScratch,
+    u: NodeId,
+    k: usize,
+    log_delta: u32,
+    out: &mut [u32],
+) {
+    let n = g.n() as u64;
+    out[0] = 0;
+    let mut prev_size = 1u64; // |A(u,0)| = 1
+    for i in 1..k {
+        let start = if i == 1 { 1 } else { out[i - 1] + 1 };
+        let a_i = match smallest_growth_target(prev_size, n, k as u32) {
+            Some(target) if start <= log_delta => {
+                scratch.run(g, u, graphkit::INFINITY - 1, target as usize);
+                if (scratch.settled().len() as u64) < target {
+                    log_delta // ball never grows enough: cap
+                } else {
+                    let d_target = scratch.settled()[target as usize - 1].0;
+                    ceil_log2(d_target).max(start).min(log_delta)
+                }
+            }
+            _ => log_delta,
+        };
+        out[i] = a_i;
+        if i + 1 < k {
+            scratch.run(g, u, octave_radius(a_i), usize::MAX);
+            prev_size = scratch.settled().len() as u64;
+        }
+    }
+    // Coverage override: the top range always reaches the cap (see
+    // `Decomposition::build` docs).
+    out[k] = log_delta;
+}
+
+/// Smallest integer `s` with `grows_enough(s, prev, n, k)`, i.e. the
+/// ball size the next level must reach; `None` when even `s = n`
+/// fails (the level caps at `⌈log₂ Δ⌉`).
+fn smallest_growth_target(prev: u64, n: u64, k: u32) -> Option<u64> {
+    if !grows_enough(n, prev, n, k) {
+        return None;
+    }
+    let (mut lo, mut hi) = (prev, n); // invariant: ¬grows(lo), grows(hi)
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if grows_enough(mid, prev, n, k) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
 }
 
 /// Exact test `size ≥ n^{1/k} · prev` via `size^k ≥ n · prev^k` in
@@ -455,6 +602,97 @@ mod tests {
         let (_, dec) = dec_for(Family::ErdosRenyi, 150, 2, 41);
         let dense0 = (0..150u32).filter(|&u| dec.is_dense(NodeId(u), 0)).count();
         assert!(dense0 > 75, "expected mostly-dense level 0, got {dense0}/150");
+    }
+
+    #[test]
+    fn on_demand_build_matches_dense() {
+        for fam in [Family::ErdosRenyi, Family::ExpRing, Family::Geometric, Family::ExpTree] {
+            for k in [1usize, 2, 3] {
+                let g = fam.generate(120, 61);
+                let d = apsp(&g);
+                let dense = Decomposition::build(&d, k);
+                let od = Decomposition::build_on_demand(&g, k);
+                assert_eq!(dense.log_delta(), od.log_delta(), "{} k={k}", fam.label());
+                for u in 0..g.n() as u32 {
+                    for i in 0..=k {
+                        assert_eq!(
+                            dense.a(NodeId(u), i),
+                            od.a(NodeId(u), i),
+                            "{} k={k} u={u} i={i}",
+                            fam.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn on_demand_members_match_dense() {
+        let g = Family::Geometric.generate(140, 62);
+        let d = apsp(&g);
+        let dec = Decomposition::build(&d, 3);
+        for u in (0..140u32).step_by(7) {
+            let u = NodeId(u);
+            for i in 0..3usize {
+                assert_eq!(dec.e_members(&d, u, i), dec.e_members_on_demand(&g, u, i));
+                if i >= 1 {
+                    assert_eq!(dec.f_members(&d, u, i), dec.f_members_on_demand(&g, u, i));
+                }
+                assert_eq!(dec.ball_size(&d, u, i), dec.ball_size_on_demand(&g, u, i));
+            }
+        }
+    }
+
+    #[test]
+    fn near_u64_max_weights_do_not_overflow() {
+        // One edge near u64::MAX pushes ⌈log₂Δ⌉ to 63, so the +3 cap
+        // would shift past the u64 range without the saturating
+        // octave_radius — this used to panic in debug builds.
+        let g = graphkit::graph_from_edges(
+            4,
+            &[(0, 1, u64::MAX - 2), (1, 2, 1), (2, 3, 7), (3, 0, u64::MAX / 2)],
+        );
+        let d = apsp(&g);
+        for k in [1usize, 2, 3] {
+            let dense = Decomposition::build(&d, k);
+            let od = Decomposition::build_on_demand(&g, k);
+            assert_eq!(dense.log_delta(), od.log_delta());
+            assert!(dense.log_delta() >= 64, "cap must exceed the shift range");
+            for u in 0..4u32 {
+                let u = NodeId(u);
+                for i in 0..=k {
+                    assert_eq!(dense.a(u, i), od.a(u, i));
+                    // Saturated radii stay finite and ordered.
+                    assert!(dense.ball_radius(u, i) < graphkit::INFINITY);
+                }
+                for i in 0..k {
+                    assert_eq!(dense.e_members(&d, u, i), dense.e_members_on_demand(&g, u, i));
+                    assert!(dense.e_radius(u, i) < graphkit::INFINITY);
+                }
+                // Extended ranges and classification stay computable.
+                let _ = dense.extended_range_set(u);
+                let _ = dense.is_dense(u, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn on_demand_handles_disconnected_graphs() {
+        let g = graphkit::graph_from_edges(
+            8,
+            &[(0, 1, 2), (1, 2, 2), (2, 3, 2), (4, 5, 9), (5, 6, 9), (6, 7, 9)],
+        );
+        let d = apsp(&g);
+        for k in [1usize, 2, 3] {
+            let dense = Decomposition::build(&d, k);
+            let od = Decomposition::build_on_demand(&g, k);
+            for u in 0..8u32 {
+                for i in 0..=k {
+                    assert_eq!(dense.a(NodeId(u), i), od.a(NodeId(u), i), "k={k} u={u} i={i}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -105,6 +105,142 @@ pub fn dijkstra_bounded(g: &Graph, source: NodeId, radius: Cost) -> Sssp {
     Sssp { source, dist, parent }
 }
 
+/// Reusable buffers for repeated bounded Dijkstra runs from many
+/// sources over the same graph size.
+///
+/// [`dijkstra_bounded`] allocates (and zeroes) two `n`-length vectors
+/// per call, which turns `n` small-ball runs into Θ(n²) work. The
+/// scratch keeps the vectors alive across runs and resets only the
+/// entries the previous run touched, so a run costs O(ball) rather
+/// than O(n). This is the workhorse behind the matrix-free scheme
+/// construction (per-node ranges, `E(u,i)` balls, level-0 S-sets).
+pub struct DijkstraScratch {
+    dist: Vec<Cost>,
+    parent: Vec<u32>,
+    heap: BinaryHeap<Reverse<(Cost, u32)>>,
+    /// Nodes whose `dist`/`parent` entries are dirty.
+    touched: Vec<u32>,
+    /// Settled `(distance, node)` pairs of the last run, in increasing
+    /// `(distance, id)` order (the heap pop order).
+    settled: Vec<(Cost, u32)>,
+    source: NodeId,
+}
+
+impl DijkstraScratch {
+    /// Scratch for graphs of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        DijkstraScratch {
+            dist: vec![INFINITY; n],
+            parent: vec![u32::MAX; n],
+            heap: BinaryHeap::new(),
+            touched: Vec::new(),
+            settled: Vec::new(),
+            source: NodeId(0),
+        }
+    }
+
+    /// Run Dijkstra from `source`, stopping at distance `> radius` and
+    /// additionally once `settle_cap` nodes have been settled (pass
+    /// `usize::MAX` for no cap). Settled nodes and their distances —
+    /// in increasing `(distance, id)` order — are available through
+    /// [`Self::settled`] until the next run; `dist`/`parent` views stay
+    /// consistent with [`dijkstra_bounded`] for every settled node.
+    ///
+    /// With a `settle_cap`, the run stops *after* the cap-th pop, so
+    /// the settled list is exactly the `settle_cap` smallest
+    /// `(distance, id)` pairs (ties broken by id, as everywhere).
+    pub fn run(&mut self, g: &Graph, source: NodeId, radius: Cost, settle_cap: usize) {
+        // Lazy reset of the previous run's footprint.
+        for &v in &self.touched {
+            self.dist[v as usize] = INFINITY;
+            self.parent[v as usize] = u32::MAX;
+        }
+        self.touched.clear();
+        self.settled.clear();
+        self.heap.clear();
+        self.source = source;
+        self.dist[source.idx()] = 0;
+        self.touched.push(source.0);
+        self.heap.push(Reverse((0, source.0)));
+        while let Some(Reverse((d, u))) = self.heap.pop() {
+            if d > self.dist[u as usize] {
+                continue; // stale entry
+            }
+            self.settled.push((d, u));
+            if self.settled.len() >= settle_cap {
+                break;
+            }
+            for (v, w) in g.edges_of(NodeId(u)) {
+                let nd = cost_add(d, w);
+                if nd > radius {
+                    continue;
+                }
+                let dv = &mut self.dist[v.idx()];
+                if nd < *dv || (nd == *dv && u < self.parent[v.idx()]) {
+                    let improved = nd < *dv;
+                    if *dv == INFINITY {
+                        self.touched.push(v.0);
+                    }
+                    *dv = nd;
+                    self.parent[v.idx()] = u;
+                    if improved {
+                        self.heap.push(Reverse((nd, v.0)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Settled `(distance, node)` pairs of the last run, in increasing
+    /// `(distance, id)` order.
+    pub fn settled(&self) -> &[(Cost, u32)] {
+        &self.settled
+    }
+
+    /// Distance to `v` as of the last run (`INFINITY` if unsettled —
+    /// meaningful only for nodes the run settled).
+    #[inline(always)]
+    pub fn dist(&self, v: NodeId) -> Cost {
+        self.dist[v.idx()]
+    }
+
+    /// Shortest-path-tree parent of `v` as of the last run
+    /// (`u32::MAX` for the source and unsettled nodes). Identical to
+    /// the full-run parent for every settled node: any predecessor on
+    /// a shortest path to a settled node lies strictly closer, hence
+    /// inside the bound as well.
+    #[inline(always)]
+    pub fn parent(&self, v: NodeId) -> u32 {
+        self.parent[v.idx()]
+    }
+
+    /// Source of the last run.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Full distance view of the last run (`INFINITY` outside the
+    /// settled ball) — the slice form [`crate::Tree::from_dist_parents`]
+    /// consumes.
+    pub fn dists(&self) -> &[Cost] {
+        &self.dist
+    }
+
+    /// Full parent view of the last run (`u32::MAX` outside the
+    /// settled ball).
+    pub fn parents(&self) -> &[u32] {
+        &self.parent
+    }
+
+    /// The number of settled nodes whose `(distance, id)` key is
+    /// strictly below `key` — the rank/position primitive behind the
+    /// level-0 S-set queries. Exact whenever the run's radius reached
+    /// `key.0`.
+    pub fn position_below(&self, key: (Cost, u32)) -> usize {
+        self.settled.partition_point(|&e| e < key)
+    }
+}
+
 /// Settle nodes in nondecreasing distance order until `m` nodes from the
 /// candidate set `in_set` have been found (or the graph is exhausted).
 /// Returns the settled members of the set, ordered by `(distance, id)`.
@@ -291,6 +427,36 @@ mod tests {
         let g = path5();
         let c = m_closest_in_set(&g, NodeId(0), 100, |v| v.0 >= 3);
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn scratch_matches_bounded_across_runs() {
+        let g = weighted();
+        let mut scratch = DijkstraScratch::new(g.n());
+        for src in 0..5u32 {
+            for radius in [0u64, 2, 4, 9, u64::MAX - 1] {
+                scratch.run(&g, NodeId(src), radius, usize::MAX);
+                let sp = dijkstra_bounded(&g, NodeId(src), radius);
+                for (d, v) in scratch.settled() {
+                    assert_eq!(*d, sp.d(NodeId(*v)));
+                    assert_eq!(scratch.parent(NodeId(*v)), sp.parent[*v as usize]);
+                }
+                let want: usize = sp.dist.iter().filter(|&&d| d != INFINITY).count();
+                assert_eq!(scratch.settled().len(), want, "src={src} r={radius}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_settle_cap_takes_smallest_pairs() {
+        // Star with equal spokes: the cap must cut by (distance, id).
+        let g = graph_from_edges(5, &[(0, 1, 5), (0, 2, 5), (0, 3, 5), (0, 4, 5)]);
+        let mut scratch = DijkstraScratch::new(g.n());
+        scratch.run(&g, NodeId(0), u64::MAX - 1, 3);
+        let ids: Vec<u32> = scratch.settled().iter().map(|&(_, v)| v).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(scratch.position_below((5, 2)), 2); // {(0,0), (5,1)}
+        assert_eq!(scratch.position_below((5, 0)), 1);
     }
 
     #[test]

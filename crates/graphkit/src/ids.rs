@@ -66,6 +66,28 @@ pub fn cost_add(a: Cost, b: Cost) -> Cost {
     }
 }
 
+/// `2^a` as a [`Cost`], saturating at `INFINITY − 1` once `a ≥ 64`.
+///
+/// Radius exponents in the decomposition go up to `⌈log₂ Δ⌉ + 3`, so
+/// graphs whose aspect ratio pushes `⌈log₂ Δ⌉ ≥ 61` would overflow a
+/// plain `1u64 << a` (panic in debug, silent wrap in release). The
+/// saturated value is a *finite* radius that dominates every real
+/// distance while still excluding [`INFINITY`] (unreachable) entries
+/// from `dist <= r` tests.
+///
+/// Documented cap: with edge weights below `2^60` every octave radius
+/// is exact; beyond that the top octaves saturate, so balls at those
+/// scales may truncate near `u64::MAX`-cost paths (the construction
+/// stays panic-free, which is what the regression tests pin down).
+#[inline(always)]
+pub fn octave_radius(a: u32) -> Cost {
+    if a >= 64 {
+        INFINITY - 1
+    } else {
+        1u64 << a
+    }
+}
+
 /// `ceil(log2(x))` for `x >= 1`; 0 for `x <= 1`.
 #[inline]
 pub fn ceil_log2(x: u64) -> u32 {
@@ -146,6 +168,18 @@ mod tests {
         assert_eq!(cost_add(INFINITY, 2), INFINITY);
         assert_eq!(cost_add(2, INFINITY), INFINITY);
         assert_eq!(cost_add(u64::MAX - 1, 5), INFINITY);
+    }
+
+    #[test]
+    fn octave_radius_saturates() {
+        assert_eq!(octave_radius(0), 1);
+        assert_eq!(octave_radius(40), 1 << 40);
+        assert_eq!(octave_radius(63), 1 << 63);
+        // At and beyond 64 the radius saturates to a finite dominator
+        // that still excludes INFINITY from `dist <= r` tests.
+        assert_eq!(octave_radius(64), INFINITY - 1);
+        assert_eq!(octave_radius(200), INFINITY - 1);
+        assert!(INFINITY > octave_radius(200));
     }
 
     #[test]

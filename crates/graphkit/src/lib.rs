@@ -44,10 +44,12 @@ pub mod truth;
 
 pub use bits::StorageCost;
 pub use digraph::{DiGraph, DiGraphBuilder};
-pub use dijkstra::{ball, ball_size, dijkstra, dijkstra_bounded, m_closest_in_set, Sssp};
+pub use dijkstra::{
+    ball, ball_size, dijkstra, dijkstra_bounded, m_closest_in_set, DijkstraScratch, Sssp,
+};
 pub use graph::{graph_from_edges, Graph, GraphBuilder};
-pub use ids::{cost_add, Cost, NodeId, Weight, INFINITY};
-pub use metrics::{apsp, DistMatrix};
+pub use ids::{cost_add, octave_radius, Cost, NodeId, Weight, INFINITY};
+pub use metrics::{apsp, diameter_matrix_free, DistMatrix};
 pub use subgraph::{components, induced_subgraph, Subgraph};
 pub use tree::{Tree, TreeIx};
 pub use truth::OnDemandTruth;

@@ -109,6 +109,90 @@ pub fn apsp(g: &Graph) -> DistMatrix {
     DistMatrix { n, d }
 }
 
+/// Exact diameter (largest finite pairwise distance) without an n×n
+/// matrix, via the iFUB bounding scheme lifted to weighted graphs.
+///
+/// Per connected component: a double sweep seeds a lower bound `lb`;
+/// from a root `r` on the midpoint of the sweep path, nodes are
+/// processed in decreasing `d(r, ·)` order, each contributing its
+/// eccentricity to `lb`, until `2·d(r, next) ≤ lb` — at that point any
+/// unprocessed pair `x, y` satisfies `d(x, y) ≤ d(x, r) + d(r, y) ≤
+/// lb`, so `lb` is the component's diameter. Memory is O(n); the run
+/// count is a handful of Dijkstras on small-world graphs and degrades
+/// toward O(n) only on path-like metrics (where the dense
+/// [`DistMatrix`] is affordable anyway).
+pub fn diameter_matrix_free(g: &Graph) -> Cost {
+    let mut best = 0;
+    for comp in crate::subgraph::components(g) {
+        if comp.len() >= 2 {
+            best = best.max(component_diameter(g, NodeId(comp[0])));
+        }
+    }
+    best
+}
+
+/// iFUB on the component containing `start`.
+fn component_diameter(g: &Graph, start: NodeId) -> Cost {
+    let farthest = |sp: &crate::dijkstra::Sssp| -> (NodeId, Cost) {
+        let (v, d) = sp
+            .dist
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d != INFINITY)
+            .max_by_key(|&(v, &d)| (d, std::cmp::Reverse(v)))
+            .expect("component nonempty");
+        (NodeId(v as u32), *d)
+    };
+    // Double sweep: start -> a -> b.
+    let sp0 = dijkstra(g, start);
+    let (a, _) = farthest(&sp0);
+    let spa = dijkstra(g, a);
+    let (b, mut lb) = farthest(&spa);
+    // Root at the midpoint of the a-b path.
+    let path = spa.path_to(b).expect("b reachable from a");
+    let root = *path.iter().min_by_key(|&&v| spa.d(v).abs_diff(lb / 2)).expect("path nonempty");
+    let spr = dijkstra(g, root);
+    let mut order: Vec<(Cost, u32)> = spr
+        .dist
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != INFINITY)
+        .map(|(v, &d)| (d, v as u32))
+        .collect();
+    order.sort_unstable_by(|x, y| y.cmp(x)); // decreasing d(root, ·)
+    for (dr, v) in order {
+        if dr.saturating_mul(2) <= lb {
+            break;
+        }
+        let sp = dijkstra(g, NodeId(v));
+        lb = lb.max(farthest(&sp).1);
+    }
+    lb
+}
+
+/// Split `0..count` into one contiguous chunk per worker thread, run
+/// `f` on each chunk concurrently (scoped threads), and return the
+/// per-chunk results in chunk order — so order-sensitive merges stay
+/// deterministic in any thread count. The skeleton behind every
+/// parallel pass in this workspace; per-worker scratch (e.g. a
+/// [`crate::DijkstraScratch`]) lives inside `f`.
+pub fn par_chunks<T: Send>(count: usize, f: impl Fn(std::ops::Range<usize>) -> T + Sync) -> Vec<T> {
+    let threads = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1);
+    let chunk = count.div_ceil(threads).max(1);
+    let mut out: Vec<Option<T>> = (0..count.div_ceil(chunk)).map(|_| None).collect();
+    crossbeam::scope(|s| {
+        for (i, slot) in out.iter_mut().enumerate() {
+            let f = &f;
+            s.spawn(move |_| {
+                let lo = i * chunk;
+                *slot = Some(f(lo..(lo + chunk).min(count)));
+            });
+        }
+    })
+    .expect("parallel chunk worker panicked");
+    out.into_iter().map(|x| x.expect("every chunk filled")).collect()
+}
+
 /// Run one Dijkstra per node in parallel and hand each result to `f`
 /// (called with the source id). Results are collected in source order.
 /// The workhorse for per-node preprocessing in the scheme crates.
@@ -186,6 +270,39 @@ mod tests {
             for v in g.nodes() {
                 assert_eq!(m.d(u, v), m.d(v, u));
             }
+        }
+    }
+
+    #[test]
+    fn matrix_free_diameter_matches_apsp() {
+        use crate::gen::Family;
+        for fam in Family::ALL {
+            let g = fam.generate(120, 0xD1A);
+            let m = apsp(&g);
+            assert_eq!(diameter_matrix_free(&g), m.diameter(), "{}", fam.label());
+        }
+    }
+
+    #[test]
+    fn matrix_free_diameter_on_rings_and_disconnected() {
+        // Ring: the adversarial case for iFUB (many eccentricity runs,
+        // still exact).
+        let g = ring(101, 3);
+        assert_eq!(diameter_matrix_free(&g), apsp(&g).diameter());
+        // Disconnected: the largest finite distance across components.
+        let g = graph_from_edges(7, &[(0, 1, 5), (1, 2, 5), (3, 4, 2), (5, 6, 40)]);
+        assert_eq!(diameter_matrix_free(&g), apsp(&g).diameter());
+        // Isolated nodes only.
+        let g = graph_from_edges(3, &[]);
+        assert_eq!(diameter_matrix_free(&g), 0);
+    }
+
+    #[test]
+    fn par_chunks_covers_in_order() {
+        for count in [0usize, 1, 7, 64, 1000] {
+            let ranges = par_chunks(count, |r| r);
+            let flat: Vec<usize> = ranges.into_iter().flatten().collect();
+            assert_eq!(flat, (0..count).collect::<Vec<_>>(), "count={count}");
         }
     }
 

@@ -87,51 +87,60 @@ impl Tree {
     /// must be *ancestor-closed enough*: for each member, its whole
     /// shortest path to the source is added (so the result is connected).
     pub fn from_sssp(g: &Graph, sp: &Sssp, members: impl IntoIterator<Item = NodeId>) -> Self {
-        let n = g.n();
-        let mut in_tree = vec![false; n];
-        let mut work: Vec<NodeId> = Vec::new();
-        for v in members {
-            assert!(sp.reachable(v), "member {v:?} unreachable from {:?}", sp.source);
-            work.push(v);
-        }
+        Self::from_dist_parents(g, sp.source, &sp.dist, &sp.parent, members)
+    }
+
+    /// [`Tree::from_sssp`] over raw distance/parent slices — the form a
+    /// [`crate::dijkstra::DijkstraScratch`] run exposes, so matrix-free
+    /// construction can extract many small trees without allocating an
+    /// [`Sssp`] (or any O(n) marker) per tree. Work and memory are
+    /// O(tree size), not O(n).
+    pub fn from_dist_parents(
+        g: &Graph,
+        source: NodeId,
+        dist: &[Cost],
+        parent: &[u32],
+        members: impl IntoIterator<Item = NodeId>,
+    ) -> Self {
+        use std::collections::HashMap;
+        let mut tree_ix: HashMap<u32, u32> = HashMap::new();
         // Close under parents.
         let mut closed: Vec<NodeId> = Vec::new();
-        for v in work {
+        for v in members {
+            assert!(dist[v.idx()] != Cost::MAX, "member {v:?} unreachable from {source:?}");
             let mut cur = v;
-            while !in_tree[cur.idx()] {
-                in_tree[cur.idx()] = true;
+            while !tree_ix.contains_key(&cur.0) {
+                tree_ix.insert(cur.0, u32::MAX);
                 closed.push(cur);
-                match sp.parent_of(cur) {
-                    Some(p) => cur = p,
-                    None => break,
+                let p = parent[cur.idx()];
+                if p == u32::MAX {
+                    break;
                 }
+                cur = NodeId(p);
             }
         }
-        if !in_tree[sp.source.idx()] {
-            in_tree[sp.source.idx()] = true;
-            closed.push(sp.source);
-        }
+        tree_ix.entry(source.0).or_insert_with(|| {
+            closed.push(source);
+            u32::MAX
+        });
         // Order: root first, then by (dist, id) for determinism.
-        closed.sort_unstable_by_key(|v| (sp.d(*v), v.0));
-        debug_assert_eq!(closed[0], sp.source);
-        let mut tree_ix = vec![u32::MAX; n];
+        closed.sort_unstable_by_key(|v| (dist[v.idx()], v.0));
+        debug_assert_eq!(closed[0], source);
         for (i, v) in closed.iter().enumerate() {
-            tree_ix[v.idx()] = i as u32;
+            tree_ix.insert(v.0, i as u32);
         }
         let graph_ids: Vec<u32> = closed.iter().map(|v| v.0).collect();
         let mut parents = Vec::with_capacity(closed.len());
         let mut parent_weights = Vec::with_capacity(closed.len());
         for &v in &closed {
-            match sp.parent_of(v) {
-                Some(p) if v != sp.source => {
-                    parents.push(tree_ix[p.idx()]);
-                    parent_weights
-                        .push(g.edge_weight(p, v).expect("SPT edge must be a graph edge"));
-                }
-                _ => {
-                    parents.push(u32::MAX);
-                    parent_weights.push(0);
-                }
+            let p = parent[v.idx()];
+            if p != u32::MAX && v != source {
+                parents.push(tree_ix[&p]);
+                parent_weights
+                    .push(g.edge_weight(NodeId(p), v).expect("SPT edge must be a graph edge"));
+            } else {
+                parents.push(u32::MAX);
+                parent_weights.push(0);
             }
         }
         Tree::from_parents(graph_ids, parents, parent_weights)

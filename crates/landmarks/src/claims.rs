@@ -7,9 +7,10 @@
 //! ([`crate::LandmarkHierarchy::sample_verified`]). Experiments C1/C2
 //! print the margins these checks observe.
 
-use graphkit::ids::ceil_log2;
-use graphkit::{DistMatrix, NodeId};
+use graphkit::ids::{ceil_log2, floor_log2, octave_radius};
+use graphkit::{DijkstraScratch, DistMatrix, Graph, NodeId, INFINITY};
 
+use crate::distances::LandmarkDistances;
 use crate::LandmarkHierarchy;
 
 /// Result of checking Claims 1–2 over the whole ball family.
@@ -83,7 +84,7 @@ pub fn verify_claims(d: &DistMatrix, h: &LandmarkHierarchy) -> ClaimReport {
             })
             .collect();
         for i in 0..=max_i {
-            let r = 1u64 << i;
+            let r = octave_radius(i);
             let ball = sorted.partition_point(|&x| x <= r);
             for j in 1..k {
                 let inter = member_d[j - 1].partition_point(|&x| x <= r);
@@ -102,6 +103,112 @@ pub fn verify_claims(d: &DistMatrix, h: &LandmarkHierarchy) -> ClaimReport {
                 }
             }
         }
+    }
+    report
+}
+
+/// Matrix-free [`verify_claims`]: identical [`ClaimReport`] without a
+/// dense matrix.
+///
+/// Per node, one size-capped Dijkstra pins the octave at which the
+/// ball crosses each claim threshold (the `⌈t⌉`-th settled node's
+/// distance), and the [`LandmarkDistances`] columns give
+/// `|B(u,2^i) ∩ C_j|` at every octave; every per-octave check then
+/// collapses to octave-interval arithmetic. The settle cap is the
+/// largest sub-`n` threshold — `Õ(n^{(k−1)/k})` nodes per source —
+/// which is what makes per-instance verification affordable at 10⁵+
+/// nodes. `diameter` must be the exact value ([`verify_claims`]
+/// derives the octave range from it).
+pub fn verify_claims_on_demand(
+    g: &Graph,
+    h: &LandmarkHierarchy,
+    ld: &LandmarkDistances,
+    diameter: u64,
+) -> ClaimReport {
+    let n = g.n();
+    let k = h.k();
+    let max_i = ceil_log2(diameter.max(1)) + 1;
+    let t1: Vec<f64> = (0..k).map(|j| claim1_threshold(n, k, j)).collect();
+    let t2: Vec<f64> = (0..k).map(|j| claim2_threshold(n, k, j)).collect();
+    let c2_bound = claim2_bound(n, k);
+    // Integer crossing sizes: `ball ≥ t ⟺ ball ≥ ⌈t⌉` and
+    // `ball < t ⟺ ball < ⌈t⌉` for integer ball counts.
+    let s1: Vec<u64> = t1.iter().map(|t| t.ceil() as u64).collect();
+    let s2: Vec<u64> = t2.iter().map(|t| t.ceil() as u64).collect();
+    // `inter > c2_bound ⟺ inter ≥ b1`.
+    let b1 = c2_bound.floor() as usize + 1;
+    let settle_cap =
+        (1..k).flat_map(|j| [s1[j], s2[j]]).filter(|&s| s <= n as u64).max().unwrap_or(1).max(1)
+            as usize;
+
+    let (s1_ref, s2_ref) = (&s1, &s2);
+    let partials: Vec<ClaimReport> = graphkit::metrics::par_chunks(n, |nodes| {
+        let mut rep = ClaimReport::default();
+        let mut scratch = DijkstraScratch::new(n);
+        for u in nodes {
+            let u = NodeId(u as u32);
+            scratch.run(g, u, INFINITY - 1, settle_cap);
+            let settled = scratch.settled();
+            for j in 1..k {
+                let col = ld.list(u, j);
+                // Octave where |B ∩ C_j| first exceeds the
+                // Claim 2 load bound (None: never).
+                let ib =
+                    col.get(b1 - 1).filter(|&&(d, _)| d != INFINITY).map(|&(d, _)| ceil_log2(d));
+                // ---- Claim 1 ----
+                if s1_ref[j] <= n as u64 && settled.len() as u64 >= s1_ref[j] {
+                    let i1 = ceil_log2(settled[s1_ref[j] as usize - 1].0);
+                    if i1 <= max_i {
+                        rep.claim1_checked += (max_i - i1 + 1) as usize;
+                        // Octaves with an empty intersection:
+                        // strictly below the closest C_j member.
+                        let mind = col.first().map(|&(d, _)| d).unwrap_or(INFINITY);
+                        let iv = match mind {
+                            0 | 1 => None,
+                            INFINITY => Some(max_i),
+                            m => Some(floor_log2(m - 1).min(max_i)),
+                        };
+                        if let Some(iv) = iv {
+                            if iv >= i1 {
+                                rep.claim1_violations += (iv - i1 + 1) as usize;
+                            }
+                        }
+                    }
+                }
+                // ---- Claim 2 ----
+                // Checked octaves are those i with ball < t2:
+                // everything strictly below the s2-crossing.
+                let i2 = if s2_ref[j] > n as u64 || (settled.len() as u64) < s2_ref[j] {
+                    None // ball never reaches t2: all octaves check
+                } else {
+                    Some(ceil_log2(settled[s2_ref[j] as usize - 1].0))
+                };
+                let last_checked = match i2 {
+                    None => Some(max_i),
+                    Some(0) => None, // ball ≥ t2 from octave 0 on
+                    Some(i2) => Some((i2 - 1).min(max_i)),
+                };
+                if let Some(last) = last_checked {
+                    rep.claim2_checked += (last + 1) as usize;
+                    let inter = col.partition_point(|&(d, _)| d <= octave_radius(last));
+                    rep.max_c2_load = rep.max_c2_load.max(inter);
+                    if let Some(ib) = ib {
+                        if ib <= last {
+                            rep.claim2_violations += (last - ib + 1) as usize;
+                        }
+                    }
+                }
+            }
+        }
+        rep
+    });
+    let mut report = ClaimReport { c2_bound, ..Default::default() };
+    for p in partials {
+        report.claim1_checked += p.claim1_checked;
+        report.claim1_violations += p.claim1_violations;
+        report.claim2_checked += p.claim2_checked;
+        report.claim2_violations += p.claim2_violations;
+        report.max_c2_load = report.max_c2_load.max(p.max_c2_load);
     }
     report
 }
@@ -185,6 +292,62 @@ mod tests {
         // With n = 300, k = 2: bound = 16 * sqrt(300) * ln(300) ≈ 1580 >
         // 300, so no violation — but the load must equal a full ball.
         assert!(rep.max_c2_load <= 300);
+    }
+
+    #[test]
+    fn on_demand_claims_match_dense_report() {
+        for fam in [Family::ErdosRenyi, Family::Geometric, Family::Ring, Family::ExpRing] {
+            let g = fam.generate(130, 17);
+            let d = apsp(&g);
+            for k in [2usize, 3, 4] {
+                for seed in [0u64, 7, 99] {
+                    let h = crate::LandmarkHierarchy::sample(g.n(), k, seed);
+                    let ld = crate::LandmarkDistances::build(&g, &h);
+                    let dense = verify_claims(&d, &h);
+                    let od = verify_claims_on_demand(&g, &h, &ld, d.diameter());
+                    assert_eq!(dense, od, "{} k={k} seed={seed}", fam.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn on_demand_claims_match_on_adversarial_hierarchies() {
+        // Empty C_1 exercises the all-octaves-violate path.
+        let g = Family::Grid.generate(196, 18);
+        let d = apsp(&g);
+        let h = crate::LandmarkHierarchy::from_levels(
+            g.n(),
+            2,
+            vec![(0..g.n() as u32).collect(), vec![]],
+        );
+        let ld = crate::LandmarkDistances::build(&g, &h);
+        let dense = verify_claims(&d, &h);
+        let od = verify_claims_on_demand(&g, &h, &ld, d.diameter());
+        assert!(dense.claim1_violations > 0);
+        assert_eq!(dense, od);
+        // Overfull C_1 exercises the load accounting.
+        let all: Vec<u32> = (0..g.n() as u32).collect();
+        let h = crate::LandmarkHierarchy::from_levels(g.n(), 2, vec![all.clone(), all]);
+        let ld = crate::LandmarkDistances::build(&g, &h);
+        let dense = verify_claims(&d, &h);
+        let od = verify_claims_on_demand(&g, &h, &ld, d.diameter());
+        assert_eq!(dense, od);
+    }
+
+    #[test]
+    fn sample_verified_on_demand_matches_dense_choice() {
+        let g = Family::Geometric.generate(150, 19);
+        let d = apsp(&g);
+        for k in [2usize, 3] {
+            let dense = crate::LandmarkHierarchy::sample_verified(&d, k, 41, 8);
+            let (od, ld) =
+                crate::LandmarkHierarchy::sample_verified_on_demand(&g, k, 41, 8, d.diameter());
+            for i in 0..k {
+                assert_eq!(dense.level(i), od.level(i), "k={k} level {i}");
+            }
+            assert_eq!(ld.k(), k);
+        }
     }
 
     #[test]

@@ -22,14 +22,16 @@
 //! closest node of that highest rank), plus a deterministic greedy
 //! hitting-set fallback.
 
-use graphkit::{DistMatrix, NodeId};
+use graphkit::{DistMatrix, Graph, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 pub mod claims;
+pub mod distances;
 pub mod greedy;
 
-pub use claims::{verify_claims, ClaimReport};
+pub use claims::{verify_claims, verify_claims_on_demand, ClaimReport};
+pub use distances::LandmarkDistances;
 pub use greedy::greedy_hierarchy;
 
 /// Nested landmark sets with per-node ranks.
@@ -82,6 +84,39 @@ impl LandmarkHierarchy {
             }
         }
         best.expect("at least one attempt").1
+    }
+
+    /// Matrix-free [`LandmarkHierarchy::sample_verified`]: the same
+    /// seed sequence and the same selection rule (first attempt whose
+    /// Claims 1–2 hold, otherwise fewest violations), but verified
+    /// through [`verify_claims_on_demand`] over landmark-distance
+    /// columns instead of a dense matrix. Returns the chosen hierarchy
+    /// *with* its columns so the scheme build can reuse the landmark
+    /// Dijkstras. `diameter` must be exact (see
+    /// [`graphkit::diameter_matrix_free`]).
+    pub fn sample_verified_on_demand(
+        g: &Graph,
+        k: usize,
+        seed: u64,
+        attempts: u32,
+        diameter: u64,
+    ) -> (Self, LandmarkDistances) {
+        let n = g.n();
+        let mut best: Option<(usize, Self, LandmarkDistances)> = None;
+        for a in 0..attempts.max(1) as u64 {
+            let h = Self::sample(n, k, seed.wrapping_add(a.wrapping_mul(0x5851_f42d)));
+            let ld = LandmarkDistances::build(g, &h);
+            let report = verify_claims_on_demand(g, &h, &ld, diameter);
+            let violations = report.claim1_violations + report.claim2_violations;
+            if violations == 0 {
+                return (h, ld);
+            }
+            if best.as_ref().is_none_or(|(bv, _, _)| violations < *bv) {
+                best = Some((violations, h, ld));
+            }
+        }
+        let (_, h, ld) = best.expect("at least one attempt");
+        (h, ld)
     }
 
     /// Build from explicit levels (used by the greedy construction).
@@ -138,12 +173,19 @@ impl LandmarkHierarchy {
     }
 
     /// `S(u, i) = N(u, 16 n^{2/k} log n, C_i)`: the nearby landmarks of
-    /// level `i`, ordered by `(distance, id)`.
+    /// level `i`, ordered by `(distance, id)`. Unreachable landmarks
+    /// (infinite rows, which arise on disconnected inputs and from
+    /// partial on-demand rows) are never members — a huge budget must
+    /// not rank them as real neighbors.
     pub fn s_set(&self, d: &DistMatrix, u: NodeId, i: usize) -> Vec<u32> {
         let budget = self.s_budget();
         let row = d.row(u);
-        let mut members: Vec<(u64, u32)> =
-            self.level(i).iter().map(|&v| (row[v as usize], v)).collect();
+        let mut members: Vec<(u64, u32)> = self
+            .level(i)
+            .iter()
+            .map(|&v| (row[v as usize], v))
+            .filter(|&(dist, _)| dist != graphkit::INFINITY)
+            .collect();
         members.sort_unstable();
         members.truncate(budget);
         members.into_iter().map(|(_, v)| v).collect()
@@ -164,19 +206,24 @@ impl LandmarkHierarchy {
         ((16.0 * n.powf(2.0 / k) * n.ln()).ceil() as usize).max(1)
     }
 
-    /// `m(u, r)` — the highest rank present in `B(u, r)`.
+    /// `m(u, r)` — the highest rank present in `B(u, r)`. Unreachable
+    /// nodes are filtered explicitly: a saturated radius (see
+    /// [`graphkit::octave_radius`]) may reach `INFINITY − 1`, and an
+    /// `INFINITY` row entry must not smuggle an unreachable landmark's
+    /// rank into the ball.
     pub fn max_rank_in_ball(&self, d: &DistMatrix, u: NodeId, r: u64) -> usize {
         let row = d.row(u);
         row.iter()
             .enumerate()
-            .filter(|&(_, &dist)| dist <= r)
+            .filter(|&(_, &dist)| dist != graphkit::INFINITY && dist <= r)
             .map(|(v, _)| self.rank[v] as usize)
             .max()
             .unwrap_or(0)
     }
 
     /// `c(u, r)` — the center: the closest node to `u` (ties by id)
-    /// among `C_{m(u,r)}`.
+    /// among the *reachable* part of `C_{m(u,r)}` (the rank witness in
+    /// the ball guarantees one exists).
     pub fn center(&self, d: &DistMatrix, u: NodeId, r: u64) -> NodeId {
         let m = self.max_rank_in_ball(d, u, r);
         let row = d.row(u);
@@ -184,8 +231,9 @@ impl LandmarkHierarchy {
             .level(m)
             .iter()
             .copied()
+            .filter(|&v| row[v as usize] != graphkit::INFINITY)
             .min_by_key(|&v| (row[v as usize], v))
-            .expect("C_m nonempty: it contains a node of B(u,r)");
+            .expect("C_m has a reachable member: the rank-m witness inside B(u,r)");
         NodeId(best)
     }
 
@@ -312,6 +360,33 @@ mod tests {
             let u = NodeId(v);
             assert_eq!(h.max_rank_in_ball(&d, u, 0), h.rank(u));
         }
+    }
+
+    #[test]
+    fn disconnected_input_filters_unreachable_landmarks() {
+        // Two components; every rank-1 landmark lives in the right one.
+        let g = graphkit::graph_from_edges(
+            8,
+            &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (4, 5, 1), (5, 6, 1), (6, 7, 1)],
+        );
+        let d = apsp(&g);
+        let h = LandmarkHierarchy::from_levels(8, 2, vec![(0..8).collect(), vec![5, 6]]);
+        let u = NodeId(0);
+        // Huge radius (as a saturated octave produces): unreachable
+        // landmarks must not be ranked into the ball…
+        let r = u64::MAX - 1;
+        assert_eq!(h.max_rank_in_ball(&d, u, r), 0);
+        // …nor become S-set members…
+        assert!(h.s_set(&d, u, 1).is_empty());
+        assert_eq!(h.s_union(&d, u), h.s_set(&d, u, 0));
+        for &v in &h.s_union(&d, u) {
+            assert_ne!(d.d(u, NodeId(v)), graphkit::INFINITY);
+        }
+        // …nor centers: with m = 0 the center collapses to u itself.
+        assert_eq!(h.center(&d, u, r), u);
+        // From the landmark side everything still works.
+        assert_eq!(h.max_rank_in_ball(&d, NodeId(4), r), 1);
+        assert_eq!(h.center(&d, NodeId(4), r), NodeId(5));
     }
 
     #[test]
