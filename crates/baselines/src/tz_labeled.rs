@@ -159,7 +159,7 @@ impl TzLabeled {
                 if let Some(ct) = clusters.get(&w) {
                     let ix = ct.ix_of[v as usize];
                     if ix != u32::MAX {
-                        entries.push((i, w, ct.lt.label(ix).clone()));
+                        entries.push((i, w, ct.lt.label(ix).to_owned()));
                     }
                 }
             }
@@ -225,7 +225,7 @@ impl Router for TzLabeled {
                 continue;
             }
             let (tpath, cost) =
-                ct.lt.route(from, tree_label).expect("label must route in its tree");
+                ct.lt.route(from, tree_label.as_ref()).expect("label must route in its tree");
             let path: Vec<NodeId> = tpath.iter().map(|&t| ct.lt.tree().graph_id(t)).collect();
             return RouteTrace { path, cost, delivered: true };
         }

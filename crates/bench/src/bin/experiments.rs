@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [--quick] [--pairs-sampled N] [--threads T]
 //!             [--truth dense|ondemand] [--construction dense|ondemand]
-//!             [ids…|all]
+//!             [--spill] [--per-node-budgets] [ids…|all]
 //! ```
 //!
 //! Without ids, prints the registry. `--quick` shrinks instance sizes
@@ -13,15 +13,18 @@
 //! (the dense Θ(n²) matrix or on-demand Dijkstra), and
 //! `--construction` picks the `sc` experiment's scheme preprocessing
 //! (matrix-free by default; `dense` is the APSP-backed parity build).
-//! Tables are bit-identical across `--threads`, `--truth`, and
-//! `--construction` settings.
+//! `--spill` streams the `sc` builds' center trees to disk and
+//! `--per-node-budgets` switches them to instance-tuned per-node S
+//! budgets. Tables are bit-identical across `--threads`, `--truth`,
+//! `--construction`, and `--spill` settings.
 
 use routing_bench::{ConstructionKind, RunConfig, TruthKind};
 
 fn usage(registry: &[(&str, &str, routing_bench::Runner)]) -> ! {
     eprintln!(
         "usage: experiments [--quick] [--pairs-sampled N] [--threads T] \
-         [--truth dense|ondemand] [--construction dense|ondemand] [ids…|all]\n\n\
+         [--truth dense|ondemand] [--construction dense|ondemand] \
+         [--spill] [--per-node-budgets] [ids…|all]\n\n\
          available experiments:"
     );
     for (id, desc, _) in registry {
@@ -71,6 +74,8 @@ fn main() {
                     usage(&registry);
                 }
             },
+            "--spill" => cfg.spill = true,
+            "--per-node-budgets" => cfg.per_node_budgets = true,
             other if other.starts_with("--") => {
                 eprintln!("unknown flag {other}");
                 usage(&registry);

@@ -12,7 +12,9 @@ use landmarks::claims;
 use landmarks::LandmarkHierarchy;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use routing_core::{ForceMode, Scheme, SchemeParams};
+use routing_core::{
+    bench_record, ConstructionRecord, ForceMode, SBudgetMode, Scheme, SchemeParams,
+};
 use sim::{
     evaluate_parallel, evaluate_parallel_lenient, pairs, Router, StorageAudit, StretchStats,
 };
@@ -839,9 +841,12 @@ pub fn dx(cfg: &RunConfig) -> String {
 /// (`--construction ondemand`, the default) on a scale-free
 /// (heavy-tailed, Δ ≈ 2^30) workload, routed, and measured against
 /// on-demand ground truth, next to the landmark-chaining baseline.
-/// Honors `--pairs-sampled` and `--threads`; `--construction dense`
-/// swaps in the APSP-backed parity build (use with `--quick` — it *is*
-/// the n² wall).
+/// Honors `--pairs-sampled`, `--threads`, `--spill`, and
+/// `--per-node-budgets`; `--construction dense` swaps in the
+/// APSP-backed parity build (use with `--quick` — it *is* the n²
+/// wall). Each AGM build also emits a machine-readable datapoint; the
+/// collected records land in `BENCH_construction.json` (path override:
+/// `BENCH_CONSTRUCTION_OUT`).
 pub fn sc(cfg: &RunConfig) -> String {
     let sizes: &[usize] = if cfg.quick { &[2_000, 5_000] } else { &[10_000, 50_000] };
     let k = 2;
@@ -867,6 +872,7 @@ pub fn sc(cfg: &RunConfig) -> String {
             "n² matrix MiB (skipped)",
         ],
     );
+    let mut records: Vec<ConstructionRecord> = Vec::new();
     for &n in sizes {
         let pairs_budget = cfg.pairs_sampled.unwrap_or(if cfg.quick { 2_000 } else { 10_000 });
         let mut rng = SmallRng::seed_from_u64(0x5CA1E + n as u64);
@@ -877,22 +883,25 @@ pub fn sc(cfg: &RunConfig) -> String {
         let sources = pairs_budget.div_ceil(64).max(1);
         let workload = pairs::sample_grouped(n, sources, pairs_budget.div_ceil(sources), 0x5CA1E);
 
+        let mut params = SchemeParams::new(k, 0x5CA1E);
+        if cfg.spill {
+            params = params.with_spill();
+        }
+        if cfg.per_node_budgets {
+            params = params.with_s_budget_mode(SBudgetMode::PerNode);
+        }
         let routers: Vec<(&str, Box<dyn Router + Sync>, f64)> = {
             let t0 = std::time::Instant::now();
-            let scheme: Box<dyn Router + Sync> = match cfg.construction {
-                ConstructionKind::OnDemand => {
-                    Box::new(Scheme::build_on_demand(g.clone(), SchemeParams::new(k, 0x5CA1E)))
-                }
+            let scheme = match cfg.construction {
+                ConstructionKind::OnDemand => Scheme::build_on_demand(g.clone(), params),
                 ConstructionKind::Dense => {
                     let d = apsp(&g);
-                    Box::new(Scheme::build_with_matrix(
-                        g.clone(),
-                        &d,
-                        SchemeParams::new(k, 0x5CA1E),
-                    ))
+                    Scheme::build_with_matrix(g.clone(), &d, params)
                 }
             };
             let scheme_s = t0.elapsed().as_secs_f64();
+            records.push(ConstructionRecord::collect(n, k, cfg.threads, scheme_s, scheme.stats()));
+            let scheme: Box<dyn Router + Sync> = Box::new(scheme);
             let t1 = std::time::Instant::now();
             let chain: Box<dyn Router + Sync> =
                 Box::new(baselines::LandmarkChaining::build_on_demand(g.clone(), k, 0x5CA1E));
@@ -937,6 +946,27 @@ pub fn sc(cfg: &RunConfig) -> String {
             ]);
         }
     }
+    // Quick runs never overwrite the checked-in full-size baseline
+    // unless explicitly redirected.
+    let out = std::env::var("BENCH_CONSTRUCTION_OUT").ok();
+    match (out, cfg.quick) {
+        (None, true) => {
+            t.note("Construction records not persisted in --quick mode (set");
+            t.note("BENCH_CONSTRUCTION_OUT to capture them; per-phase laps, peak RSS,");
+        }
+        (out, _) => {
+            let out = out.unwrap_or_else(|| "BENCH_construction.json".to_string());
+            match std::fs::write(&out, bench_record::render_json(&records)) {
+                Ok(()) => t.note(format!(
+                    "Construction records written to {out} (per-phase laps, peak RSS,"
+                )),
+                Err(e) => t.note(format!(
+                    "Construction records NOT written to {out}: {e} (laps, peak RSS,"
+                )),
+            };
+        }
+    }
+    t.note("membership counts — the CI smoke's regression baseline).");
     t.note("The AGM scheme's own preprocessing now runs matrix-free: bounded-Dijkstra");
     t.note("ranges and E(u,i) balls, one Dijkstra per landmark for claims/centers/S-");
     t.note("budgets, capped-level scopes for whole-graph regions. No dense DistMatrix");

@@ -55,6 +55,12 @@ pub struct RunConfig {
     pub truth: TruthKind,
     /// Scheme preprocessing engine for the `sc` scaling experiment.
     pub construction: ConstructionKind,
+    /// Stream center trees to the spill file during the `sc` builds
+    /// (`--spill`).
+    pub spill: bool,
+    /// Build the `sc` schemes with instance-tuned per-node S budgets
+    /// instead of the global level maxima (`--per-node-budgets`).
+    pub per_node_budgets: bool,
 }
 
 impl RunConfig {

@@ -1,0 +1,162 @@
+//! Machine-readable construction-benchmark records — the schema behind
+//! the checked-in `BENCH_construction.json`.
+//!
+//! The workspace has no JSON dependency (offline container), so the
+//! small fixed schema is rendered and scanned by hand. The `sc`
+//! experiment emits records after each Theorem-1 build; the CI
+//! construction smoke (`examples/build_100k.rs`) compares its peak RSS
+//! against the checked-in baseline and fails on a >2× regression.
+
+use crate::BuildStats;
+
+/// One Theorem-1 construction datapoint.
+#[derive(Clone, Debug)]
+pub struct ConstructionRecord {
+    /// Graph size (nodes).
+    pub n: usize,
+    /// Trade-off parameter.
+    pub k: usize,
+    /// Worker-thread cap the build ran under (0 = auto).
+    pub threads: usize,
+    /// End-to-end scheme build wall clock.
+    pub build_seconds: f64,
+    /// `VmHWM` after the build, in KiB (0 where procfs is unavailable).
+    pub peak_rss_kib: u64,
+    /// Distinct centers (= landmark trees built).
+    pub num_center_trees: usize,
+    /// Total landmark-tree memberships.
+    pub total_members: usize,
+    /// Effective S-set budget per landmark level.
+    pub s_budgets: Vec<usize>,
+    /// Per-phase wall clock, in pipeline order (`BuildStats::phase_seconds`).
+    pub phase_seconds: Vec<(String, f64)>,
+}
+
+impl ConstructionRecord {
+    /// Snapshot a record from a finished build (peak RSS read from
+    /// procfs at call time, so collect right after the build).
+    pub fn collect(
+        n: usize,
+        k: usize,
+        threads: usize,
+        build_seconds: f64,
+        stats: &BuildStats,
+    ) -> Self {
+        ConstructionRecord {
+            n,
+            k,
+            threads,
+            build_seconds,
+            peak_rss_kib: graphkit::metrics::peak_rss_kib().unwrap_or(0),
+            num_center_trees: stats.num_center_trees,
+            total_members: stats.total_members,
+            s_budgets: stats.s_budgets.clone(),
+            phase_seconds: stats.phase_seconds.clone(),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let budgets: Vec<String> = self.s_budgets.iter().map(|b| b.to_string()).collect();
+        let phases: Vec<String> =
+            self.phase_seconds.iter().map(|(name, s)| format!("\"{name}\": {s:.3}")).collect();
+        format!(
+            "    {{\n      \"n\": {},\n      \"k\": {},\n      \"threads\": {},\n      \
+             \"build_seconds\": {:.3},\n      \"peak_rss_kib\": {},\n      \
+             \"num_center_trees\": {},\n      \"total_members\": {},\n      \
+             \"s_budgets\": [{}],\n      \"phase_seconds\": {{{}}}\n    }}",
+            self.n,
+            self.k,
+            self.threads,
+            self.build_seconds,
+            self.peak_rss_kib,
+            self.num_center_trees,
+            self.total_members,
+            budgets.join(", "),
+            phases.join(", "),
+        )
+    }
+}
+
+/// Render the full `BENCH_construction.json` document.
+pub fn render_json(records: &[ConstructionRecord]) -> String {
+    let body: Vec<String> = records.iter().map(|r| r.to_json()).collect();
+    format!(
+        "{{\n  \"benchmark\": \"agm-theorem1-construction\",\n  \"records\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    )
+}
+
+/// Scan a `BENCH_construction.json` document for the record with the
+/// given `n` and return a numeric field of it (fields are rendered in
+/// fixed order with `n` first, so the next occurrence of `key` after
+/// the `n` anchor belongs to that record).
+fn baseline_field<'a>(json: &'a str, n: usize, key: &str) -> Option<&'a str> {
+    let anchor = format!("\"n\": {n},");
+    let at = json.find(&anchor)?;
+    let rest = &json[at + anchor.len()..];
+    let needle = format!("\"{key}\": ");
+    let kat = rest.find(&needle)?;
+    let val = &rest[kat + needle.len()..];
+    let end = val.find(|c: char| !c.is_ascii_digit() && c != '.').unwrap_or(val.len());
+    Some(&val[..end])
+}
+
+/// The checked-in baseline's peak RSS (KiB) at graph size `n`.
+pub fn baseline_peak_rss_kib(json: &str, n: usize) -> Option<u64> {
+    baseline_field(json, n, "peak_rss_kib")?.parse().ok()
+}
+
+/// The checked-in baseline's build wall clock (seconds) at graph size `n`.
+pub fn baseline_build_seconds(json: &str, n: usize) -> Option<f64> {
+    baseline_field(json, n, "build_seconds")?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> String {
+        let records = vec![
+            ConstructionRecord {
+                n: 10_000,
+                k: 2,
+                threads: 1,
+                build_seconds: 12.345,
+                peak_rss_kib: 400_000,
+                num_center_trees: 9_000,
+                total_members: 1_000_000,
+                s_budgets: vec![60, 40],
+                phase_seconds: vec![("plans".into(), 1.0), ("budgets".into(), 2.5)],
+            },
+            ConstructionRecord {
+                n: 50_000,
+                k: 2,
+                threads: 0,
+                build_seconds: 222.5,
+                peak_rss_kib: 2_000_000,
+                num_center_trees: 45_000,
+                total_members: 9_000_000,
+                s_budgets: vec![80, 50],
+                phase_seconds: vec![("plans".into(), 5.0)],
+            },
+        ];
+        render_json(&records)
+    }
+
+    #[test]
+    fn roundtrip_per_size() {
+        let json = sample();
+        assert_eq!(baseline_peak_rss_kib(&json, 10_000), Some(400_000));
+        assert_eq!(baseline_peak_rss_kib(&json, 50_000), Some(2_000_000));
+        assert_eq!(baseline_build_seconds(&json, 50_000), Some(222.5));
+        assert_eq!(baseline_peak_rss_kib(&json, 99), None);
+    }
+
+    #[test]
+    fn rendered_document_shape() {
+        let json = sample();
+        assert!(json.starts_with('{') && json.ends_with("}\n"));
+        assert!(json.contains("\"benchmark\": \"agm-theorem1-construction\""));
+        assert!(json.contains("\"phase_seconds\": {\"plans\": 1.000, \"budgets\": 2.500}"));
+    }
+}

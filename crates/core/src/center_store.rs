@@ -1,0 +1,180 @@
+//! Where completed landmark trees live after the build: an in-memory
+//! map of shared [`CenterTree`]s, or a spill file of length-prefixed
+//! [`ErrorReportingTree`] wire records read back at route time.
+//!
+//! The spill path exists for constructions whose Õ(n^{1+1/k}) total
+//! tree state exceeds RAM: the fused per-center pipeline serializes
+//! each tree the moment it is finished (only the irreducible parts —
+//! the physical tree plus the chosen hash; see
+//! [`ErrorReportingTree::to_wire`]) and drops it. Routing reloads
+//! records on demand through a small FIFO cache; the rebuild is
+//! bit-identical to the in-memory tree, so the two stores route the
+//! same paths (asserted by `tests/spill_parity.rs`).
+
+use std::collections::{HashMap, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::os::unix::fs::FileExt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use graphkit::wire;
+use treeroute::laing::ErrorReportingTree;
+
+/// A landmark tree `T(c)` with the Lemma 4 scheme attached, plus the
+/// host-id → tree-index lookup routing needs.
+pub(crate) struct CenterTree {
+    pub ert: ErrorReportingTree,
+    /// host node id -> tree index. A sorted array rather than an
+    /// n-length vector or a hash map: matrix-free graphs carry Θ(n)
+    /// center trees totalling Õ(n^{1+1/k}) memberships, so per-entry
+    /// memory is what decides whether a 10⁵-node scheme fits in RAM.
+    pub ix_of: IdIndex,
+}
+
+impl CenterTree {
+    /// Wrap a finished scheme, deriving the id index from the tree.
+    pub fn new(ert: ErrorReportingTree) -> Self {
+        let ix_of = IdIndex::from_graph_ids(ert.labeled().tree().graph_ids());
+        CenterTree { ert, ix_of }
+    }
+}
+
+/// Compact host-id → tree-index lookup: `(id, ix)` pairs sorted by id.
+pub(crate) struct IdIndex(Vec<(u32, u32)>);
+
+impl IdIndex {
+    /// Build from a tree's host ids (index = position in the array).
+    pub fn from_graph_ids(graph_ids: &[u32]) -> Self {
+        let mut pairs: Vec<(u32, u32)> =
+            graph_ids.iter().enumerate().map(|(i, &gid)| (gid, i as u32)).collect();
+        pairs.sort_unstable();
+        IdIndex(pairs)
+    }
+
+    /// Tree index of host id `v`, if present.
+    #[inline]
+    pub fn get(&self, v: u32) -> Option<u32> {
+        self.0.binary_search_by_key(&v, |&(id, _)| id).ok().map(|i| self.0[i].1)
+    }
+}
+
+/// Backing storage for the per-center trees.
+pub(crate) enum CenterStore {
+    /// Every tree resident, shared behind `Arc` (the default).
+    Memory(HashMap<u32, Arc<CenterTree>>),
+    /// Trees on disk; loads go through a FIFO cache.
+    Spilled(SpillStore),
+}
+
+impl CenterStore {
+    /// The tree of center `c`. Panics if `c` has no tree (routing only
+    /// ever asks for centers the plans recorded) or, on the spilled
+    /// store, if the spill file has become unreadable.
+    pub fn get(&self, c: u32) -> Arc<CenterTree> {
+        match self {
+            CenterStore::Memory(m) => Arc::clone(&m[&c]),
+            CenterStore::Spilled(s) => s.get(c),
+        }
+    }
+}
+
+/// Concurrent writer for the spill file. Workers of the fused
+/// per-center pipeline call [`SpillWriter::write`] as trees complete;
+/// the mutex serializes appends, and the in-memory index records where
+/// each center's payload landed.
+pub(crate) struct SpillWriter {
+    inner: Mutex<WriterState>,
+}
+
+struct WriterState {
+    file: File,
+    offset: u64,
+    /// center id -> (payload offset, payload byte length).
+    index: HashMap<u32, (u64, u32)>,
+}
+
+/// Process-wide sequence for unique spill-file names.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl SpillWriter {
+    /// Create the backing file in the system temp directory and unlink
+    /// it immediately — the kernel reclaims the space when the last
+    /// handle drops, so no cleanup path is needed.
+    pub fn create() -> io::Result<SpillWriter> {
+        let mut last_err = None;
+        for _ in 0..16 {
+            let seq = SPILL_SEQ.fetch_add(1, Ordering::SeqCst);
+            let path = std::env::temp_dir().join(format!(
+                "agm-center-spill-{}-{}.bin",
+                std::process::id(),
+                seq
+            ));
+            match OpenOptions::new().read(true).write(true).create_new(true).open(&path) {
+                Ok(file) => {
+                    let _ = std::fs::remove_file(&path);
+                    return Ok(SpillWriter {
+                        inner: Mutex::new(WriterState { file, offset: 0, index: HashMap::new() }),
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| io::Error::other("spill file creation failed")))
+    }
+
+    /// Append one record: `[u32 center][u32 len][payload]`, little
+    /// endian. Called from build workers; a failed write is fatal (the
+    /// scheme under construction would be unroutable).
+    pub fn write(&self, center: u32, payload: &[u8]) {
+        let mut record = Vec::with_capacity(8 + payload.len());
+        record.extend_from_slice(&center.to_le_bytes());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(payload);
+        let mut st = self.inner.lock().unwrap();
+        let at = st.offset;
+        st.file.write_all_at(&record, at).expect("spill write failed");
+        st.index.insert(center, (at + 8, payload.len() as u32));
+        st.offset += record.len() as u64;
+    }
+
+    /// Finish writing and flip to the read side.
+    pub fn finish(self) -> SpillStore {
+        let mut st = self.inner.into_inner().unwrap();
+        st.file.flush().expect("spill flush failed");
+        SpillStore { file: st.file, index: st.index, cache: Mutex::new(VecDeque::new()) }
+    }
+}
+
+/// Read side of the spill file: positional reads plus a small FIFO
+/// cache of rebuilt trees (route workloads revisit the same centers).
+pub(crate) struct SpillStore {
+    file: File,
+    index: HashMap<u32, (u64, u32)>,
+    cache: Mutex<VecDeque<(u32, Arc<CenterTree>)>>,
+}
+
+impl SpillStore {
+    const CACHE_CAP: usize = 8;
+
+    /// Load (or fetch from cache) the tree of center `c`, rebuilding
+    /// the full Lemma 4 scheme from the record's irreducible parts.
+    fn get(&self, c: u32) -> Arc<CenterTree> {
+        {
+            let cache = self.cache.lock().unwrap();
+            if let Some((_, ct)) = cache.iter().find(|&&(id, _)| id == c) {
+                return Arc::clone(ct);
+            }
+        }
+        let &(off, len) = self.index.get(&c).expect("center missing from spill index");
+        let mut buf = vec![0u8; len as usize];
+        self.file.read_exact_at(&mut buf, off).expect("spill read failed");
+        let mut r = wire::Reader::new(&buf);
+        let ert = ErrorReportingTree::from_wire(&mut r).expect("corrupt spill record");
+        let ct = Arc::new(CenterTree::new(ert));
+        let mut cache = self.cache.lock().unwrap();
+        cache.push_front((c, Arc::clone(&ct)));
+        cache.truncate(Self::CACHE_CAP);
+        ct
+    }
+}

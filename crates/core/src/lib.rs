@@ -27,11 +27,16 @@
 //! assert!(trace.delivered);
 //! ```
 
+pub mod bench_record;
+mod center_store;
 pub mod directed;
 mod scheme;
 
+pub use bench_record::ConstructionRecord;
 pub use directed::{validate_directed_trace, DirectedScheme};
-pub use scheme::{BuildStats, ForceMode, HierarchySource, Scheme, SchemeParams, StorageBreakdown};
+pub use scheme::{
+    BuildStats, ForceMode, HierarchySource, SBudgetMode, Scheme, SchemeParams, StorageBreakdown,
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,19 +1,29 @@
 //! The full AGM SPAA'06 routing scheme (§3): preprocessing, the
 //! iterative phase router, and bit-level storage accounting.
+//!
+//! The preprocessing pipeline is flat and parallel end-to-end: every
+//! per-node phase (classification, S budgets, membership, `b(u,i)`)
+//! and every per-tree phase (center trees, cover trees) fans across
+//! threads via [`graphkit::metrics::par_chunks`] with deterministic
+//! chunk-ordered merges, so a build is bit-identical at any thread
+//! count (asserted by `tests/thread_parity.rs`).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use decomposition::Decomposition;
 use graphkit::bits::{bits_for_node, bits_for_universe};
 use graphkit::ids::octave_radius;
 use graphkit::{
-    apsp, dijkstra, induced_subgraph, Cost, DijkstraScratch, DistMatrix, Graph, NodeId, Tree,
-    TreeIx, INFINITY,
+    apsp, dijkstra, induced_subgraph, wire, Cost, DijkstraScratch, DistMatrix, Graph, NodeId, Tree,
+    TreeIx, TreeScratch, INFINITY,
 };
 use landmarks::{LandmarkDistances, LandmarkHierarchy};
 use sim::{GroundTruth, RouteTrace, Router, StretchStats};
 use treeroute::cover_router::{CoverOutcome, CoverTreeRouter};
 use treeroute::laing::{ErrorReportingTree, SearchOutcome};
+
+use crate::center_store::{CenterStore, CenterTree, SpillWriter};
 
 /// Ablation switch (experiment A1): disable one side of the
 /// sparse/dense decomposition to show why the paper needs both.
@@ -41,6 +51,24 @@ pub enum HierarchySource {
     Greedy,
 }
 
+/// How the instance-tuned S-set budgets are resolved (see DESIGN.md).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SBudgetMode {
+    /// One budget per landmark level, the max requirement over all
+    /// nodes (the historical behavior, and the default).
+    #[default]
+    Global,
+    /// Each node `v` keeps, per level, only the slots *its own*
+    /// membership constraints require — strictly smaller S sets (and
+    /// landmark trees) wherever requirements are skewed.
+    PerNode,
+    /// Compute per-node requirements, then flatten each level to its
+    /// max over nodes — by construction identical to
+    /// [`SBudgetMode::Global`] (the parity special case that
+    /// `tests/budget_parity.rs` asserts end to end).
+    PerNodeUniform,
+}
+
 /// Construction parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct SchemeParams {
@@ -57,10 +85,17 @@ pub struct SchemeParams {
     pub force_mode: Option<ForceMode>,
     /// Landmark construction: randomized-verified or deterministic.
     pub hierarchy: HierarchySource,
+    /// Global or per-node S-set budgets.
+    pub s_budget_mode: SBudgetMode,
+    /// Stream completed center trees to an unlinked temp file instead
+    /// of holding them all resident — trades route-time reloads for a
+    /// build whose peak memory excludes the Õ(n^{1+1/k}) tree state.
+    pub spill: bool,
 }
 
 impl SchemeParams {
-    /// Defaults: verified sampling with 16 attempts, margin 2.
+    /// Defaults: verified sampling with 16 attempts, margin 2, global
+    /// budgets, all trees resident.
     pub fn new(k: usize, seed: u64) -> Self {
         SchemeParams {
             k,
@@ -69,6 +104,8 @@ impl SchemeParams {
             s_margin: 2,
             force_mode: None,
             hierarchy: HierarchySource::default(),
+            s_budget_mode: SBudgetMode::default(),
+            spill: false,
         }
     }
 
@@ -81,6 +118,18 @@ impl SchemeParams {
     /// Builder-style deterministic-landmark switch.
     pub fn with_greedy_landmarks(mut self) -> Self {
         self.hierarchy = HierarchySource::Greedy;
+        self
+    }
+
+    /// Builder-style S-budget mode switch.
+    pub fn with_s_budget_mode(mut self, mode: SBudgetMode) -> Self {
+        self.s_budget_mode = mode;
+        self
+    }
+
+    /// Builder-style spill switch.
+    pub fn with_spill(mut self) -> Self {
+        self.spill = true;
         self
     }
 }
@@ -116,40 +165,49 @@ struct LevelPlan {
     b: u8,
 }
 
-/// A landmark tree `T(c)` with the Lemma 4 scheme attached.
-struct CenterTree {
-    ert: ErrorReportingTree,
-    /// host node id -> tree index. A sorted array rather than an
-    /// n-length vector or a hash map: matrix-free graphs carry Θ(n)
-    /// center trees totalling Õ(n^{1+1/k}) memberships, so per-entry
-    /// memory is what decides whether a 10⁵-node scheme fits in RAM.
-    ix_of: IdIndex,
-    /// Largest bounded-search level any member needs — lets a
-    /// whole-graph `E(u,i)` read `b(u,i)` off the tree in O(1).
-    max_search_level: usize,
+/// Resolved S-set budgets: global per-level values, or a flat
+/// `n × k` per-node table.
+enum Budgets {
+    /// `budget[l]` applies to every node.
+    Global(Vec<usize>),
+    /// `per[v·k + l]` — node `v`'s slot count at level `l`.
+    PerNode { per: Vec<u32>, k: usize },
 }
 
-/// Compact host-id → tree-index lookup: `(id, ix)` pairs sorted by id.
-struct IdIndex(Vec<(u32, u32)>);
-
-impl IdIndex {
-    /// Build from a tree's host ids (index = position in the array).
-    fn from_graph_ids(graph_ids: &[u32]) -> Self {
-        let mut pairs: Vec<(u32, u32)> =
-            graph_ids.iter().enumerate().map(|(i, &gid)| (gid, i as u32)).collect();
-        pairs.sort_unstable();
-        IdIndex(pairs)
-    }
-
-    /// Tree index of host id `v`, if present.
+impl Budgets {
+    /// The budget of node `v` at landmark level `l`.
     #[inline]
-    fn get(&self, v: u32) -> Option<u32> {
-        self.0.binary_search_by_key(&v, |&(id, _)| id).ok().map(|i| self.0[i].1)
+    fn of(&self, v: u32, l: usize) -> usize {
+        match self {
+            Budgets::Global(b) => b[l],
+            Budgets::PerNode { per, k } => per[v as usize * k + l] as usize,
+        }
     }
+}
 
-    /// Number of tree members.
-    fn len(&self) -> usize {
-        self.0.len()
+/// What the `b(u,i)` pass needs from one finished center tree, without
+/// keeping (or reloading) the tree itself: each member's bounded-search
+/// level, sorted by host id.
+struct BuildIndex {
+    /// `(host id, search level)`, sorted by id.
+    levels: Vec<(u32, u8)>,
+    /// Max over `levels` — lets a whole-graph `E(u,i)` read `b(u,i)`
+    /// off the tree in O(1).
+    max_search_level: u8,
+}
+
+/// Per-center membership lists in CSR form: center `ci` (an index into
+/// the sorted distinct-centers array) owns `items[off[ci]..off[ci+1]]`
+/// as `(v, d(v, c))` with `v` ascending.
+struct CenterMembers {
+    off: Vec<usize>,
+    items: Vec<(u32, Cost)>,
+}
+
+impl CenterMembers {
+    #[inline]
+    fn members(&self, ci: usize) -> &[(u32, Cost)] {
+        &self.items[self.off[ci]..self.off[ci + 1]]
     }
 }
 
@@ -203,17 +261,6 @@ impl BuildSource<'_> {
             BuildSource::OnDemand { ld } => ld.position(v, l, c),
         }
     }
-
-    /// `d(v, c)` for a center `c` of rank `l` (on-demand: `l ≥ 1`).
-    fn dist_to_center(&self, v: NodeId, l: usize, c: u32) -> Cost {
-        match self {
-            BuildSource::Dense { d, .. } => d.d(v, NodeId(c)),
-            BuildSource::OnDemand { ld } => {
-                debug_assert!(l >= 1);
-                ld.d(c, v)
-            }
-        }
-    }
 }
 
 /// All cover trees of one scale `i` (over the subgraph `G_i`).
@@ -239,7 +286,8 @@ pub struct BuildStats {
     pub lemma3_violations: usize,
     /// Sparse (u, i, v) membership triples checked.
     pub lemma3_checked: usize,
-    /// Instance-tuned S-set budget per landmark level.
+    /// Effective S-set budget per landmark level (per-node modes
+    /// report each level's max over nodes).
     pub s_budgets: Vec<usize>,
     /// Number of distinct centers (= landmark trees built).
     pub num_center_trees: usize,
@@ -247,6 +295,11 @@ pub struct BuildStats {
     pub num_scales: usize,
     /// Total cover trees across scales.
     pub num_cover_trees: usize,
+    /// Total landmark-tree memberships (Σ over centers of tree size).
+    pub total_members: usize,
+    /// Wall-clock seconds per construction phase, in pipeline order —
+    /// the machine-readable breakdown behind BENCH_construction.json.
+    pub phase_seconds: Vec<(String, f64)>,
 }
 
 /// The scale-free name-independent routing scheme of Theorem 1.
@@ -256,7 +309,13 @@ pub struct Scheme {
     dec: Decomposition,
     hier: LandmarkHierarchy,
     plans: Vec<Vec<LevelPlan>>,
-    center_trees: HashMap<u32, CenterTree>,
+    center_store: CenterStore,
+    /// Per-node landmark-component storage bits (center id + τ over
+    /// containing trees), accumulated during the fused build so that
+    /// accounting never reloads spilled trees.
+    landmark_bits: Vec<u64>,
+    /// Largest routing label over all center trees (header accounting).
+    max_center_label_bits: u64,
     scale_covers: HashMap<u32, ScaleCover>,
     stats: BuildStats,
 }
@@ -283,19 +342,24 @@ impl Scheme {
             HierarchySource::Greedy => landmarks::greedy_hierarchy(d, k),
         };
         // sorted[v][l] = C_l members ordered by (d(v,·), id).
-        let sorted: Vec<Vec<Vec<(u64, u32)>>> = (0..g.n() as u32)
-            .map(|v| {
-                let row = d.row(NodeId(v));
-                (0..k)
-                    .map(|l| {
-                        let mut m: Vec<(u64, u32)> =
-                            hier.level(l).iter().map(|&c| (row[c as usize], c)).collect();
-                        m.sort_unstable();
-                        m
-                    })
-                    .collect()
-            })
-            .collect();
+        let sorted: Vec<Vec<Vec<(u64, u32)>>> = graphkit::metrics::par_chunks(g.n(), |nodes| {
+            nodes
+                .map(|v| {
+                    let row = d.row(NodeId(v as u32));
+                    (0..k)
+                        .map(|l| {
+                            let mut m: Vec<(u64, u32)> =
+                                hier.level(l).iter().map(|&c| (row[c as usize], c)).collect();
+                            m.sort_unstable();
+                            m
+                        })
+                        .collect()
+                })
+                .collect::<Vec<Vec<Vec<(u64, u32)>>>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         let scopes = Self::dense_scopes(&g, d, &dec, &params);
         Self::assemble(g, params, dec, hier, BuildSource::Dense { d, sorted }, scopes)
     }
@@ -349,7 +413,7 @@ impl Scheme {
     }
 
     /// Per-(u, i) `E(u,i)` scopes from dense rows (`None` = dense
-    /// level, no sparse region).
+    /// level, no sparse region), parallel over node chunks.
     fn dense_scopes(
         g: &Graph,
         d: &DistMatrix,
@@ -357,30 +421,35 @@ impl Scheme {
         params: &SchemeParams,
     ) -> Vec<Vec<Option<EScope>>> {
         let n = g.n();
-        (0..n as u32)
-            .map(|u| {
-                let u_id = NodeId(u);
-                let row = d.row(u_id);
-                (0..params.k)
-                    .map(|i| {
-                        if level_is_dense(dec, u_id, i, params) {
-                            None
-                        } else if dec.e_is_global(u_id, i) {
-                            Some(EScope::Global)
-                        } else {
-                            let radius = dec.e_radius(u_id, i);
-                            Some(EScope::Local(
-                                row.iter()
-                                    .enumerate()
-                                    .filter(|&(_, &dist)| dist != INFINITY && dist <= radius)
-                                    .map(|(v, &dist)| (v as u32, dist))
-                                    .collect(),
-                            ))
-                        }
-                    })
-                    .collect()
-            })
-            .collect()
+        graphkit::metrics::par_chunks(n, |nodes| {
+            nodes
+                .map(|u| {
+                    let u_id = NodeId(u as u32);
+                    let row = d.row(u_id);
+                    (0..params.k)
+                        .map(|i| {
+                            if level_is_dense(dec, u_id, i, params) {
+                                None
+                            } else if dec.e_is_global(u_id, i) {
+                                Some(EScope::Global)
+                            } else {
+                                let radius = dec.e_radius(u_id, i);
+                                Some(EScope::Local(
+                                    row.iter()
+                                        .enumerate()
+                                        .filter(|&(_, &dist)| dist != INFINITY && dist <= radius)
+                                        .map(|(v, &dist)| (v as u32, dist))
+                                        .collect(),
+                                ))
+                            }
+                        })
+                        .collect()
+                })
+                .collect::<Vec<Vec<Option<EScope>>>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
     /// Per-(u, i) `E(u,i)` scopes from radius-bounded Dijkstras,
@@ -424,7 +493,8 @@ impl Scheme {
     /// `b(u,i)` with Lemma 3 verification, and cover trees per dense
     /// scale. Every distance it consumes flows through `src` and the
     /// precomputed `scopes`, so the dense and matrix-free paths are
-    /// the same algorithm over different storage.
+    /// the same algorithm over different storage; every phase fans out
+    /// over deterministic chunks and merges in chunk order.
     fn assemble(
         g: Graph,
         params: SchemeParams,
@@ -436,37 +506,54 @@ impl Scheme {
         let n = g.n();
         let k = params.k;
         let mut stats = BuildStats::default();
-        // Phase timings to stderr when SCHEME_TIMING is set — the knob
-        // behind the construction hot-spot notes in DESIGN.md.
+        // Phase timings: recorded into `BuildStats::phase_seconds`
+        // unconditionally (the `sc` experiment's construction
+        // benchmark reads them), echoed to stderr when SCHEME_TIMING
+        // is set.
         let started = std::time::Instant::now();
         let timing = std::env::var_os("SCHEME_TIMING").is_some();
+        let mut phase_seconds: Vec<(String, f64)> = Vec::new();
+        let mut lap_prev = 0f64;
         macro_rules! lap {
-            ($m:expr) => {
-                if timing {
-                    eprintln!("[scheme {:>8.2}s] {}", started.elapsed().as_secs_f64(), $m);
-                }
+            ($name:expr) => {
+                lap!($name, String::new())
             };
+            ($name:expr, $detail:expr) => {{
+                let t = started.elapsed().as_secs_f64();
+                phase_seconds.push(($name.to_string(), t - lap_prev));
+                lap_prev = t;
+                if timing {
+                    let detail: String = $detail;
+                    eprintln!("[scheme {t:>8.2}s] {} {detail}", $name);
+                }
+            }};
         }
 
         // ---- per-(u, i) classification and centers -------------------
-        let mut plans: Vec<Vec<LevelPlan>> = Vec::with_capacity(n);
-        for u in 0..n as u32 {
-            let u_id = NodeId(u);
-            let mut row = Vec::with_capacity(k);
-            for i in 0..k {
-                let a = dec.a(u_id, i);
-                let dense = level_is_dense(&dec, u_id, i, &params);
-                let center = if dense {
-                    u32::MAX
-                } else {
-                    src.center(&hier, u_id, dec.ball_radius(u_id, i))
-                };
-                row.push(LevelPlan { dense, a, center, b: 1 });
-            }
-            plans.push(row);
-        }
+        let mut plans: Vec<Vec<LevelPlan>> = graphkit::metrics::par_chunks(n, |nodes| {
+            nodes
+                .map(|u| {
+                    let u_id = NodeId(u as u32);
+                    (0..k)
+                        .map(|i| {
+                            let a = dec.a(u_id, i);
+                            let dense = level_is_dense(&dec, u_id, i, &params);
+                            let center = if dense {
+                                u32::MAX
+                            } else {
+                                src.center(&hier, u_id, dec.ball_radius(u_id, i))
+                            };
+                            LevelPlan { dense, a, center, b: 1 }
+                        })
+                        .collect()
+                })
+                .collect::<Vec<Vec<LevelPlan>>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
 
-        lap!("plans+centers");
+        lap!("plans");
         // ---- instance-tuned S budgets (see DESIGN.md) ----------------
         // Level-0 positions for the on-demand source: batched bounded
         // Dijkstras, one per queried node, covering every (v, center)
@@ -483,101 +570,255 @@ impl Scheme {
             }
             src.position(NodeId(v), l, c)
         };
-        let mut budgets = vec![1usize; k];
-        // max position over all of V, per global center (memoized:
-        // many nodes share the same capped-level center).
-        let mut global_max: HashMap<u32, usize> = HashMap::new();
-        for u in 0..n as u32 {
-            #[allow(clippy::needless_range_loop)] // parallel-array indexing by level
+        // Whole-graph scopes first: their position columns are shared
+        // by every (u, i) that capped, so compute each distinct
+        // center's column once (each internally parallel).
+        let mut global_centers: Vec<(u32, usize)> = Vec::new();
+        for u in 0..n {
             for i in 0..k {
-                let plan = plans[u as usize][i];
-                let Some(scope) = &scopes[u as usize][i] else { continue };
-                debug_assert!(!plan.dense);
-                let c = plan.center;
-                let l = hier.rank(NodeId(c));
-                match scope {
-                    EScope::Global => {
-                        let p = *global_max
-                            .entry(c)
-                            .or_insert_with(|| Self::max_position_over_v(&g, &src, n, l, c));
-                        budgets[l] = budgets[l].max(p + 1 + params.s_margin);
-                    }
-                    EScope::Local(list) => {
-                        for &(v, _) in list {
-                            let pos = position_of(v, l, c);
-                            budgets[l] = budgets[l].max(pos + 1 + params.s_margin);
+                if matches!(scopes[u][i], Some(EScope::Global)) {
+                    let c = plans[u][i].center;
+                    global_centers.push((c, hier.rank(NodeId(c))));
+                }
+            }
+        }
+        global_centers.sort_unstable();
+        global_centers.dedup();
+        let global_pos: HashMap<u32, Vec<u32>> = global_centers
+            .iter()
+            .map(|&(c, l)| (c, Self::positions_over_v(&g, &src, n, l, c)))
+            .collect();
+        // Raw per-(v, level) requirement: max over the sparse regions
+        // containing v of (position + 1 + margin). A region's members
+        // are arbitrary nodes, not the worker's own chunk, so workers
+        // accumulate into private n×k tables; the merge is an
+        // elementwise max — order-free, hence chunk-count independent.
+        let margin = params.s_margin as u32;
+        let mut raw = vec![0u32; n * k];
+        for shard in graphkit::metrics::par_chunks(n, |nodes| {
+            let mut local = vec![0u32; n * k];
+            for u in nodes {
+                for i in 0..k {
+                    let Some(EScope::Local(list)) = &scopes[u][i] else { continue };
+                    debug_assert!(!plans[u][i].dense);
+                    let c = plans[u][i].center;
+                    let l = hier.rank(NodeId(c));
+                    for &(v, _) in list {
+                        let slot = &mut local[v as usize * k + l];
+                        let val = position_of(v, l, c) as u32 + 1 + margin;
+                        if val > *slot {
+                            *slot = val;
                         }
                     }
                 }
             }
+            local
+        }) {
+            for (acc, add) in raw.iter_mut().zip(shard) {
+                *acc = (*acc).max(add);
+            }
         }
-        // Never exceed the paper's budget (it is the proven bound).
+        for &(c, l) in &global_centers {
+            let column = &global_pos[&c];
+            for (v, &pos) in column.iter().enumerate() {
+                let slot = &mut raw[v * k + l];
+                let val = pos + 1 + margin;
+                if val > *slot {
+                    *slot = val;
+                }
+            }
+        }
+        drop(global_pos);
+        // Never exceed the paper's budget (it is the proven bound);
+        // every budget is at least 1 (a node is its own closest C_0
+        // member).
         let paper_budget = hier.s_budget();
-        for b in &mut budgets {
-            *b = (*b).min(paper_budget);
-        }
-        stats.s_budgets = budgets.clone();
-        lap!(format!("budgets {budgets:?}"));
+        let level_max: Vec<usize> = (0..k)
+            .map(|l| {
+                (0..n).map(|v| raw[v * k + l] as usize).max().unwrap_or(0).max(1).min(paper_budget)
+            })
+            .collect();
+        let budgets = match params.s_budget_mode {
+            SBudgetMode::Global | SBudgetMode::PerNodeUniform => Budgets::Global(level_max.clone()),
+            SBudgetMode::PerNode => Budgets::PerNode {
+                per: raw.iter().map(|&x| (x as usize).max(1).min(paper_budget) as u32).collect(),
+                k,
+            },
+        };
+        drop(raw);
+        stats.s_budgets = level_max;
+        lap!("budgets", format!("{:?}", stats.s_budgets));
 
-        // ---- landmark trees for the distinct centers -----------------
-        // membership: v stores τ(T(c), v) iff c ∈ S(v) under the tuned
-        // budgets, i.e. c is among the first budgets[rank(c)] members of
-        // v's sorted C_{rank(c)} list.
+        // ---- landmark-tree membership --------------------------------
+        // v stores τ(T(c), v) iff c ∈ S(v) under the tuned budgets,
+        // i.e. c is among the first budget(v, rank(c)) entries of v's
+        // sorted C_{rank(c)} list.
         let mut centers: Vec<u32> =
             plans.iter().flatten().filter(|p| !p.dense).map(|p| p.center).collect();
         centers.sort_unstable();
         centers.dedup();
-        let members_of = Self::center_members(&g, &src, &hier, &centers, &budgets, n);
-        lap!(format!(
-            "members ({} centers, {} total members)",
-            centers.len(),
-            members_of.values().map(|m| m.len()).sum::<usize>()
-        ));
+        let members = Self::center_members(&g, &src, &hier, &centers, &budgets, n, k);
+        lap!(
+            "members",
+            format!("{} centers, {} total members", centers.len(), members.items.len())
+        );
+
+        // ---- fused per-center pipeline -------------------------------
+        // One worker pass per center chunk: bounded Dijkstra → tree
+        // extraction against reusable scratch → Lemma 4 scheme →
+        // storage accounting → store (resident Arc or spill record) +
+        // the b-pass index. Nothing tree-sized survives the pass
+        // beyond what routing and the b-pass actually consume.
         let sigma = graphkit::ids::nth_root_ceil(n as u64, k as u32).max(2);
-        let center_trees =
-            Self::build_center_trees(&g, &src, &params, &centers, &members_of, sigma);
-        stats.num_center_trees = center_trees.len();
-        lap!("center trees");
+        let bounded = matches!(src, BuildSource::OnDemand { .. });
+        let spill = params.spill.then(|| SpillWriter::create().expect("spill file creation"));
+        let id_bits = bits_for_node(n);
+        struct CenterShard {
+            built: Vec<(u32, Arc<CenterTree>)>,
+            index: Vec<BuildIndex>,
+            lm_bits: Vec<u64>,
+            max_label: u64,
+        }
+        let shards = graphkit::metrics::par_chunks(centers.len(), |range| {
+            let mut scratch = DijkstraScratch::new(n);
+            let mut tscratch = TreeScratch::new(n);
+            let mut built = Vec::new();
+            let mut index = Vec::with_capacity(range.len());
+            let mut lm_bits = vec![0u64; n];
+            let mut max_label = 0u64;
+            for ci in range {
+                let c = centers[ci];
+                let mem = members.members(ci);
+                let radius = if bounded {
+                    mem.iter().map(|&(_, dist)| dist).max().unwrap_or(0)
+                } else {
+                    INFINITY - 1
+                };
+                scratch.run(&g, NodeId(c), radius, usize::MAX);
+                let tree = Tree::from_dist_parents_with(
+                    &mut tscratch,
+                    &g,
+                    NodeId(c),
+                    scratch.dists(),
+                    scratch.parents(),
+                    mem.iter().map(|&(v, _)| NodeId(v)),
+                );
+                let ert = ErrorReportingTree::with_sigma(
+                    tree,
+                    k,
+                    sigma,
+                    params.seed ^ (c as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
+                let size = ert.labeled().tree().size();
+                let mut levels: Vec<(u32, u8)> = Vec::with_capacity(size);
+                let mut max_search_level = 1u8;
+                for ix in 0..size as u32 {
+                    let gid = ert.labeled().tree().graph_id(ix).0;
+                    let lvl = ert
+                        .naming()
+                        .level_of_rank(ert.rank(ix) as usize)
+                        .clamp(1, u8::MAX as usize) as u8;
+                    max_search_level = max_search_level.max(lvl);
+                    levels.push((gid, lvl));
+                    lm_bits[gid as usize] += id_bits + ert.node_bits(ix);
+                    max_label = max_label.max(ert.labeled().label_bits(ix));
+                }
+                levels.sort_unstable();
+                index.push(BuildIndex { levels, max_search_level });
+                if let Some(w) = &spill {
+                    let mut rec = wire::Writer::new();
+                    ert.to_wire(&mut rec);
+                    w.write(c, &rec.into_bytes());
+                } else {
+                    built.push((c, Arc::new(CenterTree::new(ert))));
+                }
+            }
+            CenterShard { built, index, lm_bits, max_label }
+        });
+        let mut landmark_bits = vec![0u64; n];
+        let mut max_center_label_bits = 0u64;
+        let mut resident: HashMap<u32, Arc<CenterTree>> = HashMap::new();
+        let mut bix: HashMap<u32, BuildIndex> = HashMap::with_capacity(centers.len());
+        let mut shard_base = 0usize;
+        for shard in shards {
+            for (acc, add) in landmark_bits.iter_mut().zip(&shard.lm_bits) {
+                *acc += add;
+            }
+            max_center_label_bits = max_center_label_bits.max(shard.max_label);
+            resident.extend(shard.built);
+            let count = shard.index.len();
+            for (offset, entry) in shard.index.into_iter().enumerate() {
+                bix.insert(centers[shard_base + offset], entry);
+            }
+            shard_base += count;
+        }
+        let center_store = match spill {
+            Some(w) => CenterStore::Spilled(w.finish()),
+            None => CenterStore::Memory(resident),
+        };
+        stats.num_center_trees = centers.len();
+        stats.total_members = members.items.len();
+        lap!("center_trees");
 
         // ---- b(u, i) + Lemma 3 verification --------------------------
-        for u in 0..n as u32 {
-            #[allow(clippy::needless_range_loop)] // parallel-array indexing by level
-            for i in 0..k {
-                let plan = plans[u as usize][i];
-                let Some(scope) = &scopes[u as usize][i] else { continue };
-                let ct = &center_trees[&plan.center];
-                let mut b = 1usize;
-                match scope {
-                    EScope::Global => {
-                        // E(u,i) = V: every non-member is a Lemma 3
-                        // violation, and the members' worst search
-                        // level is a per-tree constant.
-                        stats.lemma3_checked += n;
-                        let missing = n - ct.ix_of.len();
-                        if missing > 0 {
-                            stats.lemma3_violations += missing;
-                            b = k;
-                        } else {
-                            b = ct.max_search_level;
-                        }
-                    }
-                    EScope::Local(list) => {
-                        for &(v, _) in list {
-                            stats.lemma3_checked += 1;
-                            let ix = ct.ix_of.get(v).unwrap_or(u32::MAX);
-                            if ix == u32::MAX {
-                                stats.lemma3_violations += 1;
-                                b = k; // fall back to the deepest search
-                                continue;
+        let b_shards = graphkit::metrics::par_chunks(n, |nodes| {
+            let base = nodes.start;
+            let mut out = vec![0u8; nodes.len() * k];
+            let mut checked = 0usize;
+            let mut violations = 0usize;
+            for u in nodes {
+                for i in 0..k {
+                    let Some(scope) = &scopes[u][i] else { continue };
+                    let entry = &bix[&plans[u][i].center];
+                    let mut b = 1usize;
+                    match scope {
+                        EScope::Global => {
+                            // E(u,i) = V: every non-member is a Lemma 3
+                            // violation, and the members' worst search
+                            // level is a per-tree constant.
+                            checked += n;
+                            let missing = n - entry.levels.len();
+                            if missing > 0 {
+                                violations += missing;
+                                b = k;
+                            } else {
+                                b = entry.max_search_level as usize;
                             }
-                            let rank = ct.ert.rank(ix) as usize;
-                            b = b.max(ct.ert.naming().level_of_rank(rank).max(1));
+                        }
+                        EScope::Local(list) => {
+                            for &(v, _) in list {
+                                checked += 1;
+                                match entry.levels.binary_search_by_key(&v, |&(id, _)| id) {
+                                    Ok(p) => b = b.max(entry.levels[p].1 as usize),
+                                    Err(_) => {
+                                        violations += 1;
+                                        b = k; // fall back to the deepest search
+                                    }
+                                }
+                            }
                         }
                     }
+                    out[(u - base) * k + i] = b.min(k).max(1) as u8;
                 }
-                plans[u as usize][i].b = b.min(k).max(1) as u8;
+            }
+            (out, checked, violations)
+        });
+        let mut b_flat = Vec::with_capacity(n * k);
+        for (out, checked, violations) in b_shards {
+            b_flat.extend(out);
+            stats.lemma3_checked += checked;
+            stats.lemma3_violations += violations;
+        }
+        for (u, row) in plans.iter_mut().enumerate() {
+            for (i, plan) in row.iter_mut().enumerate() {
+                let b = b_flat[u * k + i];
+                if b != 0 {
+                    plan.b = b;
+                }
             }
         }
+        drop(bix);
+        lap!("b_levels");
 
         // ---- cover trees per dense scale -----------------------------
         let mut scales: Vec<u32> =
@@ -595,33 +836,49 @@ impl Scheme {
             for (local, &t) in cover.home.iter().enumerate() {
                 home[sub.to_host[local] as usize] = t;
             }
-            let routers: Vec<CoverEntry> = cover
-                .trees
-                .iter()
-                .enumerate()
-                .map(|(ti, t)| {
-                    let host_tree = remap_tree(t, &sub.to_host);
-                    let ix: HashMap<u32, TreeIx> = host_tree
-                        .graph_ids()
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &gid)| (gid, i as TreeIx))
-                        .collect();
-                    let router = CoverTreeRouter::new(
-                        host_tree,
-                        sigma,
-                        params.seed ^ ((s as u64) << 32 | ti as u64),
-                    );
-                    CoverEntry { router, ix }
+            let routers: Vec<CoverEntry> =
+                graphkit::metrics::par_chunks(cover.trees.len(), |range| {
+                    range
+                        .map(|ti| {
+                            let host_tree = remap_tree(&cover.trees[ti], &sub.to_host);
+                            let ix: HashMap<u32, TreeIx> = host_tree
+                                .graph_ids()
+                                .iter()
+                                .enumerate()
+                                .map(|(i, &gid)| (gid, i as TreeIx))
+                                .collect();
+                            let router = CoverTreeRouter::new(
+                                host_tree,
+                                sigma,
+                                params.seed ^ ((s as u64) << 32 | ti as u64),
+                            );
+                            CoverEntry { router, ix }
+                        })
+                        .collect::<Vec<CoverEntry>>()
                 })
+                .into_iter()
+                .flatten()
                 .collect();
             stats.num_cover_trees += routers.len();
             scale_covers.insert(s, ScaleCover { routers, home });
         }
         stats.num_scales = scale_covers.len();
         lap!("covers");
+        let _ = lap_prev; // the final lap's delta is the last one recorded
+        stats.phase_seconds = phase_seconds;
 
-        Scheme { g, params, dec, hier, plans, center_trees, scale_covers, stats }
+        Scheme {
+            g,
+            params,
+            dec,
+            hier,
+            plans,
+            center_store,
+            landmark_bits,
+            max_center_label_bits,
+            scale_covers,
+            stats,
+        }
     }
 
     /// Level-0 position oracle for the on-demand source: group every
@@ -669,156 +926,133 @@ impl Scheme {
         .collect()
     }
 
-    /// Max of `position(v, l, c)` over all `v` — the S-budget
-    /// contribution of a whole-graph `E(u,i)`. For the on-demand
-    /// source at `l = 0` (a rank-0 center whose level capped — only
-    /// reachable on instances whose balls dodge every landmark) this
-    /// falls back to one full Dijkstra plus per-node bounded runs;
-    /// DESIGN.md records it as the construction's worst-case residue.
-    fn max_position_over_v(g: &Graph, src: &BuildSource<'_>, n: usize, l: usize, c: u32) -> usize {
+    /// `position(v, l, c)` for every `v` — the S-budget column of a
+    /// whole-graph `E(u,i)`. For the on-demand source at `l = 0` (a
+    /// rank-0 center whose level capped — only reachable on instances
+    /// whose balls dodge every landmark) this falls back to one full
+    /// Dijkstra plus per-node bounded runs; DESIGN.md records it as
+    /// the construction's worst-case residue.
+    fn positions_over_v(g: &Graph, src: &BuildSource<'_>, n: usize, l: usize, c: u32) -> Vec<u32> {
         if l == 0 {
             if let BuildSource::OnDemand { .. } = src {
                 let row = dijkstra::dijkstra(g, NodeId(c)).dist;
                 return graphkit::metrics::par_chunks(n, |nodes| {
                     let mut scratch = DijkstraScratch::new(n);
-                    let mut best = 0usize;
+                    let mut out = Vec::with_capacity(nodes.len());
                     for v in nodes {
                         let d_vc = row[v];
                         scratch.run(g, NodeId(v as u32), d_vc, usize::MAX);
-                        best = best.max(scratch.position_below((d_vc, c)));
+                        out.push(scratch.position_below((d_vc, c)) as u32);
                     }
-                    best
+                    out
                 })
                 .into_iter()
-                .max()
-                .unwrap_or(0);
+                .flatten()
+                .collect();
             }
         }
-        (0..n as u32).map(|v| src.position(NodeId(v), l, c)).max().unwrap_or(0)
+        graphkit::metrics::par_chunks(n, |nodes| {
+            nodes.map(|v| src.position(NodeId(v as u32), l, c) as u32).collect::<Vec<u32>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
     /// Members `{v : c ∈ S(v)}` of every distinct center's tree, with
-    /// `d(v, c)` attached (the bounded tree Dijkstra's radius).
+    /// `d(v, c)` attached (the bounded tree Dijkstra's radius), in CSR
+    /// form aligned with the sorted `centers` array.
+    ///
+    /// Enumerated node-major: `c ∈ S(v)` iff `c` sits in the first
+    /// `budget(v, rank(c))` entries of `v`'s sorted `C_{rank(c)}` list
+    /// (positions are unique — the sort key `(distance, id)` is), so
+    /// each node scans its own prefix once — `O(Σ_v Σ_l budget(v, l))`
+    /// work instead of `O(|centers| · n)` position probes — and a
+    /// counting sort by center re-buckets the stream. Chunks
+    /// concatenate in node order and the placement scan is stable, so
+    /// each center's members stay v-ascending, exactly as the old
+    /// center-major enumeration produced them.
     fn center_members(
         g: &Graph,
         src: &BuildSource<'_>,
         hier: &LandmarkHierarchy,
         centers: &[u32],
-        budgets: &[usize],
+        budgets: &Budgets,
         n: usize,
-    ) -> HashMap<u32, Vec<(u32, Cost)>> {
-        let mut members_of: HashMap<u32, Vec<(u32, Cost)>> =
-            centers.iter().map(|&c| (c, Vec::new())).collect();
-        match src {
-            BuildSource::Dense { .. } => {
-                for &c in centers {
-                    let l = hier.rank(NodeId(c));
-                    let members = members_of.get_mut(&c).expect("preseeded");
-                    for v in 0..n as u32 {
-                        if src.position(NodeId(v), l, c) < budgets[l] {
-                            members.push((v, src.dist_to_center(NodeId(v), l, c)));
-                        }
-                    }
-                }
-            }
-            BuildSource::OnDemand { .. } => {
-                // Rank ≥ 1: positions straight off the landmark columns.
-                for &c in centers {
-                    let l = hier.rank(NodeId(c));
-                    if l == 0 {
-                        continue;
-                    }
-                    let members = members_of.get_mut(&c).expect("preseeded");
-                    for v in 0..n as u32 {
-                        if src.position(NodeId(v), l, c) < budgets[l] {
-                            members.push((v, src.dist_to_center(NodeId(v), l, c)));
-                        }
-                    }
-                }
-                // Rank 0: c ∈ S(v) ⟺ c is among v's budgets[0]
-                // closest nodes — one size-capped Dijkstra per node
-                // yields every rank-0 membership at once.
-                let rank0: std::collections::HashSet<u32> =
-                    centers.iter().copied().filter(|&c| hier.rank(NodeId(c)) == 0).collect();
-                if !rank0.is_empty() {
-                    let b0 = budgets[0];
-                    let shards = graphkit::metrics::par_chunks(n, |nodes| {
-                        let mut scratch = DijkstraScratch::new(n);
-                        let mut out = Vec::new();
-                        for v in nodes {
-                            scratch.run(g, NodeId(v as u32), INFINITY - 1, b0);
-                            for &(dist, w) in scratch.settled() {
-                                if rank0.contains(&w) {
-                                    out.push((w, v as u32, dist));
+        k: usize,
+    ) -> CenterMembers {
+        debug_assert!(k < u8::MAX as usize);
+        // Center rank by host id (u8::MAX = not a center), and each
+        // center's slot in the sorted array.
+        let mut center_rank = vec![u8::MAX; n];
+        let mut center_slot = vec![u32::MAX; n];
+        for (ci, &c) in centers.iter().enumerate() {
+            center_rank[c as usize] = hier.rank(NodeId(c)) as u8;
+            center_slot[c as usize] = ci as u32;
+        }
+        let dijkstra_rank0 = matches!(src, BuildSource::OnDemand { .. })
+            && centers.iter().any(|&c| center_rank[c as usize] == 0);
+        let shards: Vec<Vec<(u32, u32, Cost)>> = graphkit::metrics::par_chunks(n, |nodes| {
+            let mut out = Vec::new();
+            let mut scratch = dijkstra_rank0.then(|| DijkstraScratch::new(n));
+            for v in nodes {
+                match src {
+                    BuildSource::Dense { sorted, .. } => {
+                        for (l, list) in sorted[v].iter().enumerate() {
+                            let b = budgets.of(v as u32, l).min(list.len());
+                            for &(dist, c) in &list[..b] {
+                                if center_rank[c as usize] == l as u8 {
+                                    out.push((center_slot[c as usize], v as u32, dist));
                                 }
                             }
                         }
-                        out
-                    });
-                    // Shards come back in v-ascending order; concatenate
-                    // in order so member lists stay id-ascending.
-                    for shard in shards {
-                        for (c, v, dist) in shard {
-                            members_of.get_mut(&c).expect("rank-0 center").push((v, dist));
+                    }
+                    BuildSource::OnDemand { ld } => {
+                        // Rank 0: c ∈ S(v) ⟺ c is among v's
+                        // budget(v, 0) closest nodes — one size-capped
+                        // Dijkstra yields every rank-0 membership.
+                        if let Some(s) = scratch.as_mut() {
+                            s.run(g, NodeId(v as u32), INFINITY - 1, budgets.of(v as u32, 0));
+                            for &(dist, w) in s.settled() {
+                                if center_rank[w as usize] == 0 {
+                                    out.push((center_slot[w as usize], v as u32, dist));
+                                }
+                            }
+                        }
+                        // Rank ≥ 1: prefixes of the landmark columns.
+                        for l in 1..k {
+                            let list = ld.list(NodeId(v as u32), l);
+                            let b = budgets.of(v as u32, l).min(list.len());
+                            for &(dist, c) in &list[..b] {
+                                if center_rank[c as usize] == l as u8 {
+                                    out.push((center_slot[c as usize], v as u32, dist));
+                                }
+                            }
                         }
                     }
                 }
             }
-        }
-        members_of
-    }
-
-    /// One landmark tree per distinct center: shortest-path tree over
-    /// the membership, Lemma 4 scheme attached. The dense source runs
-    /// full Dijkstras (as before); the on-demand source bounds each
-    /// run by the farthest member, so a small tree costs its ball.
-    fn build_center_trees(
-        g: &Graph,
-        src: &BuildSource<'_>,
-        params: &SchemeParams,
-        centers: &[u32],
-        members_of: &HashMap<u32, Vec<(u32, Cost)>>,
-        sigma: u64,
-    ) -> HashMap<u32, CenterTree> {
-        let n = g.n();
-        let k = params.k;
-        let bounded = matches!(src, BuildSource::OnDemand { .. });
-        graphkit::metrics::par_chunks(centers.len(), |range| {
-            let mut scratch = DijkstraScratch::new(n);
-            let mut out = Vec::with_capacity(range.len());
-            for &c in &centers[range] {
-                let members = &members_of[&c];
-                let radius = if bounded {
-                    members.iter().map(|&(_, dist)| dist).max().unwrap_or(0)
-                } else {
-                    INFINITY - 1
-                };
-                scratch.run(g, NodeId(c), radius, usize::MAX);
-                let tree = Tree::from_dist_parents(
-                    g,
-                    NodeId(c),
-                    scratch.dists(),
-                    scratch.parents(),
-                    members.iter().map(|&(v, _)| NodeId(v)),
-                );
-                let ix_of = IdIndex::from_graph_ids(tree.graph_ids());
-                let ert = ErrorReportingTree::with_sigma(
-                    tree,
-                    k,
-                    sigma,
-                    params.seed ^ (c as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                );
-                let max_search_level = (0..ert.labeled().tree().size())
-                    .map(|r| ert.naming().level_of_rank(r).max(1))
-                    .max()
-                    .unwrap_or(1);
-                out.push((c, CenterTree { ert, ix_of, max_search_level }));
-            }
             out
-        })
-        .into_iter()
-        .flatten()
-        .collect()
+        });
+        let mut off = vec![0usize; centers.len() + 1];
+        for shard in &shards {
+            for &(ci, _, _) in shard {
+                off[ci as usize + 1] += 1;
+            }
+        }
+        for i in 0..centers.len() {
+            off[i + 1] += off[i];
+        }
+        let mut cursor = off.clone();
+        let mut items = vec![(0u32, 0 as Cost); off[centers.len()]];
+        for shard in shards {
+            for (ci, v, dist) in shard {
+                let p = &mut cursor[ci as usize];
+                items[*p] = (v, dist);
+                *p += 1;
+            }
+        }
+        CenterMembers { off, items }
     }
 
     /// The underlying graph.
@@ -900,7 +1134,7 @@ impl Scheme {
         path: &mut Vec<NodeId>,
         cost: &mut Cost,
     ) -> bool {
-        let ct = &self.center_trees[&plan.center];
+        let ct = self.center_store.get(plan.center);
         let tree = ct.ert.labeled().tree();
         let src_ix = ct.ix_of.get(src.0).unwrap_or(u32::MAX);
         debug_assert_ne!(src_ix, u32::MAX, "source must be in its own center's tree");
@@ -951,7 +1185,10 @@ impl Scheme {
         self.storage_breakdown(v).total()
     }
 
-    /// Storage bits at `v`, split by component (experiment T2).
+    /// Storage bits at `v`, split by component (experiment T2). The
+    /// landmark component was accumulated during the fused build, so
+    /// this never touches the center store — a spilled scheme accounts
+    /// its storage without a single disk read.
     pub fn storage_breakdown(&self, v: NodeId) -> StorageBreakdown {
         let n = self.g.n();
         let id = bits_for_node(n);
@@ -961,13 +1198,9 @@ impl Scheme {
                 * (1 + bits_for_universe(self.dec.log_delta() as u64 + 1)
                     + id
                     + bits_for_universe(self.params.k as u64 + 1)),
+            landmark_bits: self.landmark_bits[v.idx()],
             ..Default::default()
         };
-        for ct in self.center_trees.values() {
-            if let Some(ix) = ct.ix_of.get(v.0) {
-                b.landmark_bits += id + ct.ert.node_bits(ix); // center id + τ
-            }
-        }
         for sc in self.scale_covers.values() {
             for entry in &sc.routers {
                 if let Some(&ix) = entry.ix.get(&v.0) {
@@ -991,18 +1224,13 @@ impl Scheme {
     /// concrete. A message carries: the destination id, the phase index,
     /// the search round, and (while walking a tree) the largest label of
     /// any tree in the scheme plus a return label for error reporting —
-    /// O(log² n) total.
+    /// O(log² n) total. (The center-tree max was recorded during the
+    /// fused build; cover labels are read off the resident routers.)
     pub fn header_bits_bound(&self) -> u64 {
         let n = self.g.n();
         let id = bits_for_node(n);
         let phase = bits_for_universe(self.params.k as u64 + 1);
-        let mut max_label = 0u64;
-        for ct in self.center_trees.values() {
-            let lt = ct.ert.labeled();
-            for t in 0..lt.tree().size() as u32 {
-                max_label = max_label.max(lt.label_bits(t));
-            }
-        }
+        let mut max_label = self.max_center_label_bits;
         for sc in self.scale_covers.values() {
             for entry in &sc.routers {
                 let lt = entry.router.labeled();
@@ -1057,7 +1285,9 @@ fn append_tree_path(tree: &Tree, tpath: &[TreeIx], path: &mut Vec<NodeId>) {
 }
 
 // The parallel evaluator shards pairs across threads that all borrow
-// the scheme; keep the structure free of interior mutability.
+// the scheme; the only interior mutability is the spill store's
+// mutex-guarded record cache, which affects load timing, never routing
+// results.
 const _: () = {
     const fn assert_sync<T: Sync>() {}
     assert_sync::<Scheme>();

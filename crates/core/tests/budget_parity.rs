@@ -1,0 +1,131 @@
+//! Per-node S-budget parity: `PerNodeUniform` (per-node requirements
+//! flattened to each level's max) must reproduce the `Global` scheme
+//! exactly, and the genuinely per-node mode must stay a correct
+//! routing scheme with no more storage than the global one.
+
+use graphkit::gen::WeightDist;
+use graphkit::metrics::apsp;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use routing_core::{SBudgetMode, Scheme, SchemeParams};
+use sim::{pairs, validate_trace, Router};
+
+fn arb_connected() -> impl Strategy<Value = (graphkit::Graph, usize, u64)> {
+    (20usize..90, 1usize..4, any::<u64>(), 0u32..30).prop_map(|(n, k, seed, wexp)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut g =
+            graphkit::gen::random_tree(n, WeightDist::PowerOfTwo { max_exp: wexp }, &mut rng);
+        if n >= 30 {
+            g = graphkit::gen::erdos_renyi(
+                n,
+                0.08,
+                WeightDist::PowerOfTwo { max_exp: wexp },
+                &mut rng,
+            );
+        }
+        (g, k, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The parity special case: uniform per-node budgets ARE the global
+    /// budgets — identical storage at every node and identical walks.
+    #[test]
+    fn per_node_uniform_matches_global((g, k, seed) in arb_connected()) {
+        let d = apsp(&g);
+        if !d.connected() { return Ok(()); }
+        let params = SchemeParams::new(k, seed ^ 0xB1D);
+        let global = Scheme::build_with_matrix(g.clone(), &d, params);
+        let uniform = Scheme::build_with_matrix(
+            g.clone(),
+            &d,
+            params.with_s_budget_mode(SBudgetMode::PerNodeUniform),
+        );
+        prop_assert_eq!(&global.stats().s_budgets, &uniform.stats().s_budgets);
+        prop_assert_eq!(global.stats().total_members, uniform.stats().total_members);
+        prop_assert_eq!(global.stats().lemma3_violations, uniform.stats().lemma3_violations);
+        for v in g.nodes() {
+            let a = global.storage_breakdown(v);
+            let b = uniform.storage_breakdown(v);
+            prop_assert_eq!(a.plans_bits, b.plans_bits, "plans bits at {}", v);
+            prop_assert_eq!(a.landmark_bits, b.landmark_bits, "landmark bits at {}", v);
+            prop_assert_eq!(a.cover_bits, b.cover_bits, "cover bits at {}", v);
+        }
+        for (s, t) in pairs::sample(g.n(), 200, seed ^ 0x33) {
+            let ta = global.route(s, t);
+            let tb = uniform.route(s, t);
+            prop_assert_eq!(ta.delivered, tb.delivered, "{}->{}", s, t);
+            prop_assert_eq!(ta.cost, tb.cost, "{}->{}", s, t);
+            prop_assert_eq!(&ta.path, &tb.path, "{}->{}", s, t);
+        }
+    }
+
+    /// Genuinely per-node budgets: still a valid scheme (all sampled
+    /// pairs delivered over physical walks, zero Lemma 3 violations),
+    /// and never more total landmark storage than the global budgets.
+    #[test]
+    fn per_node_budgets_stay_correct_and_no_larger((g, k, seed) in arb_connected()) {
+        let d = apsp(&g);
+        if !d.connected() { return Ok(()); }
+        let params = SchemeParams::new(k, seed ^ 0xB1D);
+        let global = Scheme::build_with_matrix(g.clone(), &d, params);
+        let tuned = Scheme::build_with_matrix(
+            g.clone(),
+            &d,
+            params.with_s_budget_mode(SBudgetMode::PerNode),
+        );
+        prop_assert_eq!(tuned.stats().lemma3_violations, 0);
+        // Per-node requirements are pointwise ≤ the global level max,
+        // so membership (and hence landmark storage) can only shrink.
+        prop_assert!(tuned.stats().total_members <= global.stats().total_members);
+        let lm_global: u64 = g.nodes().map(|v| global.storage_breakdown(v).landmark_bits).sum();
+        let lm_tuned: u64 = g.nodes().map(|v| tuned.storage_breakdown(v).landmark_bits).sum();
+        prop_assert!(
+            lm_tuned <= lm_global,
+            "per-node landmark bits {} exceed global {}", lm_tuned, lm_global
+        );
+        for (s, t) in pairs::sample(g.n(), 200, seed ^ 0x44) {
+            let trace = tuned.route(s, t);
+            prop_assert!(trace.delivered, "{}->{} undelivered", s, t);
+            prop_assert!(validate_trace(&g, s, t, &trace).is_ok(), "{}->{} invalid walk", s, t);
+        }
+    }
+}
+
+/// Per-node budgets agree between the dense and matrix-free builds —
+/// the same source-parity guarantee the default mode has.
+#[test]
+fn per_node_on_demand_matches_matrix_build() {
+    use graphkit::gen::Family;
+    for fam in [Family::Geometric, Family::ExpRing] {
+        let g = fam.generate(110, 0xB07);
+        let d = apsp(&g);
+        for k in [2usize, 3] {
+            let params = SchemeParams::new(k, 0xB07).with_s_budget_mode(SBudgetMode::PerNode);
+            let dense = Scheme::build_with_matrix(g.clone(), &d, params);
+            let od = Scheme::build_on_demand(g.clone(), params);
+            assert_eq!(dense.stats().total_members, od.stats().total_members);
+            for v in g.nodes() {
+                assert_eq!(
+                    dense.storage_bits(v),
+                    od.storage_bits(v),
+                    "{} k={k} at {v}",
+                    fam.label()
+                );
+            }
+            for (s, t) in pairs::sample(g.n(), 200, 0xB08) {
+                let ta = dense.route(s, t);
+                let tb = od.route(s, t);
+                assert_eq!(
+                    (ta.delivered, ta.cost, ta.path),
+                    (tb.delivered, tb.cost, tb.path),
+                    "{} k={k} {s}->{t}",
+                    fam.label()
+                );
+            }
+        }
+    }
+}

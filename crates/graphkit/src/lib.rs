@@ -41,6 +41,7 @@ pub mod metrics;
 pub mod subgraph;
 pub mod tree;
 pub mod truth;
+pub mod wire;
 
 pub use bits::StorageCost;
 pub use digraph::{DiGraph, DiGraphBuilder};
@@ -51,5 +52,5 @@ pub use graph::{graph_from_edges, Graph, GraphBuilder};
 pub use ids::{cost_add, octave_radius, Cost, NodeId, Weight, INFINITY};
 pub use metrics::{apsp, diameter_matrix_free, DistMatrix};
 pub use subgraph::{components, induced_subgraph, Subgraph};
-pub use tree::{Tree, TreeIx};
+pub use tree::{Tree, TreeIx, TreeScratch};
 pub use truth::OnDemandTruth;

@@ -8,6 +8,44 @@
 use crate::dijkstra::dijkstra;
 use crate::graph::Graph;
 use crate::ids::{Cost, NodeId, INFINITY};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global cap on worker threads used by [`par_chunks`], [`par_per_node`]
+/// and [`apsp`]. 0 (the default) means "use available parallelism".
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Cap the number of worker threads for every parallel pass in this
+/// module (0 restores the default of available parallelism). All
+/// parallel merges in the workspace are deterministic in chunk order,
+/// so results are bit-identical at any setting; this exists so tests
+/// can prove exactly that, and so benchmarks can pin thread counts.
+pub fn set_max_threads(threads: usize) {
+    MAX_THREADS.store(threads, Ordering::SeqCst);
+}
+
+/// The thread count parallel passes will actually use.
+pub fn effective_threads() -> usize {
+    let avail = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1);
+    match MAX_THREADS.load(Ordering::SeqCst) {
+        0 => avail,
+        // An explicit cap is honored verbatim (it may exceed the core
+        // count: parity tests deliberately force multi-chunk splits on
+        // single-core boxes).
+        cap => cap,
+    }
+}
+
+/// Peak resident set size of this process in KiB (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable.
+pub fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches("kB").trim().parse().ok();
+        }
+    }
+    None
+}
 
 /// Dense n-by-n distance matrix.
 #[derive(Clone)]
@@ -88,7 +126,7 @@ pub fn apsp_sequential(g: &Graph) -> DistMatrix {
 /// `num_threads` (defaults to available parallelism).
 pub fn apsp(g: &Graph) -> DistMatrix {
     let n = g.n();
-    let threads = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1);
+    let threads = effective_threads();
     if n < 64 || threads == 1 {
         return apsp_sequential(g);
     }
@@ -177,7 +215,7 @@ fn component_diameter(g: &Graph, start: NodeId) -> Cost {
 /// parallel pass in this workspace; per-worker scratch (e.g. a
 /// [`crate::DijkstraScratch`]) lives inside `f`.
 pub fn par_chunks<T: Send>(count: usize, f: impl Fn(std::ops::Range<usize>) -> T + Sync) -> Vec<T> {
-    let threads = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1);
+    let threads = effective_threads();
     let chunk = count.div_ceil(threads).max(1);
     let mut out: Vec<Option<T>> = (0..count.div_ceil(chunk)).map(|_| None).collect();
     crossbeam::scope(|s| {
@@ -198,7 +236,7 @@ pub fn par_chunks<T: Send>(count: usize, f: impl Fn(std::ops::Range<usize>) -> T
 /// The workhorse for per-node preprocessing in the scheme crates.
 pub fn par_per_node<T: Send>(g: &Graph, f: impl Fn(NodeId) -> T + Sync) -> Vec<T> {
     let n = g.n();
-    let threads = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1);
+    let threads = effective_threads();
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
     if n < 64 || threads == 1 {
         for (u, slot) in out.iter_mut().enumerate() {

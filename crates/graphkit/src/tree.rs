@@ -12,6 +12,35 @@ use crate::ids::{Cost, NodeId, Weight};
 /// Index of a node *within a tree* (not a graph id).
 pub type TreeIx = u32;
 
+/// Reusable workspace for [`Tree::from_dist_parents_with`]: an
+/// epoch-stamped dense graph-id → tree-index map plus the closure
+/// buffer. Extracting many small trees (one per center) with one
+/// scratch replaces a fresh `HashMap` per tree with two O(n) arrays
+/// allocated once per worker; per-tree work stays O(tree size).
+pub struct TreeScratch {
+    ix: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    closed: Vec<NodeId>,
+}
+
+impl TreeScratch {
+    /// Scratch for a host graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        TreeScratch { ix: vec![0; n], stamp: vec![0; n], epoch: 0, closed: Vec::new() }
+    }
+
+    fn begin(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.closed.clear();
+        self.epoch
+    }
+}
+
 /// A rooted weighted tree over a subset of graph nodes.
 #[derive(Clone, Debug)]
 pub struct Tree {
@@ -136,6 +165,60 @@ impl Tree {
             let p = parent[v.idx()];
             if p != u32::MAX && v != source {
                 parents.push(tree_ix[&p]);
+                parent_weights
+                    .push(g.edge_weight(NodeId(p), v).expect("SPT edge must be a graph edge"));
+            } else {
+                parents.push(u32::MAX);
+                parent_weights.push(0);
+            }
+        }
+        Tree::from_parents(graph_ids, parents, parent_weights)
+    }
+
+    /// [`Tree::from_dist_parents`] against a reusable [`TreeScratch`]
+    /// instead of a per-call hash map. Produces bit-identical trees
+    /// (same `(dist, id)` node order, same parents); only the lookup
+    /// structure differs.
+    pub fn from_dist_parents_with(
+        scratch: &mut TreeScratch,
+        g: &Graph,
+        source: NodeId,
+        dist: &[Cost],
+        parent: &[u32],
+        members: impl IntoIterator<Item = NodeId>,
+    ) -> Self {
+        let ep = scratch.begin();
+        let TreeScratch { ix, stamp, closed, .. } = scratch;
+        for v in members {
+            assert!(dist[v.idx()] != Cost::MAX, "member {v:?} unreachable from {source:?}");
+            let mut cur = v;
+            while stamp[cur.idx()] != ep {
+                stamp[cur.idx()] = ep;
+                closed.push(cur);
+                let p = parent[cur.idx()];
+                if p == u32::MAX {
+                    break;
+                }
+                cur = NodeId(p);
+            }
+        }
+        if stamp[source.idx()] != ep {
+            stamp[source.idx()] = ep;
+            closed.push(source);
+        }
+        // Order: root first, then by (dist, id) for determinism.
+        closed.sort_unstable_by_key(|v| (dist[v.idx()], v.0));
+        debug_assert_eq!(closed[0], source);
+        for (i, v) in closed.iter().enumerate() {
+            ix[v.idx()] = i as u32;
+        }
+        let graph_ids: Vec<u32> = closed.iter().map(|v| v.0).collect();
+        let mut parents = Vec::with_capacity(closed.len());
+        let mut parent_weights = Vec::with_capacity(closed.len());
+        for &v in closed.iter() {
+            let p = parent[v.idx()];
+            if p != u32::MAX && v != source {
+                parents.push(ix[p as usize]);
                 parent_weights
                     .push(g.edge_weight(NodeId(p), v).expect("SPT edge must be a graph edge"));
             } else {
@@ -337,6 +420,35 @@ mod tests {
         let t = Tree::from_sssp(&g, &sp, [NodeId(1)]);
         assert_eq!(t.size(), 2);
         assert_eq!(t.find(NodeId(3)), None);
+    }
+
+    #[test]
+    fn scratch_extraction_matches_hashmap_path() {
+        use crate::gen::Family;
+        for fam in Family::ALL {
+            let g = fam.generate(80, 0x7ACE);
+            let sp = dijkstra(&g, NodeId(0));
+            let members: Vec<NodeId> =
+                g.nodes().filter(|v| sp.d(*v) != Cost::MAX && v.0 % 3 == 0).collect();
+            let a = Tree::from_dist_parents(&g, NodeId(0), &sp.dist, &sp.parent, members.clone());
+            let mut scratch = TreeScratch::new(g.n());
+            // Run twice through the same scratch to exercise epoch reuse.
+            for _ in 0..2 {
+                let b = Tree::from_dist_parents_with(
+                    &mut scratch,
+                    &g,
+                    NodeId(0),
+                    &sp.dist,
+                    &sp.parent,
+                    members.clone(),
+                );
+                assert_eq!(a.graph_ids(), b.graph_ids(), "{}", fam.label());
+                for t in 0..a.size() as u32 {
+                    assert_eq!(a.parent(t), b.parent(t));
+                    assert_eq!(a.parent_weight(t), b.parent_weight(t));
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Minimal little-endian byte (de)serialization for spill files.
+//!
+//! The scheme build can stream completed per-center tree state to disk
+//! instead of holding every tree in memory (see `core`'s spill store).
+//! This module is the shared wire substrate: a growable [`Writer`], a
+//! bounds-checked [`Reader`], and the [`Tree`] record format. Records
+//! are versionless by design — a spill file never outlives the process
+//! that wrote it.
+
+use crate::ids::Weight;
+use crate::tree::Tree;
+use std::io;
+
+/// Append-only little-endian byte sink.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Write a `u8`.
+    pub fn u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    /// Write a `u32`.
+    pub fn u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Write a `u64`.
+    pub fn u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Write a `usize` as a `u64`.
+    pub fn len(&mut self, x: usize) {
+        self.u64(x as u64);
+    }
+
+    /// Write a length-prefixed `u32` slice.
+    pub fn slice_u32(&mut self, xs: &[u32]) {
+        self.len(xs.len());
+        for &x in xs {
+            self.u32(x);
+        }
+    }
+
+    /// Write a length-prefixed `u64` slice.
+    pub fn slice_u64(&mut self, xs: &[u64]) {
+        self.len(xs.len());
+        for &x in xs {
+            self.u64(x);
+        }
+    }
+
+    /// Finish and take the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked cursor over a byte slice written by [`Writer`].
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn truncated() -> io::Error {
+    io::Error::new(io::ErrorKind::UnexpectedEof, "truncated wire record")
+}
+
+impl<'a> Reader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or_else(truncated)?;
+        if end > self.buf.len() {
+            return Err(truncated());
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64` length, capped against the remaining byte count so a
+    /// corrupt record cannot trigger a huge allocation.
+    pub fn len(&mut self) -> io::Result<usize> {
+        let x = self.u64()? as usize;
+        if x > self.buf.len().saturating_sub(self.pos) {
+            return Err(truncated());
+        }
+        Ok(x)
+    }
+
+    /// Read a length-prefixed `u32` slice.
+    pub fn slice_u32(&mut self) -> io::Result<Vec<u32>> {
+        let n = self.len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u32()?);
+        }
+        Ok(out)
+    }
+
+    /// Read a length-prefixed `u64` slice.
+    pub fn slice_u64(&mut self) -> io::Result<Vec<u64>> {
+        let n = self.len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u64()?);
+        }
+        Ok(out)
+    }
+
+    /// Bytes consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// True if every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Serialize a [`Tree`] as its three defining arrays (graph ids,
+/// parents, parent weights); children/depths are rebuilt on read by
+/// [`Tree::from_parents`], which also re-validates the structure.
+pub fn write_tree(w: &mut Writer, t: &Tree) {
+    let n = t.size();
+    w.slice_u32(t.graph_ids());
+    let mut parents = Vec::with_capacity(n);
+    let mut weights = Vec::with_capacity(n);
+    for ix in 0..n as u32 {
+        parents.push(t.parent(ix).unwrap_or(u32::MAX));
+        weights.push(t.parent_weight(ix));
+    }
+    w.slice_u32(&parents);
+    w.slice_u64(&weights);
+}
+
+/// Inverse of [`write_tree`].
+pub fn read_tree(r: &mut Reader) -> io::Result<Tree> {
+    let graph_ids = r.slice_u32()?;
+    let parents = r.slice_u32()?;
+    let weights: Vec<Weight> = r.slice_u64()?;
+    if parents.len() != graph_ids.len() || weights.len() != graph_ids.len() || graph_ids.is_empty()
+    {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "inconsistent tree record"));
+    }
+    Ok(Tree::from_parents(graph_ids, parents, weights))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.slice_u32(&[1, 2, 3]);
+        w.slice_u64(&[]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.slice_u32().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.slice_u64().unwrap(), Vec::<u64>::new());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let mut w = Writer::new();
+        w.slice_u32(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..bytes.len() - 1]);
+        assert!(r.slice_u32().is_err());
+        // A corrupt length larger than the record must not allocate.
+        let mut w = Writer::new();
+        w.u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.len().is_err());
+    }
+
+    #[test]
+    fn tree_roundtrip() {
+        let t = Tree::from_parents(vec![10, 11, 12, 13], vec![u32::MAX, 0, 0, 1], vec![0, 2, 1, 5]);
+        let mut w = Writer::new();
+        write_tree(&mut w, &t);
+        let bytes = w.into_bytes();
+        let t2 = read_tree(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(t2.graph_ids(), t.graph_ids());
+        for ix in 0..t.size() as u32 {
+            assert_eq!(t2.parent(ix), t.parent(ix));
+            assert_eq!(t2.parent_weight(ix), t.parent_weight(ix));
+            assert_eq!(t2.depth(ix), t.depth(ix));
+            assert_eq!(t2.children(ix), t.children(ix));
+        }
+    }
+}

@@ -25,7 +25,7 @@ use graphkit::ids::ceil_log2;
 use graphkit::{Cost, NodeId, Tree, TreeIx};
 
 use crate::hashing::PolyHash;
-use crate::labeled::{LabeledTree, RouteLabel};
+use crate::labeled::LabeledTree;
 
 /// Outcome of a cover-tree lookup.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -79,9 +79,9 @@ struct CoverNode {
     /// level (a group leader also leads its own sub-group, so the
     /// tightest guide covering a position always makes progress).
     sibling_guides: Vec<Guide>,
-    /// Directory bucket: labels of tree nodes whose hash position equals
-    /// this node's DFS number.
-    bucket: Vec<(u32, RouteLabel)>,
+    /// Directory bucket: tree nodes whose hash position equals this
+    /// node's DFS number (labels resolve through the shared hop arena).
+    bucket: Vec<(u32, TreeIx)>,
 }
 
 /// A tree equipped with the Lemma 7 name-independent scheme.
@@ -170,8 +170,7 @@ impl CoverTreeRouter {
             let gid = self.labeled.tree().graph_id(t).0;
             let pos = self.position_of(NodeId(gid));
             let owner = self.labeled.node_at_dfs(pos);
-            let label = self.labeled.label(t).clone();
-            self.nodes[owner as usize].bucket.push((gid, label));
+            self.nodes[owner as usize].bucket.push((gid, t));
         }
     }
 
@@ -210,7 +209,7 @@ impl CoverTreeRouter {
         let tree = self.labeled.tree();
         let mut cost: Cost = 0;
         let mut path = vec![from];
-        let source_label = self.labeled.label(from).clone(); // carried in the header
+        let source_label = self.labeled.label(from); // carried in the header
         let mut at = from;
         // Short-circuit: the source is the target.
         if tree.graph_id(at) == target {
@@ -269,11 +268,13 @@ impl CoverTreeRouter {
             .bucket
             .iter()
             .find(|(gid, _)| *gid == target.0)
-            .map(|(_, l)| l.clone());
+            .map(|&(_, ix)| ix);
         match hit {
-            Some(label) => {
-                let (mut walk, c) =
-                    self.labeled.route(at, &label).expect("bucket label must route");
+            Some(ix) => {
+                let (mut walk, c) = self
+                    .labeled
+                    .route(at, self.labeled.label(ix))
+                    .expect("bucket label must route");
                 cost += c;
                 let delivered_at = *walk.last().unwrap();
                 walk.remove(0);
@@ -284,7 +285,7 @@ impl CoverTreeRouter {
                 // Unknown name: report failure back to the source using
                 // the header's source label.
                 let (mut walk, c) =
-                    self.labeled.route(at, &source_label).expect("source label must route");
+                    self.labeled.route(at, source_label).expect("source label must route");
                 cost += c;
                 walk.remove(0);
                 path.extend(walk);
@@ -304,16 +305,11 @@ impl CoverTreeRouter {
         for g in &node.sibling_guides {
             bits += 2 * b + g.entries.len() as u64 * 2 * b;
         }
-        for (_, label) in &node.bucket {
-            bits += b + self.label_bits(label);
+        for &(_, ix) in &node.bucket {
+            bits += b + self.labeled.label_bits(ix);
         }
         // The header-resident source label is storage at the source too.
-        bits + self.label_bits(self.labeled.label(t))
-    }
-
-    fn label_bits(&self, label: &RouteLabel) -> u64 {
-        let b = bits_for_node(self.labeled.tree().size());
-        b + label.light_path.len() as u64 * 2 * b + b
+        bits + self.labeled.label_bits(t)
     }
 
     /// Largest directory bucket (w.h.p. O(log m / log log m)).

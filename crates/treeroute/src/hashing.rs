@@ -62,6 +62,30 @@ impl PolyHash {
         out
     }
 
+    /// Allocation-free variant of [`PolyHash::digits`]: write `out.len()`
+    /// digits (most significant first) into `out`. The hot path of bulk
+    /// directory building, where a `Vec` per hashed id would dominate.
+    pub fn digits_into(&self, x: u64, sigma: u64, out: &mut [u32]) {
+        assert!(sigma >= 1);
+        let mut v = self.eval(x);
+        for d in out.iter_mut().rev() {
+            *d = (v % sigma) as u32;
+            v /= sigma;
+        }
+    }
+
+    /// The coefficient vector (for serialization).
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Rebuild from a serialized coefficient vector.
+    pub fn from_coeffs(coeffs: Vec<u64>) -> Self {
+        assert!(!coeffs.is_empty(), "polynomial needs at least one coefficient");
+        assert!(coeffs.iter().all(|&c| c < FIELD_P), "coefficient outside GF(p)");
+        PolyHash { coeffs }
+    }
+
     /// Bits to store the hash description (the coefficient vector) —
     /// Θ(log² n) when degree = Θ(log n).
     pub fn storage_bits(&self) -> u64 {

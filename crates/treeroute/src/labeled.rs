@@ -23,7 +23,7 @@ use graphkit::{Cost, Tree, TreeIx};
 
 /// One light edge on the root→v path: the light child entered, plus its
 /// DFS number (used to sanity-check foreign labels).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LightHop {
     /// DFS number of the light child entered.
     pub child_dfs: u32,
@@ -31,13 +31,41 @@ pub struct LightHop {
     pub child: TreeIx,
 }
 
-/// Destination label `λ(T,v)`.
+/// Destination label `λ(T,v)`, owned. Inside a [`LabeledTree`] labels
+/// live in one contiguous hop arena and are handed out as borrowing
+/// [`LabelRef`]s; this owned form exists for callers that persist a
+/// label beyond the tree's lifetime (message headers, baselines).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RouteLabel {
     /// DFS number of the destination.
     pub dfs: u32,
     /// Light edges on the root→destination path, in order.
     pub light_path: Vec<LightHop>,
+}
+
+impl RouteLabel {
+    /// Borrow as a [`LabelRef`] for routing calls.
+    pub fn as_ref(&self) -> LabelRef<'_> {
+        LabelRef { dfs: self.dfs, light_path: &self.light_path }
+    }
+}
+
+/// Borrowed destination label: a view into the tree's shared hop arena
+/// (or into an owned [`RouteLabel`]). `Copy`, 16 bytes — routing with
+/// one allocates nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LabelRef<'a> {
+    /// DFS number of the destination.
+    pub dfs: u32,
+    /// Light edges on the root→destination path, in order.
+    pub light_path: &'a [LightHop],
+}
+
+impl LabelRef<'_> {
+    /// Copy into an owned [`RouteLabel`].
+    pub fn to_owned(self) -> RouteLabel {
+        RouteLabel { dfs: self.dfs, light_path: self.light_path.to_vec() }
+    }
 }
 
 /// Per-node routing information `µ(T,u)`.
@@ -65,11 +93,19 @@ pub enum Step {
 }
 
 /// A tree equipped with the labeled routing scheme.
+///
+/// Labels are stored flat: one hop arena (`light_hops`) plus an offset
+/// table (`light_off`), CSR-style, instead of a `Vec<LightHop>` per
+/// node — label storage is two allocations per tree regardless of size,
+/// and a node's label is a 16-byte [`LabelRef`] view.
 #[derive(Clone, Debug)]
 pub struct LabeledTree {
     tree: Tree,
     locals: Vec<NodeLocal>,
-    labels: Vec<RouteLabel>,
+    /// CSR offsets: node `t`'s light path is
+    /// `light_hops[light_off[t]..light_off[t + 1]]`.
+    light_off: Vec<u32>,
+    light_hops: Vec<LightHop>,
     /// `dfs_order[d]` = tree index of the node with DFS number `d`.
     dfs_order: Vec<TreeIx>,
 }
@@ -104,27 +140,22 @@ impl LabeledTree {
             }
             heavy_child[t as usize] = best;
         }
-        // Heavy-first DFS: assign dfs_in/out, light depth, labels.
+        // Heavy-first DFS: assign dfs_in/out and light depths. Light
+        // paths are NOT materialized per node here; they land in one
+        // shared arena below.
         let mut locals: Vec<NodeLocal> = (0..m)
             .map(|_| NodeLocal { dfs_in: 0, dfs_out: 0, heavy: None, light_depth: 0 })
             .collect();
-        let mut labels: Vec<RouteLabel> =
-            (0..m).map(|_| RouteLabel { dfs: 0, light_path: Vec::new() }).collect();
         let mut dfs_order = vec![0 as TreeIx; m];
-        // Stack carries (node, light_path up to node).
         let mut counter: u32 = 0;
-        // Explicit stack of (node, entered-via-light: Option<parent light path len snapshot>).
-        // We rebuild light paths incrementally: store each node's light
-        // path directly in its label (paths share prefixes; total size is
-        // O(m log m) worst case which is fine at our scales).
-        let mut stack: Vec<(TreeIx, Vec<LightHop>, u32)> = vec![(tree.root(), Vec::new(), 0)];
-        while let Some((t, lp, ld)) = stack.pop() {
+        // Stack carries (node, light depth).
+        let mut stack: Vec<(TreeIx, u32)> = vec![(tree.root(), 0)];
+        while let Some((t, ld)) = stack.pop() {
             let dfs = counter;
             counter += 1;
             dfs_order[dfs as usize] = t;
             locals[t as usize].dfs_in = dfs;
             locals[t as usize].light_depth = ld;
-            labels[t as usize] = RouteLabel { dfs, light_path: lp.clone() };
             // Push children: light ones (reverse order) then heavy, so the
             // heavy child is visited first and gets dfs_in + 1.
             let hc = heavy_child[t as usize];
@@ -132,12 +163,10 @@ impl LabeledTree {
                 tree.children(t).iter().copied().filter(|&c| Some(c) != hc).collect();
             lights.sort_unstable_by(|a, b| b.cmp(a)); // reversed push order
             for c in lights {
-                let mut clp = lp.clone();
-                clp.push(LightHop { child_dfs: 0, child: c }); // dfs filled later
-                stack.push((c, clp, ld + 1));
+                stack.push((c, ld + 1));
             }
             if let Some(h) = hc {
-                stack.push((h, lp, ld));
+                stack.push((h, ld));
             }
         }
         debug_assert_eq!(counter as usize, m);
@@ -151,19 +180,38 @@ impl LabeledTree {
         for t in 0..m {
             locals[t].dfs_out = outs[t];
         }
-        // Fill heavy intervals and patch light-hop child_dfs values.
+        // Fill heavy intervals.
         for t in 0..m as u32 {
             if let Some(h) = heavy_child[t as usize] {
                 locals[t as usize].heavy =
                     Some((locals[h as usize].dfs_in, locals[h as usize].dfs_out, h));
             }
         }
-        for label in &mut labels {
-            for hop in &mut label.light_path {
-                hop.child_dfs = locals[hop.child as usize].dfs_in;
+        // Light-path arena: a node's path is its parent's path plus one
+        // hop if the edge from the parent is light, so path length ==
+        // light_depth and the CSR offsets are a prefix sum. Fill parent
+        // before child (preorder walk): copy the parent's slice, then
+        // append the light hop. Same O(m log m) total size as before,
+        // but in exactly two allocations.
+        let mut light_off = vec![0u32; m + 1];
+        for t in 0..m {
+            light_off[t + 1] = light_off[t] + locals[t].light_depth;
+        }
+        let mut light_hops = vec![LightHop { child_dfs: 0, child: 0 }; light_off[m] as usize];
+        let mut walk = vec![tree.root()];
+        while let Some(t) = walk.pop() {
+            let (ps, pe) = (light_off[t as usize] as usize, light_off[t as usize + 1] as usize);
+            for &c in tree.children(t) {
+                let cs = light_off[c as usize] as usize;
+                light_hops.copy_within(ps..pe, cs);
+                if heavy_child[t as usize] != Some(c) {
+                    light_hops[cs + (pe - ps)] =
+                        LightHop { child_dfs: locals[c as usize].dfs_in, child: c };
+                }
+                walk.push(c);
             }
         }
-        LabeledTree { tree, locals, labels, dfs_order }
+        LabeledTree { tree, locals, light_off, light_hops, dfs_order }
     }
 
     /// The underlying physical tree.
@@ -171,9 +219,10 @@ impl LabeledTree {
         &self.tree
     }
 
-    /// Label of tree node `t`.
-    pub fn label(&self, t: TreeIx) -> &RouteLabel {
-        &self.labels[t as usize]
+    /// Label of tree node `t`: a zero-copy view into the hop arena.
+    pub fn label(&self, t: TreeIx) -> LabelRef<'_> {
+        let (s, e) = (self.light_off[t as usize] as usize, self.light_off[t as usize + 1] as usize);
+        LabelRef { dfs: self.locals[t as usize].dfs_in, light_path: &self.light_hops[s..e] }
     }
 
     /// Local routing info of tree node `t`.
@@ -188,7 +237,7 @@ impl LabeledTree {
 
     /// One forwarding decision at `at` toward `label` — uses only
     /// `µ(T,at)` and the label (plus physical ports).
-    pub fn route_step(&self, at: TreeIx, label: &RouteLabel) -> Step {
+    pub fn route_step(&self, at: TreeIx, label: LabelRef<'_>) -> Step {
         let me = &self.locals[at as usize];
         if label.dfs == me.dfs_in {
             return Step::Deliver;
@@ -217,7 +266,7 @@ impl LabeledTree {
 
     /// Route from `from` to the node carrying `label`. Returns the visited
     /// tree path (inclusive) and its cost, or `None` for foreign labels.
-    pub fn route(&self, from: TreeIx, label: &RouteLabel) -> Option<(Vec<TreeIx>, Cost)> {
+    pub fn route(&self, from: TreeIx, label: LabelRef<'_>) -> Option<(Vec<TreeIx>, Cost)> {
         let mut at = from;
         let mut path = vec![at];
         let mut cost: Cost = 0;
@@ -252,7 +301,7 @@ impl LabeledTree {
     /// Storage bits of `λ(T,t)`.
     pub fn label_bits(&self, t: TreeIx) -> u64 {
         let b = bits_for_node(self.tree.size());
-        let hops = self.labels[t as usize].light_path.len() as u64;
+        let hops = (self.light_off[t as usize + 1] - self.light_off[t as usize]) as u64;
         b + hops * 2 * b + bits_for_node(self.tree.size()) // dfs + hops + length field
     }
 }
@@ -406,7 +455,7 @@ mod tests {
         let lt1 = LabeledTree::new(spanning_tree(&g1, NodeId(0)));
         // A label with a DFS number past the tree size cannot route.
         let bogus = RouteLabel { dfs: 99, light_path: vec![] };
-        assert_eq!(lt1.route(3, &bogus), None);
+        assert_eq!(lt1.route(3, bogus.as_ref()), None);
     }
 
     #[test]

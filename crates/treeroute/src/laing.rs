@@ -20,27 +20,25 @@
 //! `2j−1`, and otherwise reports failure back to the root at cost
 //! `(2j−2)·max{d(root,v) : v ∈ V_{j−1}}`. Both bounds are asserted by
 //! the test-suite and re-measured by experiment L4.
-
-use std::collections::HashMap;
+//!
+//! ## Storage layout
+//!
+//! Directories are flat: both per-node stores are CSR arrays indexed by
+//! distance **rank**, and every entry refers to its target by tree
+//! index (the label itself stays in the [`LabeledTree`]'s shared hop
+//! arena). Name lookups use pure rank arithmetic
+//! ([`Naming::child_rank`] / [`Naming::rank_of_name`] on a borrowed
+//! digit slice) — no `Vec<u32>`-keyed hash maps anywhere, so building a
+//! tree's directories performs O(1) allocations total.
 
 use graphkit::bits::{bits_for_node, StorageCost};
 use graphkit::ids::ceil_log2;
-use graphkit::{Cost, NodeId, Tree, TreeIx};
+use graphkit::{wire, Cost, NodeId, Tree, TreeIx};
+use std::io;
 
 use crate::hashing::PolyHash;
-use crate::labeled::{LabeledTree, RouteLabel};
+use crate::labeled::LabeledTree;
 use crate::names::Naming;
-
-/// Per-node storage of the Lemma 4 scheme (beyond `µ(T,u)`).
-#[derive(Clone, Debug, Default)]
-pub struct LaingNode {
-    /// Item (2): labels of the name-children `(x₁…x_j, y)`, keyed by the
-    /// extra digit `y`. Sparse: only digits whose name exists.
-    pub name_children: Vec<(u32, RouteLabel)>,
-    /// Item (3): `graph id → label` for the `σ·log n` closest-to-root
-    /// nodes whose hash extends this node's name.
-    pub hash_dir: Vec<(u32, RouteLabel)>,
-}
 
 /// Outcome of a j-bounded search.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -90,7 +88,12 @@ pub struct ErrorReportingTree {
     node_of_rank: Vec<TreeIx>,
     /// tree index → rank.
     rank_of: Vec<u32>,
-    nodes: Vec<LaingNode>,
+    /// Item (2), CSR indexed by rank: `(digit y, name-child tree ix)`.
+    nc_off: Vec<u32>,
+    nc: Vec<(u32, TreeIx)>,
+    /// Item (3), CSR indexed by rank: `(target graph id, target tree ix)`.
+    hd_off: Vec<u32>,
+    hd: Vec<(u32, TreeIx)>,
     /// Whether the hash verification succeeded within the retry budget.
     hash_verified: bool,
 }
@@ -109,16 +112,10 @@ impl ErrorReportingTree {
         assert!(sigma >= 1);
         let m = tree.size();
         let order = tree.nodes_by_depth();
-        let mut rank_of = vec![0u32; m];
-        for (r, &t) in order.iter().enumerate() {
-            rank_of[t as usize] = r as u32;
-        }
         let naming = Naming::new(m, sigma);
         let labeled = LabeledTree::new(tree);
-        // σ·log n directory budget (≥ σ + 2 so tiny trees stay correct).
-        let max_load = ((sigma as usize) * (ceil_log2(m.max(2) as u64) as usize).max(1))
-            .max(sigma as usize + 2);
         // Hash selection with verification + reseeding.
+        let max_load = Self::load_budget(m, sigma);
         let degree = PolyHash::degree_for(m);
         let mut chosen: Option<PolyHash> = None;
         let mut best: Option<(usize, PolyHash)> = None;
@@ -136,24 +133,112 @@ impl ErrorReportingTree {
             }
         }
         let hash = chosen.unwrap_or_else(|| best.expect("at least one attempt").1);
-        let mut s = ErrorReportingTree {
+        Self::assemble(labeled, naming, order, k, sigma, hash, verified)
+    }
+
+    /// Deterministically rebuild the full scheme from its irreducible
+    /// parts: the physical tree plus the already-selected hash. This is
+    /// the spill-file read path — everything else (naming, labels,
+    /// directories) is a pure function of these and is reconstructed
+    /// bit-identically.
+    pub fn from_parts(tree: Tree, k: usize, sigma: u64, hash: PolyHash, verified: bool) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(sigma >= 1);
+        let order = tree.nodes_by_depth();
+        let naming = Naming::new(tree.size(), sigma);
+        let labeled = LabeledTree::new(tree);
+        Self::assemble(labeled, naming, order, k, sigma, hash, verified)
+    }
+
+    /// σ·log n directory budget (≥ σ + 2 so tiny trees stay correct).
+    fn load_budget(m: usize, sigma: u64) -> usize {
+        ((sigma as usize) * (ceil_log2(m.max(2) as u64) as usize).max(1)).max(sigma as usize + 2)
+    }
+
+    fn assemble(
+        labeled: LabeledTree,
+        naming: Naming,
+        node_of_rank: Vec<TreeIx>,
+        k: usize,
+        sigma: u64,
+        hash: PolyHash,
+        hash_verified: bool,
+    ) -> Self {
+        let m = labeled.tree().size();
+        let max_load = Self::load_budget(m, sigma);
+        let mut rank_of = vec![0u32; m];
+        for (r, &t) in node_of_rank.iter().enumerate() {
+            rank_of[t as usize] = r as u32;
+        }
+        // Item (2): name-children. Child names of rank r are contiguous
+        // ranks at the next level, so this is a straight CSR append in
+        // (rank, digit) order.
+        let mut nc_off = vec![0u32; m + 1];
+        let mut nc: Vec<(u32, TreeIx)> = Vec::new();
+        for rank in 0..m {
+            if naming.level_of_rank(rank) < k {
+                for y in 0..sigma as u32 {
+                    match naming.child_rank(rank, y) {
+                        Some(cr) => nc.push((y, node_of_rank[cr])),
+                        // Child ranks grow with y; past capacity, all
+                        // larger digits are absent too.
+                        None => break,
+                    }
+                }
+            }
+            nc_off[rank + 1] = nc.len() as u32;
+        }
+        // Item (3): hash directories. Collect (owner rank, target rank)
+        // pairs — a target's prefix of length j is owned by the node
+        // whose *name* equals those j digits — sort, and keep the first
+        // `max_load` targets (closest-to-root first) per owner.
+        let mut digits = vec![0u32; k];
+        let mut pairs: Vec<u64> = Vec::new();
+        for (rank, &tix) in node_of_rank.iter().enumerate().take(m) {
+            let gid = labeled.tree().graph_id(tix).0 as u64;
+            hash.digits_into(gid, sigma, &mut digits);
+            for plen in 0..k {
+                if let Some(owner) = naming.rank_of_name(&digits[..plen]) {
+                    pairs.push((owner as u64) << 32 | rank as u64);
+                }
+            }
+        }
+        pairs.sort_unstable();
+        let mut hd_off = vec![0u32; m + 1];
+        let mut hd: Vec<(u32, TreeIx)> = Vec::new();
+        let mut p = 0usize;
+        for owner in 0..m {
+            let start = p;
+            while p < pairs.len() && (pairs[p] >> 32) as usize == owner {
+                p += 1;
+            }
+            for &pair in &pairs[start..(start + max_load).min(p)] {
+                let t = node_of_rank[(pair & 0xFFFF_FFFF) as usize];
+                hd.push((labeled.tree().graph_id(t).0, t));
+            }
+            hd_off[owner + 1] = hd.len() as u32;
+        }
+        ErrorReportingTree {
             labeled,
             naming,
             hash,
             k,
             sigma,
             max_load,
-            node_of_rank: order,
+            node_of_rank,
             rank_of,
-            nodes: vec![LaingNode::default(); m],
-            hash_verified: verified,
-        };
-        s.build_directories();
-        s
+            nc_off,
+            nc,
+            hd_off,
+            hd,
+            hash_verified,
+        }
     }
 
     /// Worst prefix load of `h` over all levels (the quantity the paper
-    /// bounds by `σ·log n` w.h.p.).
+    /// bounds by `σ·log n` w.h.p.). Prefixes are interned as base-σ
+    /// codes (σ^k ≤ p < 2^64 by the hashing contract), so each level is
+    /// a sort + run-length scan over a reused `u64` buffer.
     fn max_prefix_load(
         h: &PolyHash,
         labeled: &LabeledTree,
@@ -162,76 +247,37 @@ impl ErrorReportingTree {
         k: usize,
         sigma: u64,
     ) -> usize {
+        let levels = k.min(naming.max_level() + 1);
+        let v_max = naming.level_capacity(levels);
+        let mut digits = vec![0u32; v_max * k];
+        for (i, &t) in order.iter().take(v_max).enumerate() {
+            let gid = labeled.tree().graph_id(t).0 as u64;
+            h.digits_into(gid, sigma, &mut digits[i * k..(i + 1) * k]);
+        }
         let mut worst = 0usize;
-        for plen in 0..k.min(naming.max_level() + 1) {
+        let mut codes: Vec<u64> = Vec::with_capacity(v_max);
+        for plen in 0..levels {
             let vj = naming.level_capacity(plen + 1);
-            let mut counts: HashMap<Vec<u32>, usize> = HashMap::new();
-            for &t in order.iter().take(vj) {
-                let gid = labeled.tree().graph_id(t).0 as u64;
-                let digits = h.digits(gid, sigma, k);
-                *counts.entry(digits[..plen].to_vec()).or_insert(0) += 1;
+            codes.clear();
+            for i in 0..vj {
+                codes.push(
+                    digits[i * k..i * k + plen].iter().fold(0u64, |a, &d| a * sigma + d as u64),
+                );
             }
-            worst = worst.max(counts.values().copied().max().unwrap_or(0));
+            codes.sort_unstable();
+            let mut run = 1usize;
+            let mut best = 1usize;
+            for w in codes.windows(2) {
+                if w[0] == w[1] {
+                    run += 1;
+                    best = best.max(run);
+                } else {
+                    run = 1;
+                }
+            }
+            worst = worst.max(best);
         }
         worst
-    }
-
-    fn build_directories(&mut self) {
-        let m = self.labeled.tree().size();
-        // Item (2): name-children labels.
-        for rank in 0..m {
-            let name = self.naming.name_of_rank(rank);
-            if name.len() >= self.k {
-                continue; // names never exceed k digits in searches
-            }
-            let mut kids = Vec::new();
-            for y in 0..self.sigma as u32 {
-                let mut child = name.clone();
-                child.push(y);
-                if let Some(cr) = self.naming.rank_of_name(&child) {
-                    let ct = self.node_of_rank[cr];
-                    kids.push((y, self.labeled.label(ct).clone()));
-                }
-            }
-            let t = self.node_of_rank[rank];
-            self.nodes[t as usize].name_children = kids;
-        }
-        // Item (3): hash directories. Group nodes by full digit string
-        // once, then for each node-with-name collect matching prefixes in
-        // rank order. Simpler: for each rank r (close to far), push its
-        // label into every ancestor-prefix node's directory that still
-        // has budget.
-        let digits_of: Vec<Vec<u32>> = (0..m)
-            .map(|rank| {
-                let gid = self.labeled.tree().graph_id(self.node_of_rank[rank]).0 as u64;
-                self.hash.digits(gid, self.sigma, self.k)
-            })
-            .collect();
-        // Map name -> tree index for prefix owners.
-        let mut owner_of_name: HashMap<Vec<u32>, TreeIx> = HashMap::new();
-        for rank in 0..m {
-            let name = self.naming.name_of_rank(rank);
-            if name.len() < self.k {
-                owner_of_name.insert(name, self.node_of_rank[rank]);
-            }
-        }
-        for rank in 0..m {
-            let t = self.node_of_rank[rank];
-            let gid = self.labeled.tree().graph_id(t).0;
-            let label = self.labeled.label(t).clone();
-            for plen in 0..=self.k.min(digits_of[rank].len()) {
-                let prefix = digits_of[rank][..plen.min(digits_of[rank].len())].to_vec();
-                if prefix.len() != plen {
-                    break;
-                }
-                if let Some(&owner) = owner_of_name.get(&prefix) {
-                    let dir = &mut self.nodes[owner as usize].hash_dir;
-                    if dir.len() < self.max_load {
-                        dir.push((gid, label.clone()));
-                    }
-                }
-            }
-        }
     }
 
     /// The underlying labeled scheme (and physical tree).
@@ -269,6 +315,18 @@ impl ErrorReportingTree {
         self.node_of_rank[r]
     }
 
+    /// Item (2) of node `t`'s storage: `(digit, name-child tree index)`.
+    pub fn name_children(&self, t: TreeIx) -> &[(u32, TreeIx)] {
+        let r = self.rank_of[t as usize] as usize;
+        &self.nc[self.nc_off[r] as usize..self.nc_off[r + 1] as usize]
+    }
+
+    /// Item (3) of node `t`'s storage: `(target graph id, tree index)`.
+    pub fn hash_dir(&self, t: TreeIx) -> &[(u32, TreeIx)] {
+        let r = self.rank_of[t as usize] as usize;
+        &self.hd[self.hd_off[r] as usize..self.hd_off[r + 1] as usize]
+    }
+
     /// Depth of the farthest node in `V_j` (used by the Lemma 4 cost
     /// bound on negative responses).
     pub fn max_depth_in_level(&self, j: usize) -> Cost {
@@ -304,11 +362,10 @@ impl ErrorReportingTree {
         let mut round = 1usize;
         loop {
             // Does `current` know the target?
-            let known = self.lookup_at(current, target);
-            if let Some(label) = known {
+            if let Some(tix) = self.lookup_at(current, target) {
                 let (mut path, c) = self
                     .labeled
-                    .route(current, &label)
+                    .route(current, self.labeled.label(tix))
                     .expect("stored label must belong to this tree");
                 cost += c;
                 let delivered_at = *path.last().unwrap();
@@ -327,14 +384,14 @@ impl ErrorReportingTree {
             }
             // Move to the node named (y_1 … y_round).
             let digit = y[round - 1];
-            let next_label = self.nodes[current as usize]
-                .name_children
-                .iter()
-                .find(|(d, _)| *d == digit)
-                .map(|(_, l)| l.clone());
-            match next_label {
-                Some(label) => {
-                    let (mut path, c) = self.labeled.route(current, &label).expect("child label");
+            let next =
+                self.name_children(current).iter().find(|(d, _)| *d == digit).map(|&(_, c)| c);
+            match next {
+                Some(child) => {
+                    let (mut path, c) = self
+                        .labeled
+                        .route(current, self.labeled.label(child))
+                        .expect("child label");
                     cost += c;
                     current = *path.last().unwrap();
                     path.remove(0);
@@ -356,16 +413,13 @@ impl ErrorReportingTree {
         }
     }
 
-    /// Local lookup: does tree node `t` store the target's label?
-    fn lookup_at(&self, t: TreeIx, target: NodeId) -> Option<RouteLabel> {
+    /// Local lookup: does tree node `t` store the target's label? The
+    /// returned tree index resolves to a label via the shared arena.
+    fn lookup_at(&self, t: TreeIx, target: NodeId) -> Option<TreeIx> {
         if self.labeled.tree().graph_id(t) == target {
-            return Some(self.labeled.label(t).clone());
+            return Some(t);
         }
-        self.nodes[t as usize]
-            .hash_dir
-            .iter()
-            .find(|(gid, _)| *gid == target.0)
-            .map(|(_, l)| l.clone())
+        self.hash_dir(t).iter().find(|(gid, _)| *gid == target.0).map(|&(_, ix)| ix)
     }
 
     /// Storage bits of tree node `t` under this scheme: µ(T,t) + the two
@@ -374,13 +428,12 @@ impl ErrorReportingTree {
     pub fn node_bits(&self, t: TreeIx) -> u64 {
         let m = self.labeled.tree().size();
         let id_bits = bits_for_node(m);
-        let node = &self.nodes[t as usize];
         let mut bits = self.labeled.local_bits(t) + self.hash.storage_bits();
-        for (_, label) in &node.name_children {
-            bits += ceil_log2(self.sigma) as u64 + label_bits(label, m);
+        for &(_, child) in self.name_children(t) {
+            bits += ceil_log2(self.sigma) as u64 + self.labeled.label_bits(child);
         }
-        for (_, label) in &node.hash_dir {
-            bits += id_bits + label_bits(label, m);
+        for &(_, ix) in self.hash_dir(t) {
+            bits += id_bits + self.labeled.label_bits(ix);
         }
         bits
     }
@@ -389,12 +442,32 @@ impl ErrorReportingTree {
     pub fn total_bits(&self) -> u64 {
         (0..self.labeled.tree().size() as u32).map(|t| self.node_bits(t)).sum()
     }
-}
 
-/// Bits of a label in an `m`-node tree.
-fn label_bits(label: &RouteLabel, m: usize) -> u64 {
-    let b = bits_for_node(m);
-    b + label.light_path.len() as u64 * 2 * b + b
+    /// Serialize the irreducible parts (tree + chosen hash + the scalar
+    /// parameters) for a spill record; [`ErrorReportingTree::from_wire`]
+    /// rebuilds everything else deterministically via
+    /// [`ErrorReportingTree::from_parts`].
+    pub fn to_wire(&self, w: &mut wire::Writer) {
+        w.u64(self.k as u64);
+        w.u64(self.sigma);
+        w.u8(self.hash_verified as u8);
+        w.slice_u64(self.hash.coeffs());
+        wire::write_tree(w, self.labeled.tree());
+    }
+
+    /// Inverse of [`ErrorReportingTree::to_wire`].
+    pub fn from_wire(r: &mut wire::Reader) -> io::Result<Self> {
+        let k = r.u64()? as usize;
+        let sigma = r.u64()?;
+        let verified = r.u8()? != 0;
+        let coeffs = r.slice_u64()?;
+        if k == 0 || sigma == 0 || coeffs.is_empty() {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad ERT record header"));
+        }
+        let hash = PolyHash::from_coeffs(coeffs);
+        let tree = wire::read_tree(r)?;
+        Ok(Self::from_parts(tree, k, sigma, hash, verified))
+    }
 }
 
 impl StorageCost for ErrorReportingTree {
@@ -602,9 +675,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(47);
         let g = gen::random_tree(300, WeightDist::Unit, &mut rng);
         let s = build(&g, NodeId(0), 3, 10);
-        for t in 0..300usize {
-            assert!(s.nodes[t].hash_dir.len() <= s.max_load());
-            assert!(s.nodes[t].name_children.len() <= s.sigma() as usize);
+        for t in 0..300u32 {
+            assert!(s.hash_dir(t).len() <= s.max_load());
+            assert!(s.name_children(t).len() <= s.sigma() as usize);
         }
     }
 
@@ -617,6 +690,65 @@ mod tests {
             let a = s.search(NodeId(gid), 3);
             let b = s.search(NodeId(gid), 3);
             assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_behavior() {
+        let mut rng = SmallRng::seed_from_u64(49);
+        let g = gen::random_tree(150, WeightDist::UniformInt { lo: 1, hi: 7 }, &mut rng);
+        let s = build(&g, NodeId(0), 3, 12);
+        let mut w = wire::Writer::new();
+        s.to_wire(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = wire::Reader::new(&bytes);
+        let s2 = ErrorReportingTree::from_wire(&mut r).unwrap();
+        assert!(r.is_empty(), "record fully consumed");
+        assert_eq!(s2.sigma(), s.sigma());
+        assert_eq!(s2.max_load(), s.max_load());
+        assert_eq!(s2.hash_verified(), s.hash_verified());
+        for t in 0..150u32 {
+            assert_eq!(s2.rank(t), s.rank(t));
+            assert_eq!(s2.node_bits(t), s.node_bits(t));
+            assert_eq!(s2.name_children(t), s.name_children(t));
+            assert_eq!(s2.hash_dir(t), s.hash_dir(t));
+        }
+        for gid in [0u32, 7, 42, 149, 5000] {
+            for j in 1..=3 {
+                assert_eq!(s2.search(NodeId(gid), j), s.search(NodeId(gid), j));
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_load_matches_reference_counting() {
+        // The interned-code fast path must agree with a naive
+        // HashMap-of-name-vectors count (the shape of the code it
+        // replaced).
+        use std::collections::HashMap;
+        let mut rng = SmallRng::seed_from_u64(50);
+        let g = gen::random_tree(90, WeightDist::Unit, &mut rng);
+        let tree = spanning_tree(&g, NodeId(0));
+        let order = tree.nodes_by_depth();
+        let k = 3usize;
+        let sigma = 5u64;
+        let naming = Naming::new(tree.size(), sigma);
+        let labeled = LabeledTree::new(tree);
+        for seed in 0..4u64 {
+            let h = PolyHash::new(PolyHash::degree_for(90), seed);
+            let fast = ErrorReportingTree::max_prefix_load(&h, &labeled, &order, &naming, k, sigma);
+            let mut slow = 0usize;
+            for plen in 0..k.min(naming.max_level() + 1) {
+                let vj = naming.level_capacity(plen + 1);
+                let mut counts: HashMap<Vec<u32>, usize> = HashMap::new();
+                for &t in order.iter().take(vj) {
+                    let gid = labeled.tree().graph_id(t).0 as u64;
+                    let digits = h.digits(gid, sigma, k);
+                    *counts.entry(digits[..plen].to_vec()).or_insert(0) += 1;
+                }
+                slow = slow.max(counts.values().copied().max().unwrap_or(0));
+            }
+            assert_eq!(fast, slow, "seed={seed}");
         }
     }
 }

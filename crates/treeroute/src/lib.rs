@@ -24,6 +24,6 @@ pub mod names;
 
 pub use cover_router::{CoverOutcome, CoverTreeRouter};
 pub use hashing::PolyHash;
-pub use labeled::{LabeledTree, RouteLabel, Step};
+pub use labeled::{LabelRef, LabeledTree, RouteLabel, Step};
 pub use laing::{ErrorReportingTree, SearchOutcome};
 pub use names::{Name, Naming};

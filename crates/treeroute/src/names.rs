@@ -88,6 +88,31 @@ impl Naming {
         name
     }
 
+    /// Rank of the name-child `(name(rank), y)` — the node whose name is
+    /// `rank`'s name with digit `y` appended — or `None` if no such node
+    /// exists. Pure index arithmetic: names enumerate lexicographically
+    /// within each level, so the child of `(level, offset)` under digit
+    /// `y` sits at offset `offset·σ + y` of level + 1. Replaces
+    /// `rank_of_name(name_of_rank(rank) ++ [y])` without materializing
+    /// either name.
+    pub fn child_rank(&self, rank: usize, y: u32) -> Option<usize> {
+        if y as u64 >= self.sigma {
+            return None;
+        }
+        let level = self.level_of_rank(rank);
+        if level + 1 >= self.level_end.len() {
+            return None;
+        }
+        let base = if level == 0 { 0 } else { self.level_end[level - 1] };
+        let child_offset = (rank - base) as u64 * self.sigma + y as u64;
+        let child = self.level_end[level] as u64 + child_offset;
+        if child < self.level_capacity(level + 1) as u64 {
+            Some(child as usize)
+        } else {
+            None
+        }
+    }
+
     /// Inverse of [`Naming::name_of_rank`]: the rank carrying `name`, or
     /// `None` if no such node exists (name beyond `count`).
     pub fn rank_of_name(&self, name: &[u32]) -> Option<usize> {
@@ -159,6 +184,27 @@ mod tests {
                     "sigma={sigma} rank={rank} name={name:?}"
                 );
                 assert_eq!(name.len(), nm.level_of_rank(rank));
+            }
+        }
+    }
+
+    #[test]
+    fn child_rank_matches_name_arithmetic() {
+        for sigma in [1u64, 2, 3, 5, 16, 1000] {
+            for count in [1usize, 2, 6, 50, 100] {
+                let nm = Naming::new(count, sigma);
+                for rank in 0..count {
+                    for y in 0..sigma.min(20) as u32 {
+                        let mut name = nm.name_of_rank(rank);
+                        name.push(y);
+                        assert_eq!(
+                            nm.child_rank(rank, y),
+                            nm.rank_of_name(&name),
+                            "sigma={sigma} count={count} rank={rank} y={y}"
+                        );
+                    }
+                    assert_eq!(nm.child_rank(rank, sigma as u32), None);
+                }
             }
         }
     }

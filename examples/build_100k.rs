@@ -14,7 +14,11 @@
 //!
 //! Defaults: n = 100000, pairs = 2000, threads = 0 (auto). CI runs
 //! this at n = 50000 under a wall-clock budget as the
-//! construction-scale regression tripwire.
+//! construction-scale regression tripwire; when the checked-in
+//! `BENCH_construction.json` has a record at the same n, the run fails
+//! if its peak RSS (`VmHWM`) exceeds 2× that baseline. Set
+//! `BENCH_BASELINE` to point at a different baseline file and
+//! `BENCH_CONSTRUCTION_OUT` to write this run's record.
 
 use std::time::Instant;
 
@@ -45,15 +49,26 @@ fn main() {
     // one Dijkstra per landmark (≈ √(n ln n) of them at k = 2) for
     // claims verification / centers / S budgets, capped-level scopes
     // for whole-graph regions, bounded per-center tree extraction.
+    let t_build = Instant::now();
     let scheme = Scheme::build_on_demand(g.clone(), SchemeParams::new(k, seed));
+    let build_s = t_build.elapsed().as_secs_f64();
     let st = scheme.stats();
+    let record = ConstructionRecord::collect(n, k, threads, build_s, st);
     println!(
-        "[{:>7.2}s] scheme built (k = {k}): {} center trees, {} cover scales, \
+        "[{:>7.2}s] scheme built (k = {k}): {} center trees, {} members, {} cover scales, \
          tuned S budgets {:?}",
         t0.elapsed().as_secs_f64(),
         st.num_center_trees,
+        st.total_members,
         st.num_scales,
         st.s_budgets,
+    );
+    let phases: Vec<String> =
+        st.phase_seconds.iter().map(|(name, s)| format!("{name} {s:.1}s")).collect();
+    println!(
+        "          build {build_s:.1}s ({}), peak RSS {:.2} GiB",
+        phases.join(", "),
+        record.peak_rss_kib as f64 / (1024.0 * 1024.0),
     );
     if st.lemma3_violations > 0 {
         // Legitimate on unlucky n/seed combinations: the scheme falls
@@ -103,6 +118,40 @@ fn main() {
         stats.mean_hops
     );
     assert_eq!(stats.failures, 0, "every pair must deliver");
+
+    if let Ok(out) = std::env::var("BENCH_CONSTRUCTION_OUT") {
+        let doc = routing_core::bench_record::render_json(std::slice::from_ref(&record));
+        std::fs::write(&out, doc).expect("write construction record");
+        println!("construction record written to {out}");
+    }
+
+    // Memory-regression tripwire: compare this build's VmHWM against
+    // the checked-in baseline at the same n (CI runs from the repo
+    // root, where BENCH_construction.json lives).
+    let baseline_path =
+        std::env::var("BENCH_BASELINE").unwrap_or_else(|_| "BENCH_construction.json".to_string());
+    match std::fs::read_to_string(&baseline_path)
+        .ok()
+        .and_then(|doc| routing_core::bench_record::baseline_peak_rss_kib(&doc, n))
+    {
+        Some(base) if base > 0 => {
+            let ratio = record.peak_rss_kib as f64 / base as f64;
+            println!(
+                "peak RSS vs {baseline_path} baseline at n = {n}: {} KiB vs {base} KiB ({ratio:.2}x)",
+                record.peak_rss_kib
+            );
+            assert!(
+                record.peak_rss_kib <= base.saturating_mul(2),
+                "peak RSS regression: {} KiB is more than 2x the {} KiB baseline",
+                record.peak_rss_kib,
+                base
+            );
+        }
+        _ => println!(
+            "no peak-RSS baseline for n = {n} in {baseline_path}; regression check skipped"
+        ),
+    }
+
     println!(
         "\nOK: Theorem-1 scheme built and {} pairs delivered with zero n² structures",
         stats.pairs

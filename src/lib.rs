@@ -57,7 +57,7 @@ pub mod prelude {
     pub use baselines::{HierarchicalScheme, LandmarkChaining, ShortestPathTables, TzLabeled};
     pub use graphkit::gen::Family;
     pub use graphkit::{Cost, Graph, GraphBuilder, NodeId, OnDemandTruth, Weight};
-    pub use routing_core::{ForceMode, Scheme, SchemeParams};
+    pub use routing_core::{ConstructionRecord, ForceMode, SBudgetMode, Scheme, SchemeParams};
     pub use sim::{
         evaluate, evaluate_lenient, evaluate_parallel, evaluate_parallel_lenient, pairs,
         GroundTruth, Router, StorageAudit, StretchStats,
