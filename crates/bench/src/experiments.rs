@@ -973,3 +973,102 @@ pub fn sc(cfg: &RunConfig) -> String {
     t.note("is ever materialized (last column: what the old path would have needed).");
     t.render()
 }
+
+/// Serving: snapshot round trip plus a sharded query batch. Builds the
+/// scheme matrix-free, saves it to a versioned snapshot, loads it back
+/// (resident and lazy), and serves the same batch through
+/// [`routing_core::serve_batch`] next to the shortest-path-table
+/// baseline — throughput (routes/sec) and latency (p50/p99 µs) per
+/// router. The scheme rows also emit `BENCH_serving.json` datapoints
+/// (path override: `BENCH_SERVING_OUT`; suppressed in `--quick` runs
+/// unless redirected, mirroring `sc`).
+pub fn serve(cfg: &RunConfig) -> String {
+    let (n, batch) = if cfg.quick { (400, 2_000) } else { (3_000, 20_000) };
+    let k = 2;
+    let mut t = Table::new(
+        format!(
+            "SERVE — snapshot-loaded scheme vs shortest-path tables (pref-attach n={n}, k={k})"
+        ),
+        &["router", "load s", "queries", "delivered", "routes/s", "p50 µs", "p99 µs"],
+    );
+    let mut rng = SmallRng::seed_from_u64(0x5EB0 + n as u64);
+    let g = gen::preferential_attachment(n, 3, WeightDist::PowerOfTwo { max_exp: 20 }, &mut rng);
+    let queries = pairs::sample(n, batch, 0x5EB1);
+
+    let built = Scheme::build_on_demand(g.clone(), SchemeParams::new(k, 0x5EB0));
+    let snap = std::env::temp_dir().join(format!("agm-serve-bench-{}.snap", std::process::id()));
+    built.save(&snap).expect("snapshot save");
+    let snapshot_bytes = std::fs::metadata(&snap).map(|m| m.len()).unwrap_or(0);
+    drop(built); // serve strictly from the snapshot — no rebuild path
+
+    let mut records: Vec<routing_core::ServingRecord> = Vec::new();
+    let mut scheme_record: Option<(f64, routing_core::ServeReport)> = None;
+    type SchemeLoader = fn(&std::path::Path) -> std::io::Result<Scheme>;
+    let loaders: [(&str, SchemeLoader); 2] = [
+        ("agm (snapshot, resident)", |p| Scheme::load(p)),
+        ("agm (snapshot, lazy trees)", |p| Scheme::load_lazy(p)),
+    ];
+    for (name, load) in loaders {
+        let t0 = std::time::Instant::now();
+        let scheme = load(&snap).expect("snapshot load");
+        let load_s = t0.elapsed().as_secs_f64();
+        let rep = routing_core::serve_batch(&scheme, &queries, cfg.threads);
+        assert_eq!(rep.delivered, rep.queries, "serving must deliver every query");
+        t.row(vec![
+            name.to_string(),
+            f(load_s),
+            rep.queries.to_string(),
+            rep.delivered.to_string(),
+            f(rep.routes_per_sec),
+            f(rep.p50_us),
+            f(rep.p99_us),
+        ]);
+        if scheme_record.is_none() {
+            scheme_record = Some((load_s, rep));
+        }
+    }
+    let _ = std::fs::remove_file(&snap);
+
+    let t0 = std::time::Instant::now();
+    let tables = baselines::ShortestPathTables::build(g.clone());
+    let build_s = t0.elapsed().as_secs_f64();
+    let rep = routing_core::serve_batch(&tables, &queries, cfg.threads);
+    t.row(vec![
+        "sp-tables (rebuilt, n² state)".to_string(),
+        f(build_s),
+        rep.queries.to_string(),
+        rep.delivered.to_string(),
+        f(rep.routes_per_sec),
+        f(rep.p50_us),
+        f(rep.p99_us),
+    ]);
+
+    let (load_seconds, scheme_rep) = scheme_record.expect("scheme served");
+    records.push(routing_core::ServingRecord {
+        n,
+        k,
+        snapshot_bytes,
+        load_seconds,
+        scheme: scheme_rep,
+        baseline: Some(("sp_tables".to_string(), rep)),
+    });
+    let out = std::env::var("BENCH_SERVING_OUT").ok();
+    match (out, cfg.quick) {
+        (None, true) => {
+            t.note("Serving records not persisted in --quick mode (set BENCH_SERVING_OUT");
+            t.note("to capture them).");
+        }
+        (out, _) => {
+            let out = out.unwrap_or_else(|| "BENCH_serving.json".to_string());
+            match std::fs::write(&out, bench_record::render_serving_json(&records)) {
+                Ok(()) => t.note(format!("Serving records written to {out}.")),
+                Err(e) => t.note(format!("Serving records NOT written to {out}: {e}.")),
+            };
+        }
+    }
+    t.note("The serve path never rebuilds: the scheme is dropped after save and");
+    t.note("reconstructed purely from the snapshot's flat arenas. The sp-tables");
+    t.note("baseline routes optimally but must be rebuilt from scratch (no snapshot)");
+    t.note("and holds Θ(n²) next-hop state — the trade the paper's tables avoid.");
+    t.render()
+}

@@ -92,6 +92,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
         ("a1", "Ablation: sparse-only / dense-only", experiments::a1),
         ("dx", "Directed extension (paper §4)", experiments::dx),
         ("sc", "Scaling: Theorem-1 construction & evaluation beyond the n² wall", experiments::sc),
+        (
+            "serve",
+            "Serving: snapshot load + sharded query batches vs sp-tables",
+            experiments::serve,
+        ),
     ]
 }
 
@@ -105,6 +110,6 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), before);
-        assert_eq!(before, 16);
+        assert_eq!(before, 17);
     }
 }

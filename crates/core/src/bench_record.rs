@@ -1,13 +1,92 @@
-//! Machine-readable construction-benchmark records — the schema behind
-//! the checked-in `BENCH_construction.json`.
+//! Machine-readable benchmark records — the schema behind the
+//! checked-in `BENCH_<topic>.json` documents.
 //!
-//! The workspace has no JSON dependency (offline container), so the
-//! small fixed schema is rendered and scanned by hand. The `sc`
-//! experiment emits records after each Theorem-1 build; the CI
-//! construction smoke (`examples/build_100k.rs`) compares its peak RSS
-//! against the checked-in baseline and fails on a >2× regression.
+//! The workspace has no JSON dependency (offline container), so
+//! records are rendered and scanned by hand through a small generic
+//! layer: a [`TopicRecord`] is an ordered list of typed fields, and
+//! [`render_topic_json`] renders any list of them as a
+//! `BENCH_<topic>.json` document. Two concrete schemas ride on it:
+//!
+//! * [`ConstructionRecord`] → `BENCH_construction.json` (the `sc`
+//!   experiment; the CI construction smoke compares its peak RSS
+//!   against the checked-in baseline and fails on a >2× regression);
+//! * [`ServingRecord`] → `BENCH_serving.json` (the `serve`
+//!   experiment and the CI serving smoke: routes/sec and p50/p99
+//!   latency against a loaded snapshot).
+//!
+//! Baseline scanning works on any topic document via
+//! [`baseline_value`], anchored on the record's leading `"n"` field.
 
+use crate::serve::ServeReport;
 use crate::BuildStats;
+
+/// One typed field value of a [`TopicRecord`].
+#[derive(Clone, Debug)]
+pub enum FieldValue {
+    /// An unsigned integer, rendered bare.
+    Int(u64),
+    /// A float, rendered with three decimals.
+    Float(f64),
+    /// A list of unsigned integers.
+    IntList(Vec<u64>),
+    /// An ordered string→float map (e.g. per-phase seconds).
+    FloatMap(Vec<(String, f64)>),
+}
+
+impl FieldValue {
+    fn render(&self) -> String {
+        match self {
+            FieldValue::Int(x) => x.to_string(),
+            FieldValue::Float(x) => format!("{x:.3}"),
+            FieldValue::IntList(xs) => {
+                let items: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+                format!("[{}]", items.join(", "))
+            }
+            FieldValue::FloatMap(m) => {
+                let items: Vec<String> =
+                    m.iter().map(|(k, v)| format!("\"{k}\": {v:.3}")).collect();
+                format!("{{{}}}", items.join(", "))
+            }
+        }
+    }
+}
+
+/// One benchmark datapoint of any topic: ordered `(key, value)`
+/// fields, rendered in insertion order.
+#[derive(Clone, Debug, Default)]
+pub struct TopicRecord {
+    fields: Vec<(String, FieldValue)>,
+}
+
+impl TopicRecord {
+    /// An empty record.
+    pub fn new() -> Self {
+        TopicRecord::default()
+    }
+
+    /// Append a field (builder-style).
+    pub fn field(mut self, key: &str, value: FieldValue) -> Self {
+        self.fields.push((key.to_string(), value));
+        self
+    }
+}
+
+/// Render a full `BENCH_<topic>.json` document: a `benchmark` name
+/// plus the records in order.
+pub fn render_topic_json(benchmark: &str, records: &[TopicRecord]) -> String {
+    let body: Vec<String> = records
+        .iter()
+        .map(|r| {
+            let fields: Vec<String> =
+                r.fields.iter().map(|(k, v)| format!("      \"{k}\": {}", v.render())).collect();
+            format!("    {{\n{}\n    }}", fields.join(",\n"))
+        })
+        .collect();
+    format!(
+        "{{\n  \"benchmark\": \"{benchmark}\",\n  \"records\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    )
+}
 
 /// One Theorem-1 construction datapoint.
 #[derive(Clone, Debug)]
@@ -55,43 +134,93 @@ impl ConstructionRecord {
         }
     }
 
-    fn to_json(&self) -> String {
-        let budgets: Vec<String> = self.s_budgets.iter().map(|b| b.to_string()).collect();
-        let phases: Vec<String> =
-            self.phase_seconds.iter().map(|(name, s)| format!("\"{name}\": {s:.3}")).collect();
-        format!(
-            "    {{\n      \"n\": {},\n      \"k\": {},\n      \"threads\": {},\n      \
-             \"build_seconds\": {:.3},\n      \"peak_rss_kib\": {},\n      \
-             \"num_center_trees\": {},\n      \"total_members\": {},\n      \
-             \"s_budgets\": [{}],\n      \"phase_seconds\": {{{}}}\n    }}",
-            self.n,
-            self.k,
-            self.threads,
-            self.build_seconds,
-            self.peak_rss_kib,
-            self.num_center_trees,
-            self.total_members,
-            budgets.join(", "),
-            phases.join(", "),
-        )
+    /// Lower into the generic topic schema (field order is the
+    /// document format; never reorder).
+    pub fn to_topic(&self) -> TopicRecord {
+        TopicRecord::new()
+            .field("n", FieldValue::Int(self.n as u64))
+            .field("k", FieldValue::Int(self.k as u64))
+            .field("threads", FieldValue::Int(self.threads as u64))
+            .field("build_seconds", FieldValue::Float(self.build_seconds))
+            .field("peak_rss_kib", FieldValue::Int(self.peak_rss_kib))
+            .field("num_center_trees", FieldValue::Int(self.num_center_trees as u64))
+            .field("total_members", FieldValue::Int(self.total_members as u64))
+            .field(
+                "s_budgets",
+                FieldValue::IntList(self.s_budgets.iter().map(|&b| b as u64).collect()),
+            )
+            .field("phase_seconds", FieldValue::FloatMap(self.phase_seconds.clone()))
     }
 }
 
 /// Render the full `BENCH_construction.json` document.
 pub fn render_json(records: &[ConstructionRecord]) -> String {
-    let body: Vec<String> = records.iter().map(|r| r.to_json()).collect();
-    format!(
-        "{{\n  \"benchmark\": \"agm-theorem1-construction\",\n  \"records\": [\n{}\n  ]\n}}\n",
-        body.join(",\n")
-    )
+    let topics: Vec<TopicRecord> = records.iter().map(|r| r.to_topic()).collect();
+    render_topic_json("agm-theorem1-construction", &topics)
 }
 
-/// Scan a `BENCH_construction.json` document for the record with the
-/// given `n` and return a numeric field of it (fields are rendered in
-/// fixed order with `n` first, so the next occurrence of `key` after
-/// the `n` anchor belongs to that record).
-fn baseline_field<'a>(json: &'a str, n: usize, key: &str) -> Option<&'a str> {
-    let anchor = format!("\"n\": {n},");
+/// One serving datapoint: a snapshot-loaded scheme answering a query
+/// batch, optionally next to a baseline router served the same batch.
+#[derive(Clone, Debug)]
+pub struct ServingRecord {
+    /// Graph size (nodes).
+    pub n: usize,
+    /// Trade-off parameter.
+    pub k: usize,
+    /// Snapshot file size, bytes.
+    pub snapshot_bytes: u64,
+    /// Wall clock of `Scheme::load`, seconds.
+    pub load_seconds: f64,
+    /// The scheme's serve report.
+    pub scheme: ServeReport,
+    /// The comparison router's report over the same batch (e.g.
+    /// shortest-path tables), where one is feasible to build.
+    pub baseline: Option<(String, ServeReport)>,
+}
+
+impl ServingRecord {
+    /// Lower into the generic topic schema.
+    pub fn to_topic(&self) -> TopicRecord {
+        let serve = |r: TopicRecord, prefix: &str, rep: &ServeReport| {
+            r.field(&format!("{prefix}routes_per_sec"), FieldValue::Float(rep.routes_per_sec))
+                .field(&format!("{prefix}p50_us"), FieldValue::Float(rep.p50_us))
+                .field(&format!("{prefix}p99_us"), FieldValue::Float(rep.p99_us))
+        };
+        let mut r = TopicRecord::new()
+            .field("n", FieldValue::Int(self.n as u64))
+            .field("k", FieldValue::Int(self.k as u64))
+            .field("queries", FieldValue::Int(self.scheme.queries as u64))
+            .field("delivered", FieldValue::Int(self.scheme.delivered as u64))
+            .field("threads", FieldValue::Int(self.scheme.threads as u64))
+            .field("snapshot_bytes", FieldValue::Int(self.snapshot_bytes))
+            .field("load_seconds", FieldValue::Float(self.load_seconds));
+        r = serve(r, "", &self.scheme);
+        if let Some((name, rep)) = &self.baseline {
+            r = r.field(&format!("baseline_{name}_queries"), FieldValue::Int(rep.queries as u64));
+            r = serve(r, &format!("baseline_{name}_"), rep);
+        }
+        r
+    }
+}
+
+/// Render the full `BENCH_serving.json` document.
+pub fn render_serving_json(records: &[ServingRecord]) -> String {
+    let topics: Vec<TopicRecord> = records.iter().map(|r| r.to_topic()).collect();
+    render_topic_json("agm-theorem1-serving", &topics)
+}
+
+/// Scan a rendered topic document for the record whose `anchor` field
+/// (rendered first, e.g. `"n"`) equals `anchor_val`, and return the
+/// raw text of `key` within that record (fields render in fixed
+/// order, so the next occurrence of `key` after the anchor belongs to
+/// that record).
+pub fn baseline_value<'a>(
+    json: &'a str,
+    anchor: &str,
+    anchor_val: u64,
+    key: &str,
+) -> Option<&'a str> {
+    let anchor = format!("\"{anchor}\": {anchor_val},");
     let at = json.find(&anchor)?;
     let rest = &json[at + anchor.len()..];
     let needle = format!("\"{key}\": ");
@@ -103,12 +232,12 @@ fn baseline_field<'a>(json: &'a str, n: usize, key: &str) -> Option<&'a str> {
 
 /// The checked-in baseline's peak RSS (KiB) at graph size `n`.
 pub fn baseline_peak_rss_kib(json: &str, n: usize) -> Option<u64> {
-    baseline_field(json, n, "peak_rss_kib")?.parse().ok()
+    baseline_value(json, "n", n as u64, "peak_rss_kib")?.parse().ok()
 }
 
 /// The checked-in baseline's build wall clock (seconds) at graph size `n`.
 pub fn baseline_build_seconds(json: &str, n: usize) -> Option<f64> {
-    baseline_field(json, n, "build_seconds")?.parse().ok()
+    baseline_value(json, "n", n as u64, "build_seconds")?.parse().ok()
 }
 
 #[cfg(test)]
@@ -158,5 +287,50 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with("}\n"));
         assert!(json.contains("\"benchmark\": \"agm-theorem1-construction\""));
         assert!(json.contains("\"phase_seconds\": {\"plans\": 1.000, \"budgets\": 2.500}"));
+    }
+
+    #[test]
+    fn arbitrary_topics_render_and_scan() {
+        // The generalized layer: any topic, any field set, scanned
+        // back through the same anchor machinery.
+        let rec = TopicRecord::new()
+            .field("n", FieldValue::Int(500))
+            .field("widgets", FieldValue::Int(7))
+            .field("ratio", FieldValue::Float(2.5));
+        let json = render_topic_json("agm-widgets", &[rec]);
+        assert!(json.contains("\"benchmark\": \"agm-widgets\""));
+        assert_eq!(baseline_value(&json, "n", 500, "widgets"), Some("7"));
+        assert_eq!(baseline_value(&json, "n", 500, "ratio"), Some("2.500"));
+        assert_eq!(baseline_value(&json, "n", 501, "widgets"), None);
+    }
+
+    #[test]
+    fn serving_record_shape() {
+        let report = ServeReport {
+            queries: 10_000,
+            delivered: 10_000,
+            threads: 4,
+            elapsed_seconds: 2.0,
+            routes_per_sec: 5_000.0,
+            p50_us: 150.25,
+            p99_us: 900.5,
+        };
+        let rec = ServingRecord {
+            n: 50_000,
+            k: 2,
+            snapshot_bytes: 123_456_789,
+            load_seconds: 1.5,
+            scheme: report.clone(),
+            baseline: Some(("sp_tables".into(), report)),
+        };
+        let json = render_serving_json(&[rec]);
+        assert!(json.contains("\"benchmark\": \"agm-theorem1-serving\""));
+        assert_eq!(baseline_value(&json, "n", 50_000, "queries"), Some("10000"));
+        assert_eq!(baseline_value(&json, "n", 50_000, "routes_per_sec"), Some("5000.000"));
+        assert_eq!(baseline_value(&json, "n", 50_000, "p99_us"), Some("900.500"));
+        assert_eq!(
+            baseline_value(&json, "n", 50_000, "baseline_sp_tables_p50_us"),
+            Some("150.250")
+        );
     }
 }

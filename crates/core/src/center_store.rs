@@ -4,12 +4,14 @@
 //!
 //! The spill path exists for constructions whose Õ(n^{1+1/k}) total
 //! tree state exceeds RAM: the fused per-center pipeline serializes
-//! each tree the moment it is finished (only the irreducible parts —
-//! the physical tree plus the chosen hash; see
-//! [`ErrorReportingTree::to_wire`]) and drops it. Routing reloads
-//! records on demand through a small FIFO cache; the rebuild is
-//! bit-identical to the in-memory tree, so the two stores route the
-//! same paths (asserted by `tests/spill_parity.rs`).
+//! each tree the moment it is finished (the full flat-arena store;
+//! see [`ErrorReportingTree::to_wire`]) and drops it. Routing reloads
+//! records on demand through a small FIFO cache; a reload is a single
+//! validated decode pass, bit-identical to the in-memory tree, so the
+//! two stores route the same paths (asserted by
+//! `tests/spill_parity.rs`). The same record format and the same
+//! reader serve scheme snapshots: [`SpillStore::from_file_index`]
+//! points the store at a snapshot's center-trees section.
 
 use std::collections::{HashMap, VecDeque};
 use std::fs::{File, OpenOptions};
@@ -75,6 +77,38 @@ impl CenterStore {
         match self {
             CenterStore::Memory(m) => Arc::clone(&m[&c]),
             CenterStore::Spilled(s) => s.get(c),
+        }
+    }
+
+    /// Every center with a tree, ascending (snapshot save iterates
+    /// these so section payloads are byte-deterministic).
+    pub fn centers(&self) -> Vec<u32> {
+        let mut cs: Vec<u32> = match self {
+            CenterStore::Memory(m) => m.keys().copied().collect(),
+            CenterStore::Spilled(s) => s.index.keys().copied().collect(),
+        };
+        cs.sort_unstable();
+        cs
+    }
+
+    /// The wire payload of center `c`'s tree. Resident trees are
+    /// encoded on the fly; spilled records are copied verbatim — the
+    /// spill file and the snapshot's center-trees section share the
+    /// same per-record format, so no decode/re-encode round trip.
+    pub fn payload(&self, c: u32) -> io::Result<Vec<u8>> {
+        match self {
+            CenterStore::Memory(m) => {
+                let ct = m.get(&c).ok_or_else(|| wire::invalid("unknown center"))?;
+                let mut w = wire::Writer::new();
+                ct.ert.to_wire(&mut w);
+                Ok(w.into_bytes())
+            }
+            CenterStore::Spilled(s) => {
+                let &(off, len) = s.index.get(&c).ok_or_else(|| wire::invalid("unknown center"))?;
+                let mut buf = vec![0u8; len as usize];
+                s.file.read_exact_at(&mut buf, off)?;
+                Ok(buf)
+            }
         }
     }
 }
@@ -157,8 +191,18 @@ pub(crate) struct SpillStore {
 impl SpillStore {
     const CACHE_CAP: usize = 8;
 
-    /// Load (or fetch from cache) the tree of center `c`, rebuilding
-    /// the full Lemma 4 scheme from the record's irreducible parts.
+    /// Point a store at records living inside an existing file — the
+    /// snapshot loader's lazy mode hands over the snapshot file itself
+    /// with absolute `(offset, len)` extents into its center-trees
+    /// section. This is the spill/snapshot unification: route-time
+    /// reloads go through exactly the same cache and decode path
+    /// whether the records came from a build spill or a saved scheme.
+    pub fn from_file_index(file: File, index: HashMap<u32, (u64, u32)>) -> SpillStore {
+        SpillStore { file, index, cache: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Load (or fetch from cache) the tree of center `c`, decoding
+    /// the full Lemma 4 scheme from its flat-arena record.
     fn get(&self, c: u32) -> Arc<CenterTree> {
         {
             let cache = self.cache.lock().unwrap();

@@ -31,12 +31,15 @@ pub mod bench_record;
 mod center_store;
 pub mod directed;
 mod scheme;
+pub mod serve;
+mod snapshot;
 
-pub use bench_record::ConstructionRecord;
+pub use bench_record::{ConstructionRecord, ServingRecord};
 pub use directed::{validate_directed_trace, DirectedScheme};
 pub use scheme::{
     BuildStats, ForceMode, HierarchySource, SBudgetMode, Scheme, SchemeParams, StorageBreakdown,
 };
+pub use serve::{serve_batch, ServeReport};
 
 #[cfg(test)]
 mod tests {

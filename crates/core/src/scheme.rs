@@ -154,15 +154,15 @@ impl StorageBreakdown {
 
 /// Per-(node, level) routing plan.
 #[derive(Clone, Copy, Debug)]
-struct LevelPlan {
+pub(crate) struct LevelPlan {
     /// Dense or sparse strategy for this level.
-    dense: bool,
+    pub(crate) dense: bool,
     /// The range `a(u, i)` (the dense strategy's scale).
-    a: u32,
+    pub(crate) a: u32,
     /// Sparse: the center `c(u, i)` (host id). Dense: unused.
-    center: u32,
+    pub(crate) center: u32,
     /// Sparse: the bounded-search level `b(u, i)`.
-    b: u8,
+    pub(crate) b: u8,
 }
 
 /// Resolved S-set budgets: global per-level values, or a flat
@@ -264,17 +264,32 @@ impl BuildSource<'_> {
 }
 
 /// All cover trees of one scale `i` (over the subgraph `G_i`).
-struct ScaleCover {
-    routers: Vec<CoverEntry>,
+pub(crate) struct ScaleCover {
+    pub(crate) routers: Vec<CoverEntry>,
     /// host node id -> index of its home router (u32::MAX outside G_i).
-    home: Vec<u32>,
+    pub(crate) home: Vec<u32>,
 }
 
 /// One cover tree with the Lemma 7 scheme attached.
-struct CoverEntry {
-    router: CoverTreeRouter,
+pub(crate) struct CoverEntry {
+    pub(crate) router: CoverTreeRouter,
     /// host node id -> tree index.
-    ix: HashMap<u32, TreeIx>,
+    pub(crate) ix: HashMap<u32, TreeIx>,
+}
+
+impl CoverEntry {
+    /// Wrap a router, deriving the host-id lookup from its tree.
+    pub(crate) fn from_router(router: CoverTreeRouter) -> Self {
+        let ix: HashMap<u32, TreeIx> = router
+            .labeled()
+            .tree()
+            .graph_ids()
+            .iter()
+            .enumerate()
+            .map(|(i, &gid)| (gid, i as TreeIx))
+            .collect();
+        CoverEntry { router, ix }
+    }
 }
 
 /// Diagnostics accumulated during preprocessing (experiment F2 reads
@@ -304,20 +319,20 @@ pub struct BuildStats {
 
 /// The scale-free name-independent routing scheme of Theorem 1.
 pub struct Scheme {
-    g: Graph,
-    params: SchemeParams,
-    dec: Decomposition,
-    hier: LandmarkHierarchy,
-    plans: Vec<Vec<LevelPlan>>,
-    center_store: CenterStore,
+    pub(crate) g: Graph,
+    pub(crate) params: SchemeParams,
+    pub(crate) dec: Decomposition,
+    pub(crate) hier: LandmarkHierarchy,
+    pub(crate) plans: Vec<Vec<LevelPlan>>,
+    pub(crate) center_store: CenterStore,
     /// Per-node landmark-component storage bits (center id + τ over
     /// containing trees), accumulated during the fused build so that
     /// accounting never reloads spilled trees.
-    landmark_bits: Vec<u64>,
+    pub(crate) landmark_bits: Vec<u64>,
     /// Largest routing label over all center trees (header accounting).
-    max_center_label_bits: u64,
-    scale_covers: HashMap<u32, ScaleCover>,
-    stats: BuildStats,
+    pub(crate) max_center_label_bits: u64,
+    pub(crate) scale_covers: HashMap<u32, ScaleCover>,
+    pub(crate) stats: BuildStats,
 }
 
 impl Scheme {

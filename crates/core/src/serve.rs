@@ -1,0 +1,142 @@
+//! The serving engine: batched routing lookups sharded across threads.
+//!
+//! A *serve* workload is the read side of the scheme's lifecycle —
+//! no construction, no ground truth, just `route(src, dst)` over a
+//! batch of queries against an already-built (typically
+//! snapshot-loaded) router. Queries are sharded by source node id, so
+//! a query's thread assignment — and therefore the exact interleaving
+//! of any store-cache effects — is a function of the workload alone,
+//! not of scheduler timing.
+//!
+//! The engine reports throughput (routes/sec over the batch wall
+//! clock) and per-query latency percentiles (p50/p99, microseconds),
+//! the numbers `BENCH_serving.json` records.
+
+use graphkit::NodeId;
+use sim::Router;
+
+/// Aggregate results of one served batch.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Queries issued.
+    pub queries: usize,
+    /// Queries whose trace reported delivery.
+    pub delivered: usize,
+    /// Threads the batch ran on.
+    pub threads: usize,
+    /// Batch wall clock, seconds.
+    pub elapsed_seconds: f64,
+    /// `queries / elapsed_seconds`.
+    pub routes_per_sec: f64,
+    /// Median per-query latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-query latency, microseconds.
+    pub p99_us: f64,
+}
+
+/// Serve `queries` against `router` on `threads` threads (0 = all
+/// available), sharding by `src.0 % threads`. Returns the merged
+/// throughput/latency report; per-query results are not retained.
+pub fn serve_batch(
+    router: &(dyn Router + Sync),
+    queries: &[(NodeId, NodeId)],
+    threads: usize,
+) -> ServeReport {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    let started = std::time::Instant::now();
+    let shards: Vec<(usize, Vec<u64>)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|tid| {
+                scope.spawn(move || {
+                    let mut delivered = 0usize;
+                    let mut lat_ns = Vec::new();
+                    for &(s, t) in queries {
+                        if s.0 as usize % threads != tid {
+                            continue;
+                        }
+                        let q0 = std::time::Instant::now();
+                        let trace = router.route(s, t);
+                        lat_ns.push(q0.elapsed().as_nanos() as u64);
+                        delivered += trace.delivered as usize;
+                    }
+                    (delivered, lat_ns)
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("serve worker panicked")).collect()
+    });
+    let elapsed_seconds = started.elapsed().as_secs_f64();
+    let mut delivered = 0usize;
+    let mut lat_ns = Vec::with_capacity(queries.len());
+    for (d, l) in shards {
+        delivered += d;
+        lat_ns.extend(l);
+    }
+    lat_ns.sort_unstable();
+    ServeReport {
+        queries: queries.len(),
+        delivered,
+        threads,
+        elapsed_seconds,
+        routes_per_sec: if elapsed_seconds > 0.0 {
+            queries.len() as f64 / elapsed_seconds
+        } else {
+            0.0
+        },
+        p50_us: percentile_us(&lat_ns, 50),
+        p99_us: percentile_us(&lat_ns, 99),
+    }
+}
+
+/// Nearest-rank percentile of sorted nanosecond latencies, in µs.
+fn percentile_us(sorted_ns: &[u64], p: usize) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = (sorted_ns.len() - 1) * p / 100;
+    sorted_ns[idx] as f64 / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Scheme, SchemeParams};
+    use graphkit::gen::Family;
+    use graphkit::metrics::apsp;
+    use sim::pairs;
+
+    #[test]
+    fn serve_batch_delivers_and_reports() {
+        let g = Family::Geometric.generate(100, 0x5E1);
+        let d = apsp(&g);
+        let scheme = Scheme::build_with_matrix(g.clone(), &d, SchemeParams::new(2, 0x5E1));
+        let queries = pairs::sample(g.n(), 500, 0x5E2);
+        for threads in [1usize, 3] {
+            let report = serve_batch(&scheme, &queries, threads);
+            assert_eq!(report.queries, 500);
+            assert_eq!(report.delivered, 500, "scheme must deliver every query");
+            assert_eq!(report.threads, threads);
+            assert!(report.routes_per_sec > 0.0);
+            assert!(report.p50_us <= report.p99_us);
+        }
+    }
+
+    #[test]
+    fn sharding_covers_every_query_exactly_once() {
+        // Delivered count equals the query count at any thread count —
+        // no query is dropped or double-served by the sharding.
+        let g = Family::Ring.generate(60, 0x5E3);
+        let d = apsp(&g);
+        let scheme = Scheme::build_with_matrix(g.clone(), &d, SchemeParams::new(2, 0x5E3));
+        let queries = pairs::all(g.n());
+        let total = queries.len();
+        for threads in [1usize, 2, 5, 16] {
+            let report = serve_batch(&scheme, &queries, threads);
+            assert_eq!((report.queries, report.delivered), (total, total), "threads={threads}");
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Snapshot parity: a scheme saved to a versioned snapshot and loaded
+//! back — by what is conceptually another process — must route every
+//! pair with byte-identical next-hop decisions, account identical
+//! storage, and report identical build stats; and a corrupted or
+//! truncated snapshot must surface as an `Err`, never a panic.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use graphkit::gen::Family;
+use graphkit::metrics::apsp;
+use proptest::prelude::*;
+use routing_core::{Scheme, SchemeParams};
+use sim::{pairs, Router};
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A unique path in the system temp dir; removed by `TempPath::drop`.
+struct TempPath(PathBuf);
+
+impl TempPath {
+    fn new() -> Self {
+        let seq = SEQ.fetch_add(1, Ordering::SeqCst);
+        TempPath(
+            std::env::temp_dir()
+                .join(format!("agm-snapshot-test-{}-{seq}.bin", std::process::id())),
+        )
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Assert that `loaded` is behaviorally identical to `built`.
+fn assert_parity(g: &graphkit::Graph, built: &Scheme, loaded: &Scheme, tag: &str) {
+    assert_eq!(built.stats().s_budgets, loaded.stats().s_budgets, "{tag}");
+    assert_eq!(built.stats().num_center_trees, loaded.stats().num_center_trees, "{tag}");
+    assert_eq!(built.stats().num_cover_trees, loaded.stats().num_cover_trees, "{tag}");
+    assert_eq!(built.stats().total_members, loaded.stats().total_members, "{tag}");
+    assert_eq!(built.header_bits_bound(), loaded.header_bits_bound(), "{tag}");
+    for v in g.nodes() {
+        assert_eq!(built.storage_bits(v), loaded.storage_bits(v), "{tag} at {v}");
+    }
+    for (s, t) in pairs::sample(g.n(), 300, 0x51AB) {
+        let ta = built.route(s, t);
+        let tb = loaded.route(s, t);
+        assert_eq!(ta.delivered, tb.delivered, "{tag} {s}->{t}");
+        assert_eq!(ta.cost, tb.cost, "{tag} {s}->{t}");
+        assert_eq!(ta.path, tb.path, "{tag} {s}->{t}");
+    }
+}
+
+#[test]
+fn saved_scheme_loads_and_routes_identically() {
+    for (fam, k) in [
+        (Family::Geometric, 2usize),
+        (Family::ExpRing, 3),
+        (Family::PrefAttach, 2),
+        (Family::Grid, 1),
+    ] {
+        let g = fam.generate(110, 0x54AD);
+        let d = apsp(&g);
+        let scheme = Scheme::build_with_matrix(g.clone(), &d, SchemeParams::new(k, 0x54AD));
+        let path = TempPath::new();
+        scheme.save(&path.0).expect("save");
+        let resident = Scheme::load(&path.0).expect("load");
+        let lazy = Scheme::load_lazy(&path.0).expect("load_lazy");
+        let tag = format!("{} k={k}", fam.label());
+        assert_parity(&g, &scheme, &resident, &format!("{tag} resident"));
+        assert_parity(&g, &scheme, &lazy, &format!("{tag} lazy"));
+        assert_eq!(resident.params().k, k);
+        assert_eq!(resident.params().seed, 0x54AD);
+    }
+}
+
+#[test]
+fn spilled_build_saves_by_raw_copy_and_loads_identically() {
+    // A spilled scheme's save path copies spill records verbatim into
+    // the snapshot; the loaded scheme must still match the resident
+    // build bit for bit.
+    let g = Family::Geometric.generate(120, 0x54AE);
+    let d = apsp(&g);
+    let params = SchemeParams::new(2, 0x54AE);
+    let resident = Scheme::build_with_matrix(g.clone(), &d, params);
+    let spilled = Scheme::build_with_matrix(g.clone(), &d, params.with_spill());
+    let path = TempPath::new();
+    spilled.save(&path.0).expect("save");
+    let loaded = Scheme::load(&path.0).expect("load");
+    assert_parity(&g, &resident, &loaded, "spilled->snapshot->resident");
+}
+
+#[test]
+fn snapshot_of_on_demand_build_round_trips() {
+    let g = Family::ExpTree.generate(100, 0x54AF);
+    let scheme = Scheme::build_on_demand(g.clone(), SchemeParams::new(3, 0x54AF));
+    let path = TempPath::new();
+    scheme.save(&path.0).expect("save");
+    let loaded = Scheme::load(&path.0).expect("load");
+    assert_parity(&g, &scheme, &loaded, "on-demand");
+}
+
+#[test]
+fn truncated_snapshots_error_instead_of_panicking() {
+    let g = Family::Geometric.generate(70, 0x54B0);
+    let d = apsp(&g);
+    let scheme = Scheme::build_with_matrix(g.clone(), &d, SchemeParams::new(2, 0x54B0));
+    let path = TempPath::new();
+    scheme.save(&path.0).expect("save");
+    let bytes = std::fs::read(&path.0).expect("read back");
+    let full = Scheme::load(&path.0).expect("intact snapshot must load");
+    drop(full);
+    // Every short prefix (subsampled beyond the header region) must
+    // fail cleanly through the Err path.
+    let cut = TempPath::new();
+    let mut lens: Vec<usize> = (0..bytes.len().min(64)).collect();
+    lens.extend((64..bytes.len()).step_by(89));
+    for len in lens {
+        std::fs::write(&cut.0, &bytes[..len]).expect("write truncated");
+        assert!(Scheme::load(&cut.0).is_err(), "prefix of {len} bytes must not load");
+    }
+}
+
+#[test]
+fn corrupted_snapshots_error_instead_of_panicking() {
+    let g = Family::Geometric.generate(70, 0x54B1);
+    let d = apsp(&g);
+    let scheme = Scheme::build_with_matrix(g.clone(), &d, SchemeParams::new(2, 0x54B1));
+    let path = TempPath::new();
+    scheme.save(&path.0).expect("save");
+    let bytes = std::fs::read(&path.0).expect("read back");
+    // Single-byte flips, subsampled across the file (the resident
+    // loader checksums every section, so any payload flip must be
+    // caught; header/table flips are caught structurally).
+    let bad = TempPath::new();
+    let mut offsets: Vec<usize> = (0..bytes.len().min(64)).collect();
+    offsets.extend((64..bytes.len()).step_by(97));
+    for off in offsets {
+        let mut corrupt = bytes.clone();
+        corrupt[off] ^= 0x20;
+        std::fs::write(&bad.0, &corrupt).expect("write corrupt");
+        assert!(Scheme::load(&bad.0).is_err(), "flip at byte {off} must not load");
+    }
+}
+
+#[test]
+fn save_is_byte_deterministic() {
+    let g = Family::PrefAttach.generate(90, 0x54B2);
+    let d = apsp(&g);
+    let scheme = Scheme::build_with_matrix(g.clone(), &d, SchemeParams::new(2, 0x54B2));
+    let a = TempPath::new();
+    let b = TempPath::new();
+    scheme.save(&a.0).expect("save a");
+    scheme.save(&b.0).expect("save b");
+    assert_eq!(std::fs::read(&a.0).unwrap(), std::fs::read(&b.0).unwrap());
+    // And resaving a *loaded* scheme reproduces the same bytes — the
+    // decode/encode pair is lossless.
+    let loaded = Scheme::load(&a.0).expect("load");
+    let c = TempPath::new();
+    loaded.save(&c.0).expect("save c");
+    assert_eq!(std::fs::read(&a.0).unwrap(), std::fs::read(&c.0).unwrap());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The acceptance criterion across random (family, n, k, seed):
+    /// save → load → route is bit-identical on sampled pairs.
+    #[test]
+    fn snapshot_round_trip_is_bit_identical(
+        fam_ix in 0usize..5,
+        n in 60usize..120,
+        k in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let fam = [
+            Family::Geometric,
+            Family::ErdosRenyi,
+            Family::Grid,
+            Family::ExpRing,
+            Family::PrefAttach,
+        ][fam_ix];
+        let g = fam.generate(n, seed);
+        let d = apsp(&g);
+        let scheme = Scheme::build_with_matrix(g.clone(), &d, SchemeParams::new(k, seed));
+        let path = TempPath::new();
+        scheme.save(&path.0).expect("save");
+        let loaded = Scheme::load(&path.0).expect("load");
+        for (s, t) in pairs::sample(g.n(), 150, seed ^ 0x5AB) {
+            let ta = scheme.route(s, t);
+            let tb = loaded.route(s, t);
+            prop_assert_eq!(ta.delivered, tb.delivered, "{}->{}", s, t);
+            prop_assert_eq!(ta.cost, tb.cost, "{}->{}", s, t);
+            prop_assert_eq!(&ta.path, &tb.path, "{}->{}", s, t);
+        }
+    }
+}

@@ -261,6 +261,37 @@ impl Decomposition {
         debug_assert!(i < self.k);
         self.a(u, i + 1) == self.log_delta && self.log_delta < 64
     }
+
+    /// Serialize into a wire buffer (snapshot support).
+    pub fn to_wire(&self, w: &mut graphkit::wire::Writer) {
+        w.u64(self.k as u64);
+        w.u64(self.n as u64);
+        w.u32(self.log_delta);
+        w.slice_u32(&self.ranges);
+    }
+
+    /// Inverse of [`Decomposition::to_wire`]; corrupt input is an
+    /// `InvalidData` error, never a panic.
+    pub fn from_wire(r: &mut graphkit::wire::Reader<'_>) -> std::io::Result<Self> {
+        let k = r.u64()? as usize;
+        let n = r.u64()? as usize;
+        let log_delta = r.u32()?;
+        let ranges = r.slice_u32()?;
+        if k < 1 || n < 2 || log_delta < 4 {
+            return Err(graphkit::wire::invalid("bad decomposition header"));
+        }
+        if ranges.len() != n * (k + 1) {
+            return Err(graphkit::wire::invalid("decomposition range table has wrong length"));
+        }
+        for row in ranges.chunks(k + 1) {
+            // Ranges are radius exponents: non-decreasing per node,
+            // capped at log_delta, with a(u, k) forced to the cap.
+            if row.windows(2).any(|p| p[0] > p[1]) || row[k] != log_delta {
+                return Err(graphkit::wire::invalid("decomposition ranges are not monotone"));
+            }
+        }
+        Ok(Decomposition { k, n, ranges, log_delta })
+    }
 }
 
 /// Ids (ascending) of the ball `B(u, radius)` via one bounded Dijkstra.

@@ -206,6 +206,52 @@ impl Graph {
     fn span(&self, u: NodeId) -> (usize, usize) {
         (self.offsets[u.idx()] as usize, self.offsets[u.idx() + 1] as usize)
     }
+
+    /// Serialize the frozen CSR verbatim.
+    pub fn to_wire(&self, w: &mut crate::wire::Writer) {
+        w.slice_u64(&self.offsets);
+        w.slice_u32(&self.targets);
+        w.slice_u64(&self.weights);
+        w.len(self.num_edges);
+    }
+
+    /// Inverse of [`Graph::to_wire`]. Validates the CSR invariants
+    /// (monotone offsets, aligned arrays, in-range sorted targets) so a
+    /// corrupt record is an error, not latent out-of-bounds panics.
+    pub fn from_wire(r: &mut crate::wire::Reader) -> std::io::Result<Graph> {
+        use crate::wire::invalid;
+        let offsets = r.slice_u64()?;
+        let targets = r.slice_u32()?;
+        let weights: Vec<Weight> = r.slice_u64()?;
+        let num_edges = r.u64()? as usize;
+        if offsets.is_empty() || offsets[0] != 0 {
+            return Err(invalid("graph offsets must start at 0"));
+        }
+        let n = offsets.len() - 1;
+        if n > u32::MAX as usize {
+            return Err(invalid("graph node count out of range"));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(invalid("graph offsets must be monotone"));
+        }
+        if offsets[n] as usize != targets.len() || targets.len() != weights.len() {
+            return Err(invalid("graph arrays have mismatched lengths"));
+        }
+        if num_edges.checked_mul(2) != Some(targets.len()) {
+            return Err(invalid("graph edge count mismatch"));
+        }
+        for i in 0..n {
+            let (s, e) = (offsets[i] as usize, offsets[i + 1] as usize);
+            let adj = &targets[s..e];
+            if adj.iter().any(|&t| t as usize >= n) {
+                return Err(invalid("graph target out of range"));
+            }
+            if adj.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(invalid("graph adjacency must be strictly sorted"));
+            }
+        }
+        Ok(Graph { offsets, targets, weights, num_edges })
+    }
 }
 
 /// Build a graph directly from an edge list over `n` nodes.
@@ -287,6 +333,26 @@ mod tests {
     fn rejects_zero_weight() {
         let mut b = GraphBuilder::with_nodes(2);
         b.add_edge(NodeId(0), NodeId(1), 0);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let g = diamond();
+        let mut w = crate::wire::Writer::new();
+        g.to_wire(&mut w);
+        let bytes = w.into_bytes();
+        let g2 = Graph::from_wire(&mut crate::wire::Reader::new(&bytes)).unwrap();
+        assert_eq!(g2.n(), g.n());
+        assert_eq!(g2.m(), g.m());
+        for u in g.nodes() {
+            assert_eq!(g2.neighbors(u), g.neighbors(u));
+            assert_eq!(g2.neighbor_weights(u), g.neighbor_weights(u));
+        }
+        // A flipped target lands out of range or breaks sortedness.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        assert!(Graph::from_wire(&mut crate::wire::Reader::new(&bad)).is_err());
     }
 
     #[test]

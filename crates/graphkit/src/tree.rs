@@ -67,16 +67,38 @@ impl Tree {
         parents: Vec<TreeIx>,
         parent_weights: Vec<Weight>,
     ) -> Self {
+        match Self::try_from_parents(graph_ids, parents, parent_weights) {
+            Ok(t) => t,
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+
+    /// Fallible [`Tree::from_parents`] for data read from disk: structural
+    /// corruption (length mismatch, bad parent index, cycle) is an `Err`
+    /// carrying the same message [`Tree::from_parents`] panics with, and
+    /// depth accumulation saturates so corrupt weights cannot overflow.
+    pub fn try_from_parents(
+        graph_ids: Vec<u32>,
+        parents: Vec<TreeIx>,
+        parent_weights: Vec<Weight>,
+    ) -> Result<Self, String> {
         let n = graph_ids.len();
-        assert_eq!(parents.len(), n);
-        assert_eq!(parent_weights.len(), n);
-        assert!(n > 0, "tree must be non-empty");
-        assert_eq!(parents[0], u32::MAX, "node 0 must be the root");
+        if parents.len() != n || parent_weights.len() != n {
+            return Err("tree arrays have mismatched lengths".to_string());
+        }
+        if n == 0 {
+            return Err("tree must be non-empty".to_string());
+        }
+        if parents[0] != u32::MAX {
+            return Err("node 0 must be the root".to_string());
+        }
         // Children CSR.
         let mut deg = vec![0u32; n];
         for (i, &p) in parents.iter().enumerate() {
             if i != 0 {
-                assert!(p != u32::MAX && (p as usize) < n, "bad parent for node {i}");
+                if p == u32::MAX || (p as usize) >= n {
+                    return Err(format!("bad parent for node {i}"));
+                }
                 deg[p as usize] += 1;
             }
         }
@@ -102,13 +124,15 @@ impl Tree {
             let (s, e) =
                 (child_offsets[u as usize] as usize, child_offsets[u as usize + 1] as usize);
             for &c in &children[s..e] {
-                depths[c as usize] = depths[u as usize] + parent_weights[c as usize];
+                depths[c as usize] = depths[u as usize].saturating_add(parent_weights[c as usize]);
                 visited += 1;
                 stack.push(c);
             }
         }
-        assert_eq!(visited, n, "parent relation is not a connected tree");
-        Tree { graph_ids, parents, parent_weights, child_offsets, children, depths }
+        if visited != n {
+            return Err("parent relation is not a connected tree".to_string());
+        }
+        Ok(Tree { graph_ids, parents, parent_weights, child_offsets, children, depths })
     }
 
     /// Extract the shortest-path tree of an [`Sssp`] run restricted to a

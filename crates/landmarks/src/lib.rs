@@ -123,24 +123,49 @@ impl LandmarkHierarchy {
     /// `levels\[0\]` must be all of `V`; each level must be a subset of
     /// the previous.
     pub fn from_levels(n: usize, k: usize, levels: Vec<Vec<u32>>) -> Self {
-        assert_eq!(levels.len(), k);
-        assert_eq!(levels[0].len(), n, "C_0 must be V");
+        match Self::try_from_levels(n, k, levels) {
+            Ok(h) => h,
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+
+    /// Fallible [`LandmarkHierarchy::from_levels`] — the entry point
+    /// for deserialized levels, where malformed input must surface as
+    /// an error rather than a panic.
+    pub fn try_from_levels(n: usize, k: usize, levels: Vec<Vec<u32>>) -> Result<Self, String> {
+        if levels.len() != k {
+            return Err(format!("expected {k} levels, got {}", levels.len()));
+        }
+        if levels[0].len() != n {
+            return Err("C_0 must be V".to_string());
+        }
         let mut rank = vec![0u8; n];
         for (i, level) in levels.iter().enumerate().skip(1) {
             let prev: std::collections::HashSet<u32> = levels[i - 1].iter().copied().collect();
             for &v in level {
-                assert!(prev.contains(&v), "levels must be nested");
+                if (v as usize) >= n || !prev.contains(&v) {
+                    return Err("levels must be nested".to_string());
+                }
                 rank[v as usize] = i as u8;
             }
         }
-        let levels = levels
+        let levels: Vec<Vec<u32>> = levels
             .into_iter()
             .map(|mut l| {
                 l.sort_unstable();
                 l
             })
             .collect();
-        LandmarkHierarchy { k, n, rank, levels }
+        if !levels[0].iter().copied().eq(0..n as u32) {
+            return Err("C_0 must be V".to_string());
+        }
+        Ok(LandmarkHierarchy { k, n, rank, levels })
+    }
+
+    /// The raw levels `C_0, …, C_{k−1}` (snapshot serialization reads
+    /// these; reload through [`LandmarkHierarchy::try_from_levels`]).
+    pub fn levels(&self) -> &[Vec<u32>] {
+        &self.levels
     }
 
     /// The parameter `k` (note `C_k = ∅` implicitly).

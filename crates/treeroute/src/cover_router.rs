@@ -22,10 +22,12 @@
 
 use graphkit::bits::{bits_for_node, StorageCost};
 use graphkit::ids::ceil_log2;
+use graphkit::wire::{self, Reader, Writer};
 use graphkit::{Cost, NodeId, Tree, TreeIx};
+use std::io;
 
 use crate::hashing::PolyHash;
-use crate::labeled::LabeledTree;
+use crate::labeled::{LabeledStore, LabeledTree};
 
 /// Outcome of a cover-tree lookup.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -61,7 +63,8 @@ impl CoverOutcome {
 }
 
 /// One level of a sibling-group guide: sampled boundaries over the DFS
-/// range `[start, end)` this guide is responsible for.
+/// range `[start, end)` this guide is responsible for. Build-time
+/// scratch only — the frozen form lives in [`CoverStore`]'s arenas.
 #[derive(Clone, Debug)]
 struct Guide {
     start: u32,
@@ -69,7 +72,9 @@ struct Guide {
     entries: Vec<(u32, TreeIx)>,
 }
 
-/// Per-node storage of the Lemma 7 scheme (beyond `µ(T,u)`).
+/// Per-node build scratch of the Lemma 7 scheme (beyond `µ(T,u)`):
+/// the allocation-per-node form the guide recursion naturally produces,
+/// flattened into [`CoverStore`] CSR arenas before routing.
 #[derive(Clone, Debug, Default)]
 struct CoverNode {
     /// Sampled `(dfs_start, child)` boundaries over this node's children
@@ -84,16 +89,172 @@ struct CoverNode {
     bucket: Vec<(u32, TreeIx)>,
 }
 
-/// A tree equipped with the Lemma 7 name-independent scheme.
+/// The plain-old-data half of a [`CoverTreeRouter`]: labeled store plus
+/// every Lemma-7 table in CSR arenas (child guides, sibling guides with
+/// a per-guide entry arena, directory buckets). Snapshot-serializable
+/// and routable as-is — loading performs no guide or bucket rebuild.
 #[derive(Clone, Debug)]
-pub struct CoverTreeRouter {
+pub struct CoverStore {
     labeled: LabeledTree,
     hash: PolyHash,
-    nodes: Vec<CoverNode>,
     /// Guide fanout s = σ·⌈log m⌉.
     fanout: usize,
     /// Worst-case B-tree depth over all nodes (reported by experiments).
     max_guide_depth: u32,
+    /// Child guides, CSR by tree index.
+    cg_off: Vec<u32>,
+    cg: Vec<(u32, TreeIx)>,
+    /// Sibling guides: node `t` leads guides `sg_off[t]..sg_off[t+1]`;
+    /// guide `i` covers DFS range `sg_bounds[i]` with entries
+    /// `sge[sge_off[i]..sge_off[i+1]]`.
+    sg_off: Vec<u32>,
+    sg_bounds: Vec<(u32, u32)>,
+    sge_off: Vec<u32>,
+    sge: Vec<(u32, TreeIx)>,
+    /// Directory buckets, CSR by tree index.
+    bk_off: Vec<u32>,
+    bk: Vec<(u32, TreeIx)>,
+}
+
+impl CoverStore {
+    fn from_nodes(
+        labeled: LabeledTree,
+        hash: PolyHash,
+        fanout: usize,
+        max_guide_depth: u32,
+        nodes: Vec<CoverNode>,
+    ) -> Self {
+        let m = nodes.len();
+        let mut cg_off = vec![0u32; m + 1];
+        let mut sg_off = vec![0u32; m + 1];
+        let mut bk_off = vec![0u32; m + 1];
+        let mut cg = Vec::new();
+        let mut sg_bounds = Vec::new();
+        let mut sge_off = vec![0u32];
+        let mut sge = Vec::new();
+        let mut bk = Vec::new();
+        for (t, node) in nodes.into_iter().enumerate() {
+            cg.extend_from_slice(&node.child_guide);
+            cg_off[t + 1] = cg.len() as u32;
+            for g in node.sibling_guides {
+                sg_bounds.push((g.start, g.end));
+                sge.extend_from_slice(&g.entries);
+                sge_off.push(sge.len() as u32);
+            }
+            sg_off[t + 1] = sg_bounds.len() as u32;
+            bk.extend_from_slice(&node.bucket);
+            bk_off[t + 1] = bk.len() as u32;
+        }
+        CoverStore {
+            labeled,
+            hash,
+            fanout,
+            max_guide_depth,
+            cg_off,
+            cg,
+            sg_off,
+            sg_bounds,
+            sge_off,
+            sge,
+            bk_off,
+            bk,
+        }
+    }
+
+    fn child_guide(&self, t: TreeIx) -> &[(u32, TreeIx)] {
+        &self.cg[self.cg_off[t as usize] as usize..self.cg_off[t as usize + 1] as usize]
+    }
+
+    /// Sibling guides led by `t`: `(dfs_start, dfs_end, entries)`.
+    fn sibling_guides(&self, t: TreeIx) -> impl Iterator<Item = (u32, u32, &[(u32, TreeIx)])> {
+        let (s, e) = (self.sg_off[t as usize] as usize, self.sg_off[t as usize + 1] as usize);
+        (s..e).map(move |i| {
+            let (start, end) = self.sg_bounds[i];
+            (start, end, &self.sge[self.sge_off[i] as usize..self.sge_off[i + 1] as usize])
+        })
+    }
+
+    fn bucket(&self, t: TreeIx) -> &[(u32, TreeIx)] {
+        &self.bk[self.bk_off[t as usize] as usize..self.bk_off[t as usize + 1] as usize]
+    }
+
+    /// Serialize every arena verbatim.
+    pub fn to_wire(&self, w: &mut Writer) {
+        w.u64(self.fanout as u64);
+        w.u32(self.max_guide_depth);
+        w.slice_u64(self.hash.coeffs());
+        self.labeled.store().to_wire(w);
+        w.slice_u32(&self.cg_off);
+        w.slice_pairs(&self.cg);
+        w.slice_u32(&self.sg_off);
+        w.slice_pairs(&self.sg_bounds);
+        w.slice_u32(&self.sge_off);
+        w.slice_pairs(&self.sge);
+        w.slice_u32(&self.bk_off);
+        w.slice_pairs(&self.bk);
+    }
+
+    /// Inverse of [`CoverStore::to_wire`] with CSR invariant checks.
+    pub fn from_wire(r: &mut Reader) -> io::Result<Self> {
+        use wire::invalid;
+        let fanout = r.u64()? as usize;
+        let max_guide_depth = r.u32()?;
+        let coeffs = r.slice_u64()?;
+        if fanout < 2 || coeffs.is_empty() {
+            return Err(invalid("bad cover-store record header"));
+        }
+        let hash = PolyHash::from_coeffs(coeffs);
+        let labeled = LabeledTree::from_store(LabeledStore::from_wire(r)?);
+        let m = labeled.tree().size();
+        let cg_off = r.slice_u32()?;
+        let cg = r.slice_pairs()?;
+        let sg_off = r.slice_u32()?;
+        let sg_bounds = r.slice_pairs()?;
+        let sge_off = r.slice_u32()?;
+        let sge = r.slice_pairs()?;
+        let bk_off = r.slice_u32()?;
+        let bk = r.slice_pairs()?;
+        let check_csr = |off: &[u32], len: usize, n: usize, what: &str| {
+            if off.len() != n + 1
+                || off[0] != 0
+                || off[n] as usize != len
+                || off.windows(2).any(|w| w[0] > w[1])
+            {
+                return Err(invalid(&format!("cover store {what} offsets corrupt")));
+            }
+            Ok(())
+        };
+        check_csr(&cg_off, cg.len(), m, "child-guide")?;
+        check_csr(&sg_off, sg_bounds.len(), m, "sibling-guide")?;
+        check_csr(&sge_off, sge.len(), sg_bounds.len(), "guide-entry")?;
+        check_csr(&bk_off, bk.len(), m, "bucket")?;
+        if cg.iter().chain(&sge).chain(&bk).any(|&(_, ix)| ix as usize >= m) {
+            return Err(invalid("cover store entry out of range"));
+        }
+        Ok(CoverStore {
+            labeled,
+            hash,
+            fanout,
+            max_guide_depth,
+            cg_off,
+            cg,
+            sg_off,
+            sg_bounds,
+            sge_off,
+            sge,
+            bk_off,
+            bk,
+        })
+    }
+}
+
+/// A tree equipped with the Lemma 7 name-independent scheme: the thin
+/// read-path half over a [`CoverStore`]. [`CoverTreeRouter::new`]
+/// builds the store from scratch; [`CoverTreeRouter::from_store`] wraps
+/// a deserialized one with zero rebuild.
+#[derive(Clone, Debug)]
+pub struct CoverTreeRouter {
+    store: CoverStore,
 }
 
 impl CoverTreeRouter {
@@ -103,20 +264,176 @@ impl CoverTreeRouter {
         let fanout = ((sigma as usize) * (ceil_log2(m.max(2) as u64) as usize).max(1)).max(2);
         let labeled = LabeledTree::new(tree);
         let hash = PolyHash::new(PolyHash::degree_for(m), seed);
-        let mut s = CoverTreeRouter {
-            labeled,
-            hash,
-            nodes: vec![CoverNode::default(); m],
-            fanout,
-            max_guide_depth: 0,
-        };
-        s.build_guides();
-        s.build_buckets();
-        s
+        let mut b = CoverBuild { labeled, nodes: vec![CoverNode::default(); m], fanout };
+        let max_guide_depth = b.build_guides();
+        b.build_buckets(&hash);
+        CoverTreeRouter {
+            store: CoverStore::from_nodes(b.labeled, hash, fanout, max_guide_depth, b.nodes),
+        }
     }
 
-    fn build_guides(&mut self) {
+    /// Wrap an already-built (typically snapshot-loaded) store.
+    pub fn from_store(store: CoverStore) -> Self {
+        CoverTreeRouter { store }
+    }
+
+    /// The plain-old-data half (for serialization).
+    pub fn store(&self) -> &CoverStore {
+        &self.store
+    }
+
+    /// DFS position responsible for a network id.
+    fn position_of(&self, target: NodeId) -> u32 {
+        (self.store.hash.eval(target.0 as u64) % self.store.labeled.tree().size() as u64) as u32
+    }
+
+    /// The underlying labeled scheme (and physical tree).
+    pub fn labeled(&self) -> &LabeledTree {
+        &self.store.labeled
+    }
+
+    /// Guide fanout s.
+    pub fn fanout(&self) -> usize {
+        self.store.fanout
+    }
+
+    /// Deepest guide B-tree in this instance (1 = no grouping anywhere).
+    pub fn max_guide_depth(&self) -> u32 {
+        self.store.max_guide_depth
+    }
+
+    /// Lemma 7 cost budget for this tree: `4·rad(T) + 2k·maxE(T)` where
+    /// `k` is the worst guide depth (≤ ⌈log_s(max degree)⌉).
+    pub fn cost_budget(&self) -> Cost {
+        let t = self.store.labeled.tree();
+        4 * t.radius() + 2 * self.store.max_guide_depth.max(1) as u64 * t.max_edge()
+    }
+
+    /// Route from tree node `from` toward the network id `target`,
+    /// using only per-node storage plus an O(log² n) header (the target
+    /// id, the source label, and — once learned — the target label).
+    /// Returns the outcome and the full node path walked.
+    pub fn route(&self, from: TreeIx, target: NodeId) -> (CoverOutcome, Vec<TreeIx>) {
+        let labeled = &self.store.labeled;
+        let tree = labeled.tree();
+        let mut cost: Cost = 0;
+        let mut path = vec![from];
+        let source_label = labeled.label(from); // carried in the header
+        let mut at = from;
+        // Short-circuit: the source is the target.
+        if tree.graph_id(at) == target {
+            return (CoverOutcome::Found { cost: 0, delivered_at: at }, path);
+        }
+        // Phase 1: climb to the root.
+        while let Some(p) = tree.parent(at) {
+            cost += tree.parent_weight(at);
+            at = p;
+            path.push(at);
+        }
+        // Phase 2: descend to the directory position.
+        let pos = self.position_of(target);
+        loop {
+            let me = labeled.local(at);
+            if me.dfs_in == pos {
+                break;
+            }
+            debug_assert!(pos > me.dfs_in && pos < me.dfs_out, "descent left the interval");
+            // Pick from my child guide the last boundary ≤ pos.
+            let mut next = guide_pick(self.store.child_guide(at), pos)
+                .expect("interior node with target below must have a guide entry");
+            cost += edge_w(tree, at, next);
+            let parent = at;
+            path.push(next);
+            // Sibling corrections while pos is not inside `next`'s subtree:
+            // consult the *tightest* guide at `next` covering pos. A group
+            // leader also leads its own sub-groups, so the tightest guide
+            // never returns `next` itself — each correction strictly
+            // descends one guide level.
+            let mut guard = 0;
+            while !{
+                let l = labeled.local(next);
+                pos >= l.dfs_in && pos < l.dfs_out
+            } {
+                let cand = self
+                    .store
+                    .sibling_guides(next)
+                    .filter(|&(start, end, _)| start <= pos && pos < end)
+                    .min_by_key(|&(start, end, _)| end - start)
+                    .and_then(|(_, _, entries)| guide_pick(entries, pos))
+                    .expect("a sibling guide must cover the position");
+                assert_ne!(cand, next, "sibling guide made no progress");
+                // Correction: next -> parent -> cand (2 edges).
+                cost += edge_w(tree, next, parent) + edge_w(tree, parent, cand);
+                path.push(parent);
+                path.push(cand);
+                next = cand;
+                guard += 1;
+                assert!(guard <= self.store.max_guide_depth + 1, "guide descent diverged");
+            }
+            at = next;
+        }
+        // Phase 3: directory lookup.
+        let hit = self.store.bucket(at).iter().find(|(gid, _)| *gid == target.0).map(|&(_, ix)| ix);
+        match hit {
+            Some(ix) => {
+                let (mut walk, c) =
+                    labeled.route(at, labeled.label(ix)).expect("bucket label must route");
+                cost += c;
+                let delivered_at = *walk.last().unwrap();
+                walk.remove(0);
+                path.extend(walk);
+                (CoverOutcome::Found { cost, delivered_at }, path)
+            }
+            None => {
+                // Unknown name: report failure back to the source using
+                // the header's source label.
+                let (mut walk, c) =
+                    labeled.route(at, source_label).expect("source label must route");
+                cost += c;
+                walk.remove(0);
+                path.extend(walk);
+                (CoverOutcome::NotFound { cost }, path)
+            }
+        }
+    }
+
+    /// Storage bits of tree node `t` under this scheme (φ(T,t) in the
+    /// paper's notation).
+    pub fn node_bits(&self, t: TreeIx) -> u64 {
+        let labeled = &self.store.labeled;
+        let m = labeled.tree().size();
+        let b = bits_for_node(m);
+        let mut bits = labeled.local_bits(t) + self.store.hash.storage_bits();
+        bits += self.store.child_guide(t).len() as u64 * 2 * b;
+        for (_, _, entries) in self.store.sibling_guides(t) {
+            bits += 2 * b + entries.len() as u64 * 2 * b;
+        }
+        for &(_, ix) in self.store.bucket(t) {
+            bits += b + labeled.label_bits(ix);
+        }
+        // The header-resident source label is storage at the source too.
+        bits + labeled.label_bits(t)
+    }
+
+    /// Largest directory bucket (w.h.p. O(log m / log log m)).
+    pub fn max_bucket(&self) -> usize {
+        self.store.bk_off.windows(2).map(|w| (w[1] - w[0]) as usize).max().unwrap_or(0)
+    }
+}
+
+/// Build-time state for [`CoverTreeRouter::new`]: the per-node scratch
+/// soup the guide recursion produces, flattened afterwards.
+struct CoverBuild {
+    labeled: LabeledTree,
+    nodes: Vec<CoverNode>,
+    fanout: usize,
+}
+
+impl CoverBuild {
+    /// Assign all guide tables; returns the worst B-tree depth.
+    fn build_guides(&mut self) -> u32 {
         let m = self.labeled.tree().size() as u32;
+        let mut max_guide_depth = 0;
         for x in 0..m {
             // Children sorted by dfs_in (DFS assigns contiguous intervals).
             let mut kids: Vec<TreeIx> = self.labeled.tree().children(x).to_vec();
@@ -125,8 +442,9 @@ impl CoverTreeRouter {
                 continue;
             }
             let depth = self.assign_guide_level(GuideOwner::Node(x), &kids, 1);
-            self.max_guide_depth = self.max_guide_depth.max(depth);
+            max_guide_depth = max_guide_depth.max(depth);
         }
+        max_guide_depth
     }
 
     /// Recursively spread the boundary table of `slice` (a run of
@@ -164,157 +482,14 @@ impl CoverTreeRouter {
         max_depth
     }
 
-    fn build_buckets(&mut self) {
+    fn build_buckets(&mut self, hash: &PolyHash) {
         let m = self.labeled.tree().size();
         for t in 0..m as u32 {
             let gid = self.labeled.tree().graph_id(t).0;
-            let pos = self.position_of(NodeId(gid));
+            let pos = (hash.eval(gid as u64) % m as u64) as u32;
             let owner = self.labeled.node_at_dfs(pos);
             self.nodes[owner as usize].bucket.push((gid, t));
         }
-    }
-
-    /// DFS position responsible for a network id.
-    fn position_of(&self, target: NodeId) -> u32 {
-        (self.hash.eval(target.0 as u64) % self.labeled.tree().size() as u64) as u32
-    }
-
-    /// The underlying labeled scheme (and physical tree).
-    pub fn labeled(&self) -> &LabeledTree {
-        &self.labeled
-    }
-
-    /// Guide fanout s.
-    pub fn fanout(&self) -> usize {
-        self.fanout
-    }
-
-    /// Deepest guide B-tree in this instance (1 = no grouping anywhere).
-    pub fn max_guide_depth(&self) -> u32 {
-        self.max_guide_depth
-    }
-
-    /// Lemma 7 cost budget for this tree: `4·rad(T) + 2k·maxE(T)` where
-    /// `k` is the worst guide depth (≤ ⌈log_s(max degree)⌉).
-    pub fn cost_budget(&self) -> Cost {
-        let t = self.labeled.tree();
-        4 * t.radius() + 2 * self.max_guide_depth.max(1) as u64 * t.max_edge()
-    }
-
-    /// Route from tree node `from` toward the network id `target`,
-    /// using only per-node storage plus an O(log² n) header (the target
-    /// id, the source label, and — once learned — the target label).
-    /// Returns the outcome and the full node path walked.
-    pub fn route(&self, from: TreeIx, target: NodeId) -> (CoverOutcome, Vec<TreeIx>) {
-        let tree = self.labeled.tree();
-        let mut cost: Cost = 0;
-        let mut path = vec![from];
-        let source_label = self.labeled.label(from); // carried in the header
-        let mut at = from;
-        // Short-circuit: the source is the target.
-        if tree.graph_id(at) == target {
-            return (CoverOutcome::Found { cost: 0, delivered_at: at }, path);
-        }
-        // Phase 1: climb to the root.
-        while let Some(p) = tree.parent(at) {
-            cost += tree.parent_weight(at);
-            at = p;
-            path.push(at);
-        }
-        // Phase 2: descend to the directory position.
-        let pos = self.position_of(target);
-        loop {
-            let me = self.labeled.local(at);
-            if me.dfs_in == pos {
-                break;
-            }
-            debug_assert!(pos > me.dfs_in && pos < me.dfs_out, "descent left the interval");
-            // Pick from my child guide the last boundary ≤ pos.
-            let mut next = guide_pick(&self.nodes[at as usize].child_guide, pos)
-                .expect("interior node with target below must have a guide entry");
-            cost += edge_w(tree, at, next);
-            let parent = at;
-            path.push(next);
-            // Sibling corrections while pos is not inside `next`'s subtree:
-            // consult the *tightest* guide at `next` covering pos. A group
-            // leader also leads its own sub-groups, so the tightest guide
-            // never returns `next` itself — each correction strictly
-            // descends one guide level.
-            let mut guard = 0;
-            while !{
-                let l = self.labeled.local(next);
-                pos >= l.dfs_in && pos < l.dfs_out
-            } {
-                let cand = self.nodes[next as usize]
-                    .sibling_guides
-                    .iter()
-                    .filter(|g| g.start <= pos && pos < g.end)
-                    .min_by_key(|g| g.end - g.start)
-                    .and_then(|g| guide_pick(&g.entries, pos))
-                    .expect("a sibling guide must cover the position");
-                assert_ne!(cand, next, "sibling guide made no progress");
-                // Correction: next -> parent -> cand (2 edges).
-                cost += edge_w(tree, next, parent) + edge_w(tree, parent, cand);
-                path.push(parent);
-                path.push(cand);
-                next = cand;
-                guard += 1;
-                assert!(guard <= self.max_guide_depth + 1, "guide descent diverged");
-            }
-            at = next;
-        }
-        // Phase 3: directory lookup.
-        let hit = self.nodes[at as usize]
-            .bucket
-            .iter()
-            .find(|(gid, _)| *gid == target.0)
-            .map(|&(_, ix)| ix);
-        match hit {
-            Some(ix) => {
-                let (mut walk, c) = self
-                    .labeled
-                    .route(at, self.labeled.label(ix))
-                    .expect("bucket label must route");
-                cost += c;
-                let delivered_at = *walk.last().unwrap();
-                walk.remove(0);
-                path.extend(walk);
-                (CoverOutcome::Found { cost, delivered_at }, path)
-            }
-            None => {
-                // Unknown name: report failure back to the source using
-                // the header's source label.
-                let (mut walk, c) =
-                    self.labeled.route(at, source_label).expect("source label must route");
-                cost += c;
-                walk.remove(0);
-                path.extend(walk);
-                (CoverOutcome::NotFound { cost }, path)
-            }
-        }
-    }
-
-    /// Storage bits of tree node `t` under this scheme (φ(T,t) in the
-    /// paper's notation).
-    pub fn node_bits(&self, t: TreeIx) -> u64 {
-        let m = self.labeled.tree().size();
-        let b = bits_for_node(m);
-        let node = &self.nodes[t as usize];
-        let mut bits = self.labeled.local_bits(t) + self.hash.storage_bits();
-        bits += node.child_guide.len() as u64 * 2 * b;
-        for g in &node.sibling_guides {
-            bits += 2 * b + g.entries.len() as u64 * 2 * b;
-        }
-        for &(_, ix) in &node.bucket {
-            bits += b + self.labeled.label_bits(ix);
-        }
-        // The header-resident source label is storage at the source too.
-        bits + self.labeled.label_bits(t)
-    }
-
-    /// Largest directory bucket (w.h.p. O(log m / log log m)).
-    pub fn max_bucket(&self) -> usize {
-        self.nodes.iter().map(|n| n.bucket.len()).max().unwrap_or(0)
     }
 }
 
@@ -345,7 +520,7 @@ fn edge_w(tree: &Tree, a: TreeIx, b: TreeIx) -> Cost {
 
 impl StorageCost for CoverTreeRouter {
     fn storage_bits(&self) -> u64 {
-        (0..self.labeled.tree().size() as u32).map(|t| self.node_bits(t)).sum()
+        (0..self.store.labeled.tree().size() as u32).map(|t| self.node_bits(t)).sum()
     }
 }
 
@@ -448,10 +623,37 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(53);
         let g = gen::random_tree(120, WeightDist::Unit, &mut rng);
         let r = CoverTreeRouter::new(spanning_tree(&g, NodeId(0)), 3, 6);
-        let total: usize = r.nodes.iter().map(|n| n.bucket.len()).sum();
-        assert_eq!(total, 120);
+        assert_eq!(r.store().bk.len(), 120);
         // Max load stays logarithmic-ish.
         assert!(r.max_bucket() <= 16, "bucket load {}", r.max_bucket());
+    }
+
+    #[test]
+    fn store_wire_roundtrip_routes_identically() {
+        // The star forces real sibling guides into the arenas.
+        let g = gen::star(151, 4);
+        let r = CoverTreeRouter::new(spanning_tree(&g, NodeId(0)), 2, 3);
+        let mut w = Writer::new();
+        r.store().to_wire(&mut w);
+        let bytes = w.into_bytes();
+        let r2 =
+            CoverTreeRouter::from_store(CoverStore::from_wire(&mut Reader::new(&bytes)).unwrap());
+        assert_eq!(r2.fanout(), r.fanout());
+        assert_eq!(r2.max_guide_depth(), r.max_guide_depth());
+        assert_eq!(r2.max_bucket(), r.max_bucket());
+        let m = r.labeled().tree().size() as u32;
+        for from in (0..m).step_by(13) {
+            for t in (0..m).step_by(7) {
+                let target = r.labeled().tree().graph_id(t);
+                assert_eq!(r2.route(from, target), r.route(from, target));
+            }
+            assert_eq!(r2.route(from, NodeId(99999)), r.route(from, NodeId(99999)));
+            assert_eq!(r2.node_bits(from), r.node_bits(from));
+        }
+        // Truncations error rather than panic.
+        for cut in [0, 5, bytes.len() / 3, bytes.len() - 1] {
+            assert!(CoverStore::from_wire(&mut Reader::new(&bytes[..cut])).is_err());
+        }
     }
 
     #[test]

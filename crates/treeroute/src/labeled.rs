@@ -19,7 +19,9 @@
 //! downstream within Theorem 1's `O(k² n^{1/k} log³ n)` (see DESIGN.md).
 
 use graphkit::bits::{bits_for_node, StorageCost};
+use graphkit::wire::{self, Reader, Writer};
 use graphkit::{Cost, Tree, TreeIx};
+use std::io;
 
 /// One light edge on the root→v path: the light child entered, plus its
 /// DFS number (used to sanity-check foreign labels).
@@ -92,14 +94,18 @@ pub enum Step {
     NotInTree,
 }
 
-/// A tree equipped with the labeled routing scheme.
+/// The plain-old-data half of a [`LabeledTree`]: the physical tree plus
+/// the flat µ/λ arenas the read path routes against. Everything here is
+/// CSR-shaped — no per-node allocations — so a store serializes as a
+/// handful of flat arrays and a snapshot load is one pass back into the
+/// same shape, no preprocessing rerun.
 ///
 /// Labels are stored flat: one hop arena (`light_hops`) plus an offset
 /// table (`light_off`), CSR-style, instead of a `Vec<LightHop>` per
 /// node — label storage is two allocations per tree regardless of size,
 /// and a node's label is a 16-byte [`LabelRef`] view.
 #[derive(Clone, Debug)]
-pub struct LabeledTree {
+pub struct LabeledStore {
     tree: Tree,
     locals: Vec<NodeLocal>,
     /// CSR offsets: node `t`'s light path is
@@ -108,6 +114,115 @@ pub struct LabeledTree {
     light_hops: Vec<LightHop>,
     /// `dfs_order[d]` = tree index of the node with DFS number `d`.
     dfs_order: Vec<TreeIx>,
+}
+
+impl LabeledStore {
+    /// The underlying physical tree.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Serialize as flat arrays (structure-of-arrays for the locals,
+    /// `u32::MAX` heavy-child sentinel for leaves).
+    pub fn to_wire(&self, w: &mut Writer) {
+        wire::write_tree(w, &self.tree);
+        let m = self.tree.size();
+        let mut dfs_in = Vec::with_capacity(m);
+        let mut dfs_out = Vec::with_capacity(m);
+        let mut light_depth = Vec::with_capacity(m);
+        let mut heavy = Vec::with_capacity(m);
+        for l in &self.locals {
+            dfs_in.push(l.dfs_in);
+            dfs_out.push(l.dfs_out);
+            light_depth.push(l.light_depth);
+            let (hi, ho, hc) = l.heavy.unwrap_or((0, 0, u32::MAX));
+            heavy.push(hi);
+            heavy.push(ho);
+            heavy.push(hc);
+        }
+        w.slice_u32(&dfs_in);
+        w.slice_u32(&dfs_out);
+        w.slice_u32(&light_depth);
+        w.slice_u32(&heavy);
+        w.slice_u32(&self.light_off);
+        let hops: Vec<(u32, u32)> =
+            self.light_hops.iter().map(|h| (h.child_dfs, h.child)).collect();
+        w.slice_pairs(&hops);
+        w.slice_u32(&self.dfs_order);
+    }
+
+    /// Inverse of [`LabeledStore::to_wire`]: one decode pass plus O(m)
+    /// invariant checks, so a corrupt record errors instead of leaving
+    /// out-of-bounds indices for the read path to trip over.
+    pub fn from_wire(r: &mut Reader) -> io::Result<Self> {
+        use wire::invalid;
+        let tree = wire::read_tree(r)?;
+        let m = tree.size();
+        let dfs_in = r.slice_u32()?;
+        let dfs_out = r.slice_u32()?;
+        let light_depth = r.slice_u32()?;
+        let heavy = r.slice_u32()?;
+        let light_off = r.slice_u32()?;
+        let hops = r.slice_pairs()?;
+        let dfs_order = r.slice_u32()?;
+        if dfs_in.len() != m
+            || dfs_out.len() != m
+            || light_depth.len() != m
+            || heavy.len() != 3 * m
+            || light_off.len() != m + 1
+            || dfs_order.len() != m
+        {
+            return Err(invalid("labeled store arrays have mismatched lengths"));
+        }
+        // dfs_order must be a permutation inverse to dfs_in.
+        for (t, &d) in dfs_in.iter().enumerate() {
+            if d as usize >= m || dfs_order[d as usize] as usize != t {
+                return Err(invalid("labeled store DFS order is not a permutation"));
+            }
+        }
+        if light_off[0] != 0 || light_off[m] as usize != hops.len() {
+            return Err(invalid("labeled store light-path arena bounds"));
+        }
+        let mut locals = Vec::with_capacity(m);
+        for t in 0..m {
+            if dfs_out[t] <= dfs_in[t] || dfs_out[t] as usize > m {
+                return Err(invalid("labeled store subtree interval out of range"));
+            }
+            if light_off[t + 1] < light_off[t] || light_off[t + 1] - light_off[t] != light_depth[t]
+            {
+                return Err(invalid("labeled store light offsets disagree with depths"));
+            }
+            let hc = heavy[3 * t + 2];
+            let h = if hc == u32::MAX {
+                None
+            } else if (hc as usize) < m {
+                Some((heavy[3 * t], heavy[3 * t + 1], hc))
+            } else {
+                return Err(invalid("labeled store heavy child out of range"));
+            };
+            locals.push(NodeLocal {
+                dfs_in: dfs_in[t],
+                dfs_out: dfs_out[t],
+                heavy: h,
+                light_depth: light_depth[t],
+            });
+        }
+        let light_hops: Vec<LightHop> =
+            hops.into_iter().map(|(child_dfs, child)| LightHop { child_dfs, child }).collect();
+        if light_hops.iter().any(|h| h.child as usize >= m) {
+            return Err(invalid("labeled store light hop out of range"));
+        }
+        Ok(LabeledStore { tree, locals, light_off, light_hops, dfs_order })
+    }
+}
+
+/// A tree equipped with the labeled routing scheme: the thin read-path
+/// half over a [`LabeledStore`]. [`LabeledTree::new`] preprocesses a
+/// fresh tree; [`LabeledTree::from_store`] wraps a deserialized store
+/// with zero rebuild — the same routing code serves both.
+#[derive(Clone, Debug)]
+pub struct LabeledTree {
+    store: LabeledStore,
 }
 
 impl LabeledTree {
@@ -211,40 +326,52 @@ impl LabeledTree {
                 walk.push(c);
             }
         }
-        LabeledTree { tree, locals, light_off, light_hops, dfs_order }
+        LabeledTree { store: LabeledStore { tree, locals, light_off, light_hops, dfs_order } }
+    }
+
+    /// Wrap an already-built (typically snapshot-loaded) store. No
+    /// preprocessing happens here — the store *is* the routing state.
+    pub fn from_store(store: LabeledStore) -> Self {
+        LabeledTree { store }
+    }
+
+    /// The plain-old-data half (for serialization).
+    pub fn store(&self) -> &LabeledStore {
+        &self.store
     }
 
     /// The underlying physical tree.
     pub fn tree(&self) -> &Tree {
-        &self.tree
+        &self.store.tree
     }
 
     /// Label of tree node `t`: a zero-copy view into the hop arena.
     pub fn label(&self, t: TreeIx) -> LabelRef<'_> {
-        let (s, e) = (self.light_off[t as usize] as usize, self.light_off[t as usize + 1] as usize);
-        LabelRef { dfs: self.locals[t as usize].dfs_in, light_path: &self.light_hops[s..e] }
+        let s = &self.store;
+        let (a, b) = (s.light_off[t as usize] as usize, s.light_off[t as usize + 1] as usize);
+        LabelRef { dfs: s.locals[t as usize].dfs_in, light_path: &s.light_hops[a..b] }
     }
 
     /// Local routing info of tree node `t`.
     pub fn local(&self, t: TreeIx) -> &NodeLocal {
-        &self.locals[t as usize]
+        &self.store.locals[t as usize]
     }
 
     /// Tree node with DFS number `d`.
     pub fn node_at_dfs(&self, d: u32) -> TreeIx {
-        self.dfs_order[d as usize]
+        self.store.dfs_order[d as usize]
     }
 
     /// One forwarding decision at `at` toward `label` — uses only
     /// `µ(T,at)` and the label (plus physical ports).
     pub fn route_step(&self, at: TreeIx, label: LabelRef<'_>) -> Step {
-        let me = &self.locals[at as usize];
+        let me = &self.store.locals[at as usize];
         if label.dfs == me.dfs_in {
             return Step::Deliver;
         }
         if label.dfs < me.dfs_in || label.dfs >= me.dfs_out {
             // Destination outside my subtree: go up.
-            return match self.tree.parent(at) {
+            return match self.store.tree.parent(at) {
                 Some(p) => Step::Forward(p),
                 None => Step::NotInTree,
             };
@@ -271,12 +398,12 @@ impl LabeledTree {
         let mut path = vec![at];
         let mut cost: Cost = 0;
         // A tree walk never revisits nodes; size() + 1 steps means a bug.
-        for _ in 0..=self.tree.size() {
+        for _ in 0..=self.store.tree.size() {
             match self.route_step(at, label) {
                 Step::Deliver => return Some((path, cost)),
                 Step::NotInTree => return None,
                 Step::Forward(next) => {
-                    cost += edge_weight(&self.tree, at, next);
+                    cost += edge_weight(&self.store.tree, at, next);
                     at = next;
                     path.push(at);
                 }
@@ -287,22 +414,23 @@ impl LabeledTree {
 
     /// Max light-path length over all labels (≤ ceil(log2 m)).
     pub fn max_light_depth(&self) -> u32 {
-        self.locals.iter().map(|l| l.light_depth).max().unwrap_or(0)
+        self.store.locals.iter().map(|l| l.light_depth).max().unwrap_or(0)
     }
 
     /// Storage bits of `µ(T,t)` for one node.
     pub fn local_bits(&self, t: TreeIx) -> u64 {
-        let b = bits_for_node(self.tree.size());
+        let b = bits_for_node(self.store.tree.size());
         // dfs_in + dfs_out + heavy option (2 interval ends + port) + light depth.
-        let heavy = 1 + if self.locals[t as usize].heavy.is_some() { 3 * b } else { 0 };
+        let heavy = 1 + if self.store.locals[t as usize].heavy.is_some() { 3 * b } else { 0 };
         2 * b + heavy + b
     }
 
     /// Storage bits of `λ(T,t)`.
     pub fn label_bits(&self, t: TreeIx) -> u64 {
-        let b = bits_for_node(self.tree.size());
-        let hops = (self.light_off[t as usize + 1] - self.light_off[t as usize]) as u64;
-        b + hops * 2 * b + bits_for_node(self.tree.size()) // dfs + hops + length field
+        let b = bits_for_node(self.store.tree.size());
+        let off = &self.store.light_off;
+        let hops = (off[t as usize + 1] - off[t as usize]) as u64;
+        b + hops * 2 * b + bits_for_node(self.store.tree.size()) // dfs + hops + length field
     }
 }
 
@@ -465,6 +593,29 @@ mod tests {
         let (path, cost) = lt.route(0, lt.label(0)).unwrap();
         assert_eq!(path, vec![0]);
         assert_eq!(cost, 0);
+    }
+
+    #[test]
+    fn store_wire_roundtrip_routes_identically() {
+        let mut rng = SmallRng::seed_from_u64(37);
+        let g = gen::random_tree(90, WeightDist::UniformInt { lo: 1, hi: 9 }, &mut rng);
+        let lt = LabeledTree::new(spanning_tree(&g, NodeId(0)));
+        let mut w = graphkit::wire::Writer::new();
+        lt.store().to_wire(&mut w);
+        let bytes = w.into_bytes();
+        let store = LabeledStore::from_wire(&mut graphkit::wire::Reader::new(&bytes)).unwrap();
+        let lt2 = LabeledTree::from_store(store);
+        for s in 0..lt.tree().size() as u32 {
+            for t in 0..lt.tree().size() as u32 {
+                assert_eq!(lt2.route(s, lt2.label(t)), lt.route(s, lt.label(t)));
+            }
+        }
+        // Truncations error rather than panic.
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                LabeledStore::from_wire(&mut graphkit::wire::Reader::new(&bytes[..cut])).is_err()
+            );
+        }
     }
 
     #[test]

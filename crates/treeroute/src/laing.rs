@@ -74,12 +74,14 @@ impl SearchOutcome {
     }
 }
 
-/// A tree equipped with the Lemma 4 name-independent error-reporting
-/// scheme.
+/// The plain-old-data half of an [`ErrorReportingTree`]: the labeled
+/// store plus every Lemma-4 directory arena, already assembled. A store
+/// serializes as flat arrays and deserializes in one pass — no
+/// re-running of naming, labeling, or directory assembly — which is
+/// what makes spill reloads and snapshot loads cheap.
 #[derive(Clone, Debug)]
-pub struct ErrorReportingTree {
+pub struct ErtStore {
     labeled: LabeledTree,
-    naming: Naming,
     hash: PolyHash,
     k: usize,
     sigma: u64,
@@ -96,6 +98,95 @@ pub struct ErrorReportingTree {
     hd: Vec<(u32, TreeIx)>,
     /// Whether the hash verification succeeded within the retry budget.
     hash_verified: bool,
+}
+
+impl ErtStore {
+    /// Serialize every arena verbatim — the record a spill file or a
+    /// snapshot section holds. Decoding is one pass plus bounds checks;
+    /// nothing is recomputed.
+    pub fn to_wire(&self, w: &mut wire::Writer) {
+        w.u64(self.k as u64);
+        w.u64(self.sigma);
+        w.u8(self.hash_verified as u8);
+        w.slice_u64(self.hash.coeffs());
+        self.labeled.store().to_wire(w);
+        w.slice_u32(&self.node_of_rank);
+        w.slice_u32(&self.rank_of);
+        w.slice_u32(&self.nc_off);
+        w.slice_pairs(&self.nc);
+        w.slice_u32(&self.hd_off);
+        w.slice_pairs(&self.hd);
+    }
+
+    /// Inverse of [`ErtStore::to_wire`] with O(m + directory) validation:
+    /// corrupt bytes are an [`io::Error`], never a panic or a latent
+    /// out-of-bounds index.
+    pub fn from_wire(r: &mut wire::Reader) -> io::Result<Self> {
+        use graphkit::wire::invalid;
+        let k = r.u64()? as usize;
+        let sigma = r.u64()?;
+        let verified = r.u8()? != 0;
+        let coeffs = r.slice_u64()?;
+        if k == 0 || sigma == 0 || coeffs.is_empty() {
+            return Err(invalid("bad ERT record header"));
+        }
+        let hash = PolyHash::from_coeffs(coeffs);
+        let labeled = LabeledTree::from_store(crate::labeled::LabeledStore::from_wire(r)?);
+        let m = labeled.tree().size();
+        let node_of_rank = r.slice_u32()?;
+        let rank_of = r.slice_u32()?;
+        let nc_off = r.slice_u32()?;
+        let nc = r.slice_pairs()?;
+        let hd_off = r.slice_u32()?;
+        let hd = r.slice_pairs()?;
+        if node_of_rank.len() != m || rank_of.len() != m {
+            return Err(invalid("ERT rank arrays have mismatched lengths"));
+        }
+        for (rank, &t) in node_of_rank.iter().enumerate() {
+            if t as usize >= m || rank_of[t as usize] as usize != rank {
+                return Err(invalid("ERT rank order is not a permutation"));
+            }
+        }
+        let check_csr = |off: &[u32], arena: &[(u32, TreeIx)], what: &str| {
+            if off.len() != m + 1
+                || off[0] != 0
+                || off[m] as usize != arena.len()
+                || off.windows(2).any(|w| w[0] > w[1])
+            {
+                return Err(invalid(&format!("ERT {what} directory offsets corrupt")));
+            }
+            if arena.iter().any(|&(_, ix)| ix as usize >= m) {
+                return Err(invalid(&format!("ERT {what} directory entry out of range")));
+            }
+            Ok(())
+        };
+        check_csr(&nc_off, &nc, "name-child")?;
+        check_csr(&hd_off, &hd, "hash")?;
+        let max_load = ErrorReportingTree::load_budget(m, sigma);
+        Ok(ErtStore {
+            labeled,
+            hash,
+            k,
+            sigma,
+            max_load,
+            node_of_rank,
+            rank_of,
+            nc_off,
+            nc,
+            hd_off,
+            hd,
+            hash_verified: verified,
+        })
+    }
+}
+
+/// A tree equipped with the Lemma 4 name-independent error-reporting
+/// scheme: the thin read-path half over an [`ErtStore`], plus the
+/// (cheaply re-derivable) naming plan.
+#[derive(Clone, Debug)]
+pub struct ErrorReportingTree {
+    store: ErtStore,
+    naming: Naming,
 }
 
 impl ErrorReportingTree {
@@ -219,20 +310,35 @@ impl ErrorReportingTree {
             hd_off[owner + 1] = hd.len() as u32;
         }
         ErrorReportingTree {
-            labeled,
+            store: ErtStore {
+                labeled,
+                hash,
+                k,
+                sigma,
+                max_load,
+                node_of_rank,
+                rank_of,
+                nc_off,
+                nc,
+                hd_off,
+                hd,
+                hash_verified,
+            },
             naming,
-            hash,
-            k,
-            sigma,
-            max_load,
-            node_of_rank,
-            rank_of,
-            nc_off,
-            nc,
-            hd_off,
-            hd,
-            hash_verified,
         }
+    }
+
+    /// Wrap a deserialized [`ErtStore`], re-deriving only the naming
+    /// plan (pure rank arithmetic, O(1) state). No directory assembly —
+    /// this is the snapshot/spill read path.
+    pub fn from_store(store: ErtStore) -> Self {
+        let naming = Naming::new(store.labeled.tree().size(), store.sigma);
+        ErrorReportingTree { store, naming }
+    }
+
+    /// The plain-old-data half (for serialization).
+    pub fn store(&self) -> &ErtStore {
+        &self.store
     }
 
     /// Worst prefix load of `h` over all levels (the quantity the paper
@@ -282,7 +388,7 @@ impl ErrorReportingTree {
 
     /// The underlying labeled scheme (and physical tree).
     pub fn labeled(&self) -> &LabeledTree {
-        &self.labeled
+        &self.store.labeled
     }
 
     /// The naming plan.
@@ -290,48 +396,58 @@ impl ErrorReportingTree {
         &self.naming
     }
 
+    /// Search depth bound k.
+    pub fn k(&self) -> usize {
+        self.store.k
+    }
+
     /// Alphabet size σ.
     pub fn sigma(&self) -> u64 {
-        self.sigma
+        self.store.sigma
     }
 
     /// Directory budget σ·log n.
     pub fn max_load(&self) -> usize {
-        self.max_load
+        self.store.max_load
     }
 
     /// Did the hash pass the prefix-load verification?
     pub fn hash_verified(&self) -> bool {
-        self.hash_verified
+        self.store.hash_verified
     }
 
     /// Distance rank of tree node `t` (0 = root).
     pub fn rank(&self, t: TreeIx) -> u32 {
-        self.rank_of[t as usize]
+        self.store.rank_of[t as usize]
     }
 
     /// Tree node at distance rank `r`.
     pub fn node_at_rank(&self, r: usize) -> TreeIx {
-        self.node_of_rank[r]
+        self.store.node_of_rank[r]
     }
 
     /// Item (2) of node `t`'s storage: `(digit, name-child tree index)`.
     pub fn name_children(&self, t: TreeIx) -> &[(u32, TreeIx)] {
-        let r = self.rank_of[t as usize] as usize;
-        &self.nc[self.nc_off[r] as usize..self.nc_off[r + 1] as usize]
+        let s = &self.store;
+        let r = s.rank_of[t as usize] as usize;
+        &s.nc[s.nc_off[r] as usize..s.nc_off[r + 1] as usize]
     }
 
     /// Item (3) of node `t`'s storage: `(target graph id, tree index)`.
     pub fn hash_dir(&self, t: TreeIx) -> &[(u32, TreeIx)] {
-        let r = self.rank_of[t as usize] as usize;
-        &self.hd[self.hd_off[r] as usize..self.hd_off[r + 1] as usize]
+        let s = &self.store;
+        let r = s.rank_of[t as usize] as usize;
+        &s.hd[s.hd_off[r] as usize..s.hd_off[r + 1] as usize]
     }
 
     /// Depth of the farthest node in `V_j` (used by the Lemma 4 cost
     /// bound on negative responses).
     pub fn max_depth_in_level(&self, j: usize) -> Cost {
         let cap = self.naming.level_capacity(j);
-        (0..cap).map(|r| self.labeled.tree().depth(self.node_of_rank[r])).max().unwrap_or(0)
+        (0..cap)
+            .map(|r| self.store.labeled.tree().depth(self.store.node_of_rank[r]))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Smallest `j` such that a j-bounded search finds every node in
@@ -341,10 +457,10 @@ impl ErrorReportingTree {
     pub fn level_covering(&self, members: impl IntoIterator<Item = TreeIx>) -> usize {
         let mut j = 1usize;
         for t in members {
-            let rank = self.rank_of[t as usize] as usize;
+            let rank = self.store.rank_of[t as usize] as usize;
             j = j.max(self.naming.level_of_rank(rank).max(1));
         }
-        j.min(self.k)
+        j.min(self.store.k)
     }
 
     /// Execute a `j`-bounded search from the root for the node whose
@@ -353,9 +469,10 @@ impl ErrorReportingTree {
     /// the sequence of tree nodes visited.
     pub fn search(&self, target: NodeId, j: usize) -> (SearchOutcome, Vec<TreeIx>) {
         assert!(j >= 1, "searches must be at least 1-bounded");
-        let j = j.min(self.k);
-        let y = self.hash.digits(target.0 as u64, self.sigma, self.k);
-        let root = self.labeled.tree().root();
+        let ErtStore { labeled, hash, k, sigma, .. } = &self.store;
+        let j = j.min(*k);
+        let y = hash.digits(target.0 as u64, *sigma, *k);
+        let root = labeled.tree().root();
         let mut current = root;
         let mut cost: Cost = 0;
         let mut visited = vec![root];
@@ -363,9 +480,8 @@ impl ErrorReportingTree {
         loop {
             // Does `current` know the target?
             if let Some(tix) = self.lookup_at(current, target) {
-                let (mut path, c) = self
-                    .labeled
-                    .route(current, self.labeled.label(tix))
+                let (mut path, c) = labeled
+                    .route(current, labeled.label(tix))
                     .expect("stored label must belong to this tree");
                 cost += c;
                 let delivered_at = *path.last().unwrap();
@@ -376,7 +492,7 @@ impl ErrorReportingTree {
             if round >= j {
                 // Bounded out: report failure back to the root.
                 let (mut path, c) =
-                    self.labeled.route(current, self.labeled.label(root)).expect("root label");
+                    labeled.route(current, labeled.label(root)).expect("root label");
                 cost += c;
                 path.remove(0);
                 visited.extend(path);
@@ -388,10 +504,8 @@ impl ErrorReportingTree {
                 self.name_children(current).iter().find(|(d, _)| *d == digit).map(|&(_, c)| c);
             match next {
                 Some(child) => {
-                    let (mut path, c) = self
-                        .labeled
-                        .route(current, self.labeled.label(child))
-                        .expect("child label");
+                    let (mut path, c) =
+                        labeled.route(current, labeled.label(child)).expect("child label");
                     cost += c;
                     current = *path.last().unwrap();
                     path.remove(0);
@@ -403,7 +517,7 @@ impl ErrorReportingTree {
                     // tree at all (names fill rank-by-rank; see module
                     // docs). Report failure.
                     let (mut path, c) =
-                        self.labeled.route(current, self.labeled.label(root)).expect("root label");
+                        labeled.route(current, labeled.label(root)).expect("root label");
                     cost += c;
                     path.remove(0);
                     visited.extend(path);
@@ -416,7 +530,7 @@ impl ErrorReportingTree {
     /// Local lookup: does tree node `t` store the target's label? The
     /// returned tree index resolves to a label via the shared arena.
     fn lookup_at(&self, t: TreeIx, target: NodeId) -> Option<TreeIx> {
-        if self.labeled.tree().graph_id(t) == target {
+        if self.store.labeled.tree().graph_id(t) == target {
             return Some(t);
         }
         self.hash_dir(t).iter().find(|(gid, _)| *gid == target.0).map(|&(_, ix)| ix)
@@ -426,47 +540,37 @@ impl ErrorReportingTree {
     /// directories + the hash description (τ(T,t) in the paper's
     /// notation).
     pub fn node_bits(&self, t: TreeIx) -> u64 {
-        let m = self.labeled.tree().size();
+        let labeled = &self.store.labeled;
+        let m = labeled.tree().size();
         let id_bits = bits_for_node(m);
-        let mut bits = self.labeled.local_bits(t) + self.hash.storage_bits();
+        let mut bits = labeled.local_bits(t) + self.store.hash.storage_bits();
         for &(_, child) in self.name_children(t) {
-            bits += ceil_log2(self.sigma) as u64 + self.labeled.label_bits(child);
+            bits += ceil_log2(self.store.sigma) as u64 + labeled.label_bits(child);
         }
         for &(_, ix) in self.hash_dir(t) {
-            bits += id_bits + self.labeled.label_bits(ix);
+            bits += id_bits + labeled.label_bits(ix);
         }
         bits
     }
 
     /// Total storage over all nodes.
     pub fn total_bits(&self) -> u64 {
-        (0..self.labeled.tree().size() as u32).map(|t| self.node_bits(t)).sum()
+        (0..self.store.labeled.tree().size() as u32).map(|t| self.node_bits(t)).sum()
     }
 
-    /// Serialize the irreducible parts (tree + chosen hash + the scalar
-    /// parameters) for a spill record; [`ErrorReportingTree::from_wire`]
-    /// rebuilds everything else deterministically via
-    /// [`ErrorReportingTree::from_parts`].
+    /// Serialize the full [`ErtStore`] — every directory arena verbatim,
+    /// so [`ErrorReportingTree::from_wire`] is a one-pass decode with no
+    /// reassembly. (Earlier revisions wrote only the irreducible parts
+    /// and re-ran [`ErrorReportingTree::from_parts`] on every reload;
+    /// the full-store record trades bytes for O(m log m) rebuild work,
+    /// and lets a snapshot copy a spilled record without decoding it.)
     pub fn to_wire(&self, w: &mut wire::Writer) {
-        w.u64(self.k as u64);
-        w.u64(self.sigma);
-        w.u8(self.hash_verified as u8);
-        w.slice_u64(self.hash.coeffs());
-        wire::write_tree(w, self.labeled.tree());
+        self.store.to_wire(w);
     }
 
     /// Inverse of [`ErrorReportingTree::to_wire`].
     pub fn from_wire(r: &mut wire::Reader) -> io::Result<Self> {
-        let k = r.u64()? as usize;
-        let sigma = r.u64()?;
-        let verified = r.u8()? != 0;
-        let coeffs = r.slice_u64()?;
-        if k == 0 || sigma == 0 || coeffs.is_empty() {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad ERT record header"));
-        }
-        let hash = PolyHash::from_coeffs(coeffs);
-        let tree = wire::read_tree(r)?;
-        Ok(Self::from_parts(tree, k, sigma, hash, verified))
+        Ok(Self::from_store(ErtStore::from_wire(r)?))
     }
 }
 
@@ -501,7 +605,7 @@ mod tests {
             let t = s.node_at_rank(rank);
             let target = s.labeled().tree().graph_id(t);
             let level = s.naming().level_of_rank(rank).max(1);
-            for j in level..=s.k {
+            for j in level..=s.k() {
                 let (outcome, _) = s.search(target, j);
                 match outcome {
                     SearchOutcome::Found { cost, delivered_at } => {
@@ -530,7 +634,7 @@ mod tests {
     /// (2j−2)·max{d(r,v) : v ∈ V_{j−1}} and ends back at the root.
     fn check_miss_guarantee(s: &ErrorReportingTree, absent: &[u32]) {
         for &gid in absent {
-            for j in 1..=s.k {
+            for j in 1..=s.k() {
                 let (outcome, visited) = s.search(NodeId(gid), j);
                 match outcome {
                     SearchOutcome::Found { .. } => panic!("found a node not in the tree"),

@@ -22,8 +22,8 @@ pub mod labeled;
 pub mod laing;
 pub mod names;
 
-pub use cover_router::{CoverOutcome, CoverTreeRouter};
+pub use cover_router::{CoverOutcome, CoverStore, CoverTreeRouter};
 pub use hashing::PolyHash;
-pub use labeled::{LabelRef, LabeledTree, RouteLabel, Step};
-pub use laing::{ErrorReportingTree, SearchOutcome};
+pub use labeled::{LabelRef, LabeledStore, LabeledTree, RouteLabel, Step};
+pub use laing::{ErrorReportingTree, ErtStore, SearchOutcome};
 pub use names::{Name, Naming};

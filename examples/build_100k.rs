@@ -9,16 +9,23 @@
 //! the same wall for *evaluation* in an earlier change).
 //!
 //! ```text
-//! cargo run --release --example build_100k -- [n] [pairs] [threads]
+//! cargo run --release --example build_100k -- [n] [pairs] [threads] [serve_queries]
 //! ```
 //!
-//! Defaults: n = 100000, pairs = 2000, threads = 0 (auto). CI runs
-//! this at n = 50000 under a wall-clock budget as the
-//! construction-scale regression tripwire; when the checked-in
-//! `BENCH_construction.json` has a record at the same n, the run fails
-//! if its peak RSS (`VmHWM`) exceeds 2× that baseline. Set
-//! `BENCH_BASELINE` to point at a different baseline file and
-//! `BENCH_CONSTRUCTION_OUT` to write this run's record.
+//! Defaults: n = 100000, pairs = 2000, threads = 0 (auto),
+//! serve_queries = 10000. CI runs this at n = 50000 under a
+//! wall-clock budget as the construction- and serving-scale
+//! regression tripwire; when the checked-in `BENCH_construction.json`
+//! has a record at the same n, the run fails if its peak RSS
+//! (`VmHWM`) exceeds 2× that baseline. Set `BENCH_BASELINE` to point
+//! at a different baseline file and `BENCH_CONSTRUCTION_OUT` /
+//! `BENCH_SERVING_OUT` to write this run's records.
+//!
+//! After the evaluation pass, the build is **saved to a snapshot and
+//! dropped**; the serve phase reloads the scheme from the snapshot
+//! alone and answers `serve_queries` sharded lookups — the serve path
+//! contains no rebuild, which is the acceptance criterion for the
+//! serving engine.
 
 use std::time::Instant;
 
@@ -34,6 +41,7 @@ fn main() {
     let n = args.first().copied().unwrap_or(100_000);
     let pair_budget = args.get(1).copied().unwrap_or(2_000);
     let threads = args.get(2).copied().unwrap_or(0);
+    let serve_queries = args.get(3).copied().unwrap_or(10_000);
     let k = 2;
     let seed = 0x100_000;
 
@@ -152,9 +160,58 @@ fn main() {
         ),
     }
 
+    // ---- serving smoke: save → drop → load → serve ------------------
+    // The snapshot is the only thing that crosses this line; the built
+    // scheme (and the ground truth) are gone before the serve phase.
+    drop(truth);
+    let snap = std::env::temp_dir().join(format!("agm-build100k-{}.snap", std::process::id()));
+    let t_save = Instant::now();
+    scheme.save(&snap).expect("snapshot save");
+    let save_s = t_save.elapsed().as_secs_f64();
+    let snapshot_bytes = std::fs::metadata(&snap).map(|m| m.len()).unwrap_or(0);
+    drop(scheme);
     println!(
-        "\nOK: Theorem-1 scheme built and {} pairs delivered with zero n² structures",
-        stats.pairs
+        "[{:>7.2}s] snapshot saved: {:.1} MiB in {save_s:.1}s; builder dropped",
+        t0.elapsed().as_secs_f64(),
+        snapshot_bytes as f64 / (1024.0 * 1024.0),
+    );
+
+    let t_load = Instant::now();
+    let served = Scheme::load(&snap).expect("snapshot load");
+    let load_seconds = t_load.elapsed().as_secs_f64();
+    let _ = std::fs::remove_file(&snap);
+    let queries = pairs::sample(n, serve_queries, seed ^ 0x5E57E);
+    let report = serve_batch(&served, &queries, threads);
+    assert_eq!(report.delivered, report.queries, "every served query must deliver");
+    println!(
+        "[{:>7.2}s] served {} queries from the snapshot (load {load_seconds:.1}s, {} threads): \
+         {:.0} routes/s, p50 {:.1} µs, p99 {:.1} µs",
+        t0.elapsed().as_secs_f64(),
+        report.queries,
+        report.threads,
+        report.routes_per_sec,
+        report.p50_us,
+        report.p99_us,
+    );
+
+    if let Ok(out) = std::env::var("BENCH_SERVING_OUT") {
+        let serving = ServingRecord {
+            n,
+            k,
+            snapshot_bytes,
+            load_seconds,
+            scheme: report,
+            baseline: None, // sp-tables would need Θ(n²) state at this n
+        };
+        let doc = routing_core::bench_record::render_serving_json(std::slice::from_ref(&serving));
+        std::fs::write(&out, doc).expect("write serving record");
+        println!("serving record written to {out}");
+    }
+
+    println!(
+        "\nOK: Theorem-1 scheme built, {} pairs delivered with zero n² structures,\n\
+         and the snapshot served a {}-query batch without any rebuild",
+        stats.pairs, serve_queries
     );
 }
 

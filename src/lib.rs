@@ -57,7 +57,10 @@ pub mod prelude {
     pub use baselines::{HierarchicalScheme, LandmarkChaining, ShortestPathTables, TzLabeled};
     pub use graphkit::gen::Family;
     pub use graphkit::{Cost, Graph, GraphBuilder, NodeId, OnDemandTruth, Weight};
-    pub use routing_core::{ConstructionRecord, ForceMode, SBudgetMode, Scheme, SchemeParams};
+    pub use routing_core::{
+        serve_batch, ConstructionRecord, ForceMode, SBudgetMode, Scheme, SchemeParams, ServeReport,
+        ServingRecord,
+    };
     pub use sim::{
         evaluate, evaluate_lenient, evaluate_parallel, evaluate_parallel_lenient, pairs,
         GroundTruth, Router, StorageAudit, StretchStats,
