@@ -1,0 +1,43 @@
+#![forbid(unsafe_code)]
+//! `agm-lint` — scan the workspace for invariant violations.
+//!
+//! Usage: `agm-lint [ROOT]`. With no argument, the workspace root is
+//! found by walking up from the current directory to the first
+//! `Cargo.toml` declaring `[workspace]`. Emits one
+//! `file:line: rule: message` line per finding, then a one-line JSON
+//! summary; exits nonzero when anything fired.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => {
+            let cwd = std::env::current_dir().expect("cannot read current directory");
+            match analysis::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("agm-lint: no workspace root above {}", cwd.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let report = match analysis::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("agm-lint: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for line in report.diagnostics() {
+        println!("{line}");
+    }
+    println!("{}", report.summary_json());
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,342 @@
+//! Pragma application, workspace walking, and report rendering.
+//!
+//! Suppression pragmas are line comments of the form
+//!
+//! ```text
+//! // lint:allow(rule-name): reason the exception is sound
+//! ```
+//!
+//! A trailing pragma suppresses findings of that rule on its own line;
+//! a standalone pragma (nothing but the comment on its line)
+//! suppresses findings on the next line that has code, so pragmas can
+//! stack. A second form, `// lint:allow-fn(rule): reason`, covers one
+//! whole function body — placed immediately before (or trailing on)
+//! the `fn` line of validate-then-index decoders, where per-line
+//! pragmas on dozens of guarded index sites would be pure noise. The
+//! broad grant is a distinct spelling on purpose: a reviewer can see
+//! the blast radius. Three pragma misuses are themselves findings: a
+//! pragma with no reason, a pragma naming an unknown rule, and a
+//! pragma that suppresses nothing (so stale exceptions cannot linger).
+//! Doc comments are never parsed as pragmas, so documentation may show
+//! pragma syntax freely.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Lexed};
+use crate::rules::{fn_spans, run_rules, Finding, PRAGMA_RULE, RULES};
+
+/// A parsed `lint:allow` / `lint:allow-fn` pragma.
+#[derive(Debug)]
+struct Pragma {
+    rule: String,
+    /// First line whose findings this pragma suppresses.
+    start: u32,
+    /// Last suppressed line (== `start` for per-line pragmas).
+    end: u32,
+    /// Line the pragma itself sits on (for diagnostics).
+    line: u32,
+    fn_scoped: bool,
+    used: bool,
+}
+
+/// True for `///`, `//!`, `/**`, `/*!` — documentation, not directives.
+fn is_doc_comment(text: &str) -> bool {
+    ["///", "//!", "/**", "/*!"].iter().any(|p| text.starts_with(p))
+}
+
+/// Parse all pragmas out of a lexed file; malformed ones are returned
+/// as findings immediately. `spans` (from [`fn_spans`]) resolves
+/// `allow-fn` pragmas to the body of the next `fn`.
+fn collect_pragmas(lx: &Lexed, spans: &[crate::rules::FnSpan]) -> (Vec<Pragma>, Vec<Finding>) {
+    let mut tok_lines: Vec<u32> = lx.toks.iter().map(|t| t.line).collect();
+    tok_lines.dedup();
+    let mut pragmas = Vec::new();
+    let mut errors = Vec::new();
+    for c in &lx.comments {
+        if is_doc_comment(&c.text) {
+            continue;
+        }
+        // The two markers diverge at the character after "allow"
+        // (`-` vs `(`), so the finds cannot shadow each other.
+        let (fn_scoped, rest) = if let Some(at) = c.text.find("lint:allow-fn(") {
+            (true, &c.text[at + "lint:allow-fn(".len()..])
+        } else if let Some(at) = c.text.find("lint:allow(") {
+            (false, &c.text[at + "lint:allow(".len()..])
+        } else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            errors.push(Finding {
+                rule: PRAGMA_RULE,
+                line: c.line,
+                msg: "malformed pragma: missing `)` after rule name".into(),
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        if !RULES.contains(&rule.as_str()) {
+            errors.push(Finding {
+                rule: PRAGMA_RULE,
+                line: c.line,
+                msg: format!("pragma names unknown rule `{rule}`"),
+            });
+            continue;
+        }
+        let after = &rest[close + 1..];
+        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            let form = if fn_scoped { "lint:allow-fn" } else { "lint:allow" };
+            errors.push(Finding {
+                rule: PRAGMA_RULE,
+                line: c.line,
+                msg: format!(
+                    "pragma for `{rule}` has no reason: write \
+                     `{form}({rule}): <why this site is sound>`"
+                ),
+            });
+            continue;
+        }
+        let (start, end) = if fn_scoped {
+            // The next fn at or below the pragma line owns the grant
+            // (trailing on the `fn` line works: kw_line == c.line).
+            match spans.iter().find(|s| s.kw_line >= c.line) {
+                Some(s) => (s.kw_line, s.end_line),
+                None => {
+                    errors.push(Finding {
+                        rule: PRAGMA_RULE,
+                        line: c.line,
+                        msg: format!("`lint:allow-fn({rule})` has no following fn to scope to"),
+                    });
+                    continue;
+                }
+            }
+        } else if c.standalone {
+            let t = match tok_lines.iter().find(|&&l| l > c.line) {
+                Some(&l) => l,
+                None => c.line,
+            };
+            (t, t)
+        } else {
+            (c.line, c.line)
+        };
+        pragmas.push(Pragma { rule, start, end, line: c.line, fn_scoped, used: false });
+    }
+    (pragmas, errors)
+}
+
+/// Lint one file's source: run the rules, then apply pragmas. Returns
+/// the surviving findings (including pragma-misuse findings).
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let lx = lex(src);
+    let raw = run_rules(rel_path, &lx);
+    let spans = fn_spans(&lx.toks);
+    let (mut pragmas, mut out) = collect_pragmas(&lx, &spans);
+    for finding in raw {
+        // Exact-line pragmas claim a finding before any fn-scoped
+        // grant, so a broad grant can't starve a narrow one into an
+        // "unused pragma" error.
+        let hit = pragmas
+            .iter()
+            .position(|p| !p.fn_scoped && p.rule == finding.rule && p.start == finding.line)
+            .or_else(|| {
+                pragmas.iter().position(|p| {
+                    p.fn_scoped
+                        && p.rule == finding.rule
+                        && (p.start..=p.end).contains(&finding.line)
+                })
+            });
+        match hit {
+            Some(i) => pragmas[i].used = true,
+            None => out.push(finding),
+        }
+    }
+    for p in &pragmas {
+        if !p.used {
+            let span = if p.fn_scoped {
+                format!("in fn body (lines {}..={})", p.start, p.end)
+            } else {
+                format!("on line {}", p.start)
+            };
+            out.push(Finding {
+                rule: PRAGMA_RULE,
+                line: p.line,
+                msg: format!("unused pragma: no `{}` finding {span}", p.rule),
+            });
+        }
+    }
+    out.sort_by_key(|f| (f.line, f.rule));
+    out
+}
+
+/// Directories never walked: build output, VCS, CI config, and the
+/// offline dependency shims (vendored API stand-ins, not our code).
+const SKIP_DIRS: [&str; 5] = ["target", ".git", ".github", "shims", "node_modules"];
+
+/// Collect every workspace `.rs` file under `root`, sorted, as
+/// `(relative-path-with-forward-slashes, absolute-path)`.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> =
+            fs::read_dir(&dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        entries.sort();
+        for path in entries {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push((rel, path));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// The full report of one workspace lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Files scanned.
+    pub files: usize,
+    /// Surviving findings as `(relative path, finding)`.
+    pub findings: Vec<(String, Finding)>,
+}
+
+impl Report {
+    /// `file:line: rule: message` lines, sorted.
+    pub fn diagnostics(&self) -> Vec<String> {
+        self.findings
+            .iter()
+            .map(|(p, f)| format!("{p}:{}: {}: {}", f.line, f.rule, f.msg))
+            .collect()
+    }
+
+    /// Machine-readable one-line JSON summary (counts per rule).
+    pub fn summary_json(&self) -> String {
+        let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
+        for r in RULES.iter().chain(std::iter::once(&PRAGMA_RULE)) {
+            per_rule.insert(r, 0);
+        }
+        for (_, f) in &self.findings {
+            *per_rule.entry(f.rule).or_insert(0) += 1;
+        }
+        let rules =
+            per_rule.iter().map(|(r, n)| format!("\"{r}\":{n}")).collect::<Vec<_>>().join(",");
+        format!(
+            "{{\"files\":{},\"findings\":{},\"rules\":{{{}}}}}",
+            self.files,
+            self.findings.len(),
+            rules
+        )
+    }
+}
+
+/// Lint every workspace source file under `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let files = workspace_files(root)?;
+    let mut report = Report { files: files.len(), findings: Vec::new() };
+    for (rel, abs) in files {
+        let src = fs::read_to_string(&abs)?;
+        for f in lint_source(&rel, &src) {
+            report.findings.push((rel.clone(), f));
+        }
+    }
+    Ok(report)
+}
+
+/// Find the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_pragma_suppresses_own_line() {
+        let src =
+            "fn f() -> u64 { 1u64 << a } // lint:allow(no-raw-octave-shift): bounded by caller\n";
+        assert!(lint_source("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn standalone_pragma_suppresses_next_code_line() {
+        let src = "fn f() -> u64 {\n    // lint:allow(no-raw-octave-shift): exponent < 10 here\n    1u64 << a\n}\n";
+        assert!(lint_source("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pragma_without_reason_is_an_error() {
+        let src = "fn f() -> u64 { 1u64 << a } // lint:allow(no-raw-octave-shift):\n";
+        let f = lint_source("crates/x/src/a.rs", src);
+        assert!(f.iter().any(|x| x.rule == "pragma" && x.msg.contains("no reason")));
+    }
+
+    #[test]
+    fn fn_scoped_pragma_covers_whole_body() {
+        let src = "\
+// lint:allow-fn(no-raw-octave-shift): exponents validated at entry\n\
+fn f(a: u32, b: u32) -> u64 {\n\
+    let x = 1u64 << a;\n\
+    let y = 1u64 << b;\n\
+    x + y\n\
+}\n\
+fn g(a: u32) -> u64 { 1u64 << a }\n";
+        let f = lint_source("crates/x/src/a.rs", src);
+        // Both shifts in f are covered; g's shift still fires.
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 7);
+    }
+
+    #[test]
+    fn unused_fn_scoped_pragma_is_an_error() {
+        let src = "// lint:allow-fn(no-raw-octave-shift): stale\nfn f() {}\n";
+        let f = lint_source("crates/x/src/a.rs", src);
+        assert!(f.iter().any(|x| x.rule == "pragma" && x.msg.contains("unused pragma")));
+        let src = "// lint:allow-fn(no-raw-octave-shift): dangling\nconst X: u32 = 3;\n";
+        let f = lint_source("crates/x/src/a.rs", src);
+        assert!(f.iter().any(|x| x.msg.contains("no following fn")));
+    }
+
+    #[test]
+    fn doc_comments_are_not_pragmas() {
+        let src = "/// Use `// lint:allow(bogus-rule): reason` to suppress.\n\
+                   //! And `lint:allow(another-bogus)` likewise.\n\
+                   fn f() {}\n";
+        assert!(lint_source("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unknown_rule_and_unused_pragma_are_errors() {
+        let src = "// lint:allow(no-such-rule): whatever\nfn f() {}\n";
+        let f = lint_source("crates/x/src/a.rs", src);
+        assert!(f.iter().any(|x| x.msg.contains("unknown rule")));
+        let src = "// lint:allow(no-raw-octave-shift): nothing here shifts\nfn f() {}\n";
+        let f = lint_source("crates/x/src/a.rs", src);
+        assert!(f.iter().any(|x| x.msg.contains("unused pragma")));
+    }
+}

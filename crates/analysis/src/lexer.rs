@@ -1,0 +1,378 @@
+//! A small, dependency-free Rust lexer — just enough structure for
+//! token-pattern lint rules to be *sound* against the classic
+//! false-positive traps: rule-triggering text inside string literals,
+//! raw strings, char literals, and (nested) comments must never
+//! surface as tokens.
+//!
+//! The lexer produces a flat token stream plus a separate comment
+//! list. Comments are kept because two lint features live in them:
+//! `// lint:allow(rule): reason` suppression pragmas and the
+//! `// merge: …` annotations required next to every `par_chunks`
+//! fan-out site.
+//!
+//! Deliberately *not* handled (not needed for the rule set, and absent
+//! from this workspace): `union` items, macro definitions with exotic
+//! fragment specifiers, and multi-byte `char` literals used as
+//! lifetimes — a plain `'é'` char literal still lexes correctly.
+
+/// Token classification. Rules match on `(kind, text)` pairs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `HashMap`, …).
+    Ident,
+    /// Integer literal, suffix included (`1`, `1u64`, `0x_1F`).
+    Int,
+    /// Float literal (`2.5`, `1.0e3`).
+    Float,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation. Single characters, except `<<` which is fused so
+    /// shift expressions are a single token.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// What kind of token.
+    pub kind: TokKind,
+    /// The raw source text (string/char literals keep delimiters).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+/// One comment (line or block), with enough context for pragma
+/// targeting.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Full comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// True when no token precedes the comment on its line — a
+    /// standalone pragma applies to the next code line, a trailing one
+    /// to its own line.
+    pub standalone: bool,
+}
+
+/// Lexer output: the token stream and the comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub toks: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src`. Never panics: unterminated literals simply run to EOF.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut line_has_tok = false;
+
+    macro_rules! push_tok {
+        ($kind:expr, $start:expr, $end:expr, $line:expr) => {{
+            out.toks.push(Tok { kind: $kind, text: src[$start..$end].to_string(), line: $line });
+            line_has_tok = true;
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Newlines and whitespace.
+        if c == b'\n' {
+            line += 1;
+            line_has_tok = false;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (incl. doc comments).
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            let start = i;
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: src[start..i].to_string(),
+                standalone: !line_has_tok,
+            });
+            continue;
+        }
+        // Block comment — Rust block comments nest.
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let (start, start_line, standalone) = (i, line, !line_has_tok);
+            i += 2;
+            let mut depth = 1usize;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text: src[start..i].to_string(),
+                standalone,
+            });
+            continue;
+        }
+        // String literals, including raw/byte/C prefixes: the prefix
+        // letters must be consumed *here* or `r#"1u64 << a"#` would
+        // lex its payload as code.
+        if c == b'"' || (is_ident_start(c) && string_prefix_len(b, i).is_some()) {
+            let (tok_line, start) = (line, i);
+            let hashes = if c == b'"' {
+                i += 1;
+                None // plain (escaped) string
+            } else {
+                let plen = string_prefix_len(b, i).unwrap();
+                let raw = src[i..i + plen].contains('r');
+                let mut h = 0usize;
+                i += plen;
+                while b.get(i) == Some(&b'#') {
+                    h += 1;
+                    i += 1;
+                }
+                i += 1; // opening quote
+                raw.then_some(h)
+            };
+            match hashes {
+                None => {
+                    // Escaped string: backslash consumes the next char.
+                    while i < b.len() {
+                        match b[i] {
+                            b'\\' => {
+                                if b.get(i + 1) == Some(&b'\n') {
+                                    line += 1;
+                                }
+                                i += 2;
+                            }
+                            b'"' => {
+                                i += 1;
+                                break;
+                            }
+                            b'\n' => {
+                                line += 1;
+                                i += 1;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                }
+                Some(h) => {
+                    // Raw string: ends at `"` followed by `h` hashes.
+                    while i < b.len() {
+                        if b[i] == b'"'
+                            && b[i + 1..].iter().take(h).filter(|&&x| x == b'#').count() == h
+                        {
+                            i += 1 + h;
+                            break;
+                        }
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            push_tok!(TokKind::Str, start, i.min(b.len()), tok_line);
+            continue;
+        }
+        // Byte-char literal `b'x'`.
+        if c == b'b' && b.get(i + 1) == Some(&b'\'') {
+            let (tok_line, start) = (line, i);
+            i += 2;
+            i = consume_char_body(b, i);
+            push_tok!(TokKind::Char, start, i.min(b.len()), tok_line);
+            continue;
+        }
+        // `'…` — lifetime or char literal. A lifetime is `'` + ident
+        // with no closing quote after the ident run.
+        if c == b'\'' {
+            let (tok_line, start) = (line, i);
+            let nxt = b.get(i + 1).copied().unwrap_or(0);
+            if nxt == b'\\' || !is_ident_start(nxt) {
+                // Escaped or punctuation char literal, e.g. '\'' '"'.
+                i += 1;
+                i = consume_char_body(b, i);
+                push_tok!(TokKind::Char, start, i.min(b.len()), tok_line);
+            } else {
+                let mut k = i + 1;
+                while k < b.len() && is_ident_char(b[k]) {
+                    k += 1;
+                }
+                if b.get(k) == Some(&b'\'') {
+                    // 'a' — char literal (also multi-byte like 'é').
+                    i = k + 1;
+                    push_tok!(TokKind::Char, start, i, tok_line);
+                } else {
+                    i = k;
+                    push_tok!(TokKind::Lifetime, start, i, tok_line);
+                }
+            }
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let start = i;
+            while i < b.len() && is_ident_char(b[i]) {
+                i += 1;
+            }
+            push_tok!(TokKind::Ident, start, i, line);
+            continue;
+        }
+        // Number. Consume the alphanumeric run (covers 0xFF, 1u64,
+        // 1e3); a `.` joins only when followed by a digit so `1..n`
+        // stays three tokens.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut kind = TokKind::Int;
+            while i < b.len() && is_ident_char(b[i]) {
+                i += 1;
+            }
+            if b.get(i) == Some(&b'.') && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                kind = TokKind::Float;
+                i += 1;
+                while i < b.len() && is_ident_char(b[i]) {
+                    i += 1;
+                }
+            }
+            push_tok!(kind, start, i, line);
+            continue;
+        }
+        // Punctuation; fuse `<<` (shift) into one token.
+        if c == b'<' && b.get(i + 1) == Some(&b'<') {
+            push_tok!(TokKind::Punct, i, i + 2, line);
+            i += 2;
+            continue;
+        }
+        push_tok!(TokKind::Punct, i, i + 1, line);
+        i += 1;
+    }
+    out
+}
+
+/// If the bytes at `i` start a (raw/byte/C) string literal prefix,
+/// return the prefix length in bytes (`r` → 1, `br` → 2, …). The
+/// prefix must be followed by `"` (or `#`s then `"` when raw).
+fn string_prefix_len(b: &[u8], i: usize) -> Option<usize> {
+    for pfx in [&b"br"[..], b"cr", b"rb", b"b", b"c", b"r"] {
+        if b[i..].starts_with(pfx) {
+            let mut j = i + pfx.len();
+            if pfx.contains(&b'r') {
+                while b.get(j) == Some(&b'#') {
+                    j += 1;
+                }
+            }
+            if b.get(j) == Some(&b'"') {
+                return Some(pfx.len());
+            }
+            // Longest-prefix order: if `br` fails, `b` alone is still
+            // tried on the next iteration.
+        }
+    }
+    None
+}
+
+/// Consume a char-literal body up to and including the closing `'`.
+/// `i` points just past the opening quote.
+fn consume_char_body(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = r##"
+            let a = "1u64 << x and unwrap()"; // 1u64 << y
+            /* partial_cmp().unwrap() */
+            let b = r#"panic!("no")"#;
+            let c = '"'; let d = b'\''; let e: &'static str = "ok";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"partial_cmp".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(ids.contains(&"str".to_string()));
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 2);
+        assert!(!lx.comments[0].standalone);
+        assert!(lx.comments[1].standalone);
+    }
+
+    #[test]
+    fn shift_is_one_token_and_ranges_are_not_floats() {
+        let lx = lex("let x = 1u64 << a; for i in 1..n {}");
+        let shifts: Vec<_> = lx.toks.iter().filter(|t| t.text == "<<").collect();
+        assert_eq!(shifts.len(), 1);
+        let one = lx.toks.iter().find(|t| t.text == "1u64").unwrap();
+        assert_eq!(one.kind, TokKind::Int);
+        let bare = lx.toks.iter().find(|t| t.text == "1").unwrap();
+        assert_eq!(bare.kind, TokKind::Int);
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let lx = lex("a\n/* x /* y */ z\nmore */ b\nc");
+        let ids = lx.toks.iter().map(|t| (t.text.clone(), t.line)).collect::<Vec<_>>();
+        assert_eq!(ids, vec![("a".into(), 1), ("b".into(), 3), ("c".into(), 4)]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let lx = lex(r####"let s = r##"quote "# inside 1u64 << a"##; let t = 2;"####);
+        assert!(lx.toks.iter().all(|t| t.text != "<<"));
+        assert!(lx.toks.iter().any(|t| t.text == "2"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lx = lex("fn f<'a>(x: &'a str) -> char { 'a' }");
+        let lifetimes = lx.toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = lx.toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+}

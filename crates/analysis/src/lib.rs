@@ -1,0 +1,35 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # analysis — `agm-lint`, the repo's invariant linter
+//!
+//! Every correctness property this reproduction leans on is enforced
+//! dynamically (proptests, parity tests, corruption tests). This crate
+//! makes the *bug classes behind those tests* statically visible: each
+//! rule names an invariant, cites its motivating fix, and fails CI on
+//! regressions — the claims→evidence map (ROADMAP item 5) made
+//! executable.
+//!
+//! | rule | invariant | origin |
+//! |---|---|---|
+//! | `no-raw-octave-shift` | radius shifts go through `octave_radius` | PR 3: `1u64 << a` overflow at Δ ≥ 2⁶¹ |
+//! | `no-nan-unsafe-cmp` | comparators are total | PR 2: NaN-unsafe `partial_cmp().unwrap()` sorts |
+//! | `panic-free-decode` | decode surfaces error, never panic | PR 5: snapshot corruption contract |
+//! | `deterministic-serialization` | saves are byte-deterministic | PR 5: `Scheme::save` sorted-key contract |
+//! | `chunk-ordered-merge` | fan-out merges are thread-count-independent | PR 4: chunk-ordered merge discipline |
+//! | `forbid-unsafe` | the workspace stays `unsafe`-free | standing policy since PR 1 |
+//!
+//! The scanner is a self-contained lexer (offline container — no
+//! `syn`): strings, raw strings, char literals, and nested comments
+//! are skipped correctly, so rule-triggering text inside them never
+//! fires. Exceptions are documented in place via
+//! `// lint:allow(rule): reason` pragmas; a pragma without a reason —
+//! or one that suppresses nothing — is itself an error.
+//!
+//! Run it with `cargo run --release -p analysis --bin agm-lint`.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{find_workspace_root, lint_source, lint_workspace, Report};
+pub use rules::{Finding, RULES};

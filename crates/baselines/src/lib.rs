@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # baselines — the comparison schemes of the paper's frontier (§1.3)
 //!

@@ -357,6 +357,7 @@ impl Scheme {
             HierarchySource::Greedy => landmarks::greedy_hierarchy(d, k),
         };
         // sorted[v][l] = C_l members ordered by (d(v,·), id).
+        // merge: per-node lists, flattened in chunk (= node id) order.
         let sorted: Vec<Vec<Vec<(u64, u32)>>> = graphkit::metrics::par_chunks(g.n(), |nodes| {
             nodes
                 .map(|v| {
@@ -436,6 +437,7 @@ impl Scheme {
         params: &SchemeParams,
     ) -> Vec<Vec<Option<EScope>>> {
         let n = g.n();
+        // merge: per-node scope rows, flattened in chunk (= node id) order.
         graphkit::metrics::par_chunks(n, |nodes| {
             nodes
                 .map(|u| {
@@ -475,6 +477,7 @@ impl Scheme {
         params: &SchemeParams,
         n: usize,
     ) -> Vec<Vec<Option<EScope>>> {
+        // merge: per-node scope rows, flattened in chunk (= node id) order.
         graphkit::metrics::par_chunks(n, |nodes| {
             let mut scratch = DijkstraScratch::new(n);
             nodes
@@ -545,6 +548,7 @@ impl Scheme {
         }
 
         // ---- per-(u, i) classification and centers -------------------
+        // merge: per-node plan rows, flattened in chunk (= node id) order.
         let mut plans: Vec<Vec<LevelPlan>> = graphkit::metrics::par_chunks(n, |nodes| {
             nodes
                 .map(|u| {
@@ -606,8 +610,8 @@ impl Scheme {
         // Raw per-(v, level) requirement: max over the sparse regions
         // containing v of (position + 1 + margin). A region's members
         // are arbitrary nodes, not the worker's own chunk, so workers
-        // accumulate into private n×k tables; the merge is an
-        // elementwise max — order-free, hence chunk-count independent.
+        // accumulate into private n×k tables.
+        // merge: elementwise max — order-free, hence chunk-count independent.
         let margin = params.s_margin as u32;
         let mut raw = vec![0u32; n * k];
         for shard in graphkit::metrics::par_chunks(n, |nodes| {
@@ -694,6 +698,8 @@ impl Scheme {
             lm_bits: Vec<u64>,
             max_label: u64,
         }
+        // merge: keyed by center id (maps), plus elementwise bit sums
+        // and a label max — shard order immaterial.
         let shards = graphkit::metrics::par_chunks(centers.len(), |range| {
             let mut scratch = DijkstraScratch::new(n);
             let mut tscratch = TreeScratch::new(n);
@@ -776,6 +782,8 @@ impl Scheme {
         lap!("center_trees");
 
         // ---- b(u, i) + Lemma 3 verification --------------------------
+        // merge: rows concatenated in chunk (= node id) order; the
+        // check counters are sums, which commute.
         let b_shards = graphkit::metrics::par_chunks(n, |nodes| {
             let base = nodes.start;
             let mut out = vec![0u8; nodes.len() * k];
@@ -852,6 +860,7 @@ impl Scheme {
                 home[sub.to_host[local] as usize] = t;
             }
             let routers: Vec<CoverEntry> =
+                // merge: entries flattened in chunk (= tree index) order.
                 graphkit::metrics::par_chunks(cover.trees.len(), |range| {
                     range
                         .map(|ti| {
@@ -923,6 +932,8 @@ impl Scheme {
         }
         let mut keys: Vec<u32> = queries.keys().copied().collect();
         keys.sort_unstable();
+        // merge: entries keyed by pos0_key(v, c), which is unique per
+        // query — collection order is immaterial.
         graphkit::metrics::par_chunks(keys.len(), |range| {
             let mut scratch = DijkstraScratch::new(n);
             let mut out = Vec::new();
@@ -951,6 +962,7 @@ impl Scheme {
         if l == 0 {
             if let BuildSource::OnDemand { .. } = src {
                 let row = dijkstra::dijkstra(g, NodeId(c)).dist;
+                // merge: per-node positions, flattened in chunk (= node id) order.
                 return graphkit::metrics::par_chunks(n, |nodes| {
                     let mut scratch = DijkstraScratch::new(n);
                     let mut out = Vec::with_capacity(nodes.len());
@@ -966,6 +978,7 @@ impl Scheme {
                 .collect();
             }
         }
+        // merge: per-node positions, flattened in chunk (= node id) order.
         graphkit::metrics::par_chunks(n, |nodes| {
             nodes.map(|v| src.position(NodeId(v as u32), l, c) as u32).collect::<Vec<u32>>()
         })
@@ -1007,6 +1020,8 @@ impl Scheme {
         }
         let dijkstra_rank0 = matches!(src, BuildSource::OnDemand { .. })
             && centers.iter().any(|&c| center_rank[c as usize] == 0);
+        // merge: counting-sort scatter by center; within a center the
+        // shard (= ascending node id) order is preserved.
         let shards: Vec<Vec<(u32, u32, Cost)>> = graphkit::metrics::par_chunks(n, |nodes| {
             let mut out = Vec::new();
             let mut scratch = dijkstra_rank0.then(|| DijkstraScratch::new(n));

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # covers — sparse tree covers `TC_{k,ρ}(G)` (Lemma 6)
 //!

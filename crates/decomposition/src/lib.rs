@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # decomposition — sparse/dense neighborhood decomposition (§2)
 //!
@@ -56,6 +57,7 @@ impl Decomposition {
         assert!(n >= 2);
         let log_delta = ceil_log2(d.diameter().max(1)).max(1) + 3;
         let width = k + 1;
+        // merge: per-node range rows, flattened in chunk (= node id) order.
         let ranges: Vec<u32> = graphkit::metrics::par_chunks(n, |nodes| {
             let mut out = vec![0u32; nodes.len() * width];
             for (row_out, u) in out.chunks_mut(width).zip(nodes) {
@@ -93,6 +95,7 @@ impl Decomposition {
         assert!(n >= 2);
         let log_delta = ceil_log2(diameter.max(1)).max(1) + 3;
         let width = k + 1;
+        // merge: per-node range rows, flattened in chunk (= node id) order.
         let ranges: Vec<u32> = graphkit::metrics::par_chunks(n, |nodes| {
             let mut scratch = DijkstraScratch::new(n);
             let mut out = vec![0u32; nodes.len() * width];
@@ -286,6 +289,7 @@ impl Decomposition {
         for row in ranges.chunks(k + 1) {
             // Ranges are radius exponents: non-decreasing per node,
             // capped at log_delta, with a(u, k) forced to the cap.
+            // lint:allow(panic-free-decode): chunks(k+1) yields rows of exactly k+1 > k elements, so row[k] is in bounds
             if row.windows(2).any(|p| p[0] > p[1]) || row[k] != log_delta {
                 return Err(graphkit::wire::invalid("decomposition ranges are not monotone"));
             }
@@ -487,7 +491,7 @@ mod tests {
             for i in 0..3usize {
                 let a_next = dec.a(u, i + 1);
                 let prev_size = dec.ball_size(&d, u, i) as u64;
-                let next_size = d.ball_size(u, 1 << a_next) as u64;
+                let next_size = d.ball_size(u, octave_radius(a_next)) as u64;
                 if a_next < dec.log_delta() {
                     assert!(
                         grows_enough(next_size, prev_size, n, 3),
@@ -496,7 +500,7 @@ mod tests {
                     // Minimality: one octave earlier must not suffice
                     // (unless it is not a positive integer).
                     if a_next >= 2 && a_next - 1 > if i == 0 { 0 } else { dec.a(u, i) } {
-                        let smaller = d.ball_size(u, 1 << (a_next - 1)) as u64;
+                        let smaller = d.ball_size(u, octave_radius(a_next - 1)) as u64;
                         assert!(
                             !grows_enough(smaller, prev_size, n, 3),
                             "a(u,{}) not minimal at u={u:?}",
@@ -580,14 +584,16 @@ mod tests {
             for i in 1..3usize {
                 let f = dec.f_members(&d, u, i);
                 assert!(f.contains(&u.0), "u must lie in F(u,i)");
-                let bound = 1u64 << dec.a(u, i);
+                // Divided form of 2·d ≤ 2^{a(u,i)} — same integer set,
+                // and safe when a(u,i) ≥ 64 (octave_radius saturates).
+                let bound = dec.f_radius(u, i);
                 for &v in &f {
-                    assert!(2 * d.d(u, NodeId(v)) <= bound);
+                    assert!(d.d(u, NodeId(v)) <= bound);
                 }
                 let e = dec.e_members(&d, u, i - 1);
                 assert!(e.contains(&u.0));
                 for &v in &e {
-                    assert!(6 * d.d(u, NodeId(v)) <= 1u64 << dec.a(u, i));
+                    assert!(d.d(u, NodeId(v)) <= dec.e_radius(u, i - 1));
                 }
             }
         }
@@ -700,6 +706,29 @@ mod tests {
                 for i in 0..k {
                     assert_eq!(dense.e_members(&d, u, i), dense.e_members_on_demand(&g, u, i));
                     assert!(dense.e_radius(u, i) < graphkit::INFINITY);
+                    // Divided-membership path at range exponents ≥ 64:
+                    // every member satisfies d ≤ ⌊2^{a}/6⌋ exactly (the
+                    // multiplied/shifted form `6·d ≤ 1 << a` would
+                    // overflow the shift here).
+                    let er = dense.e_radius(u, i);
+                    for v in 0..4u32 {
+                        let dv = d.d(u, NodeId(v));
+                        assert_eq!(
+                            dense.e_members(&d, u, i).contains(&v),
+                            dv != graphkit::INFINITY && dv <= er
+                        );
+                    }
+                }
+                for i in 1..=k {
+                    assert_eq!(dense.f_members(&d, u, i), dense.f_members_on_demand(&g, u, i));
+                    let fr = dense.f_radius(u, i);
+                    for v in 0..4u32 {
+                        let dv = d.d(u, NodeId(v));
+                        assert_eq!(
+                            dense.f_members(&d, u, i).contains(&v),
+                            dv != graphkit::INFINITY && dv <= fr
+                        );
+                    }
                 }
                 // Extended ranges and classification stay computable.
                 let _ = dense.extended_range_set(u);

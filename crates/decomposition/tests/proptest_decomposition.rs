@@ -43,7 +43,7 @@ proptest! {
                 if a_next < dec.log_delta() {
                     // Growth achieved (with float slack on the boundary).
                     let prev = dec.ball_size(&d, u, i) as f64;
-                    let next = d.ball_size(u, 1 << a_next) as f64;
+                    let next = d.ball_size(u, graphkit::ids::octave_radius(a_next)) as f64;
                     prop_assert!(next + 1e-9 >= factor * prev,
                         "growth failed at u={:?} i={}", u, i);
                 }

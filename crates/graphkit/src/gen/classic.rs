@@ -93,6 +93,7 @@ pub fn exponential_ring(n: usize, max_exp: u32) -> Graph {
     let mut b = GraphBuilder::with_nodes(n);
     for i in 0..n {
         let e = (i as u64 * max_exp as u64 / n as u64) as u32;
+        // lint:allow(no-raw-octave-shift): e < max_exp <= 50, asserted at entry
         b.add_edge(NodeId(i as u32), NodeId(((i + 1) % n) as u32), 1u64 << e);
     }
     b.build()

@@ -74,6 +74,7 @@ pub fn exponential_star_chain(levels: usize, star: usize, step: u32) -> Graph {
             b.add_edge(hub(l), NodeId((l * (star + 1) + 1 + s) as u32), 1);
         }
         if l + 1 < levels {
+            // lint:allow(no-raw-octave-shift): exponent <= levels * step <= 60, asserted at entry
             b.add_edge(hub(l), hub(l + 1), 1u64 << ((l as u32 + 1) * step));
         }
     }

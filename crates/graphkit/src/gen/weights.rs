@@ -36,6 +36,7 @@ impl WeightDist {
             }
             WeightDist::PowerOfTwo { max_exp } => {
                 assert!(max_exp <= 62, "max_exp too large for u64 costs");
+                // lint:allow(no-raw-octave-shift): exponent <= max_exp <= 62, asserted on the line above
                 1u64 << rng.gen_range(0..=max_exp)
             }
         }
@@ -46,6 +47,7 @@ impl WeightDist {
         match self {
             WeightDist::Unit => 1,
             WeightDist::UniformInt { hi, .. } => hi,
+            // lint:allow(no-raw-octave-shift): max_exp <= 62 is a variant invariant (asserted in sample)
             WeightDist::PowerOfTwo { max_exp } => 1u64 << max_exp,
         }
     }

@@ -218,6 +218,7 @@ impl Graph {
     /// Inverse of [`Graph::to_wire`]. Validates the CSR invariants
     /// (monotone offsets, aligned arrays, in-range sorted targets) so a
     /// corrupt record is an error, not latent out-of-bounds panics.
+    // lint:allow-fn(panic-free-decode): validate-then-index — CSR invariants (monotone offsets, aligned arrays, in-range targets) are checked before indexing
     pub fn from_wire(r: &mut crate::wire::Reader) -> std::io::Result<Graph> {
         use crate::wire::invalid;
         let offsets = r.slice_u64()?;

@@ -84,7 +84,7 @@ pub fn octave_radius(a: u32) -> Cost {
     if a >= 64 {
         INFINITY - 1
     } else {
-        1u64 << a
+        1u64 << a // lint:allow(no-raw-octave-shift): the defining site — the a >= 64 branch above saturates first
     }
 }
 

@@ -338,6 +338,7 @@ mod tests {
     #[test]
     fn par_chunks_covers_in_order() {
         for count in [0usize, 1, 7, 64, 1000] {
+            // merge: this test pins down chunk-order flattening itself.
             let ranges = par_chunks(count, |r| r);
             let flat: Vec<usize> = ranges.into_iter().flatten().collect();
             assert_eq!(flat, (0..count).collect::<Vec<_>>(), "count={count}");

@@ -142,6 +142,7 @@ pub fn verify_claims_on_demand(
             as usize;
 
     let (s1_ref, s2_ref) = (&s1, &s2);
+    // merge: ClaimReport fields are sums/maxes — order-free.
     let partials: Vec<ClaimReport> = graphkit::metrics::par_chunks(n, |nodes| {
         let mut rep = ClaimReport::default();
         let mut scratch = DijkstraScratch::new(n);

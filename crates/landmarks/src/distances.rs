@@ -43,6 +43,7 @@ impl LandmarkDistances {
         let landmarks: Vec<u32> = h.level(1).to_vec(); // C_1 ⊇ C_2 ⊇ …
         let row_of: HashMap<u32, u32> =
             landmarks.iter().enumerate().map(|(i, &c)| (c, i as u32)).collect();
+        // merge: distance rows, flattened in chunk (= landmark) order.
         let rows: Vec<Vec<Cost>> = graphkit::metrics::par_chunks(landmarks.len(), |range| {
             landmarks[range].iter().map(|&c| dijkstra(g, NodeId(c)).dist).collect::<Vec<_>>()
         })
@@ -60,6 +61,8 @@ impl LandmarkDistances {
                 if stride == 0 {
                     return Vec::new();
                 }
+                // merge: fixed-stride per-node segments, concatenated
+                // in chunk (= node id) order.
                 graphkit::metrics::par_chunks(n, |nodes| {
                     let mut chunk = Vec::with_capacity(nodes.len() * stride);
                     for u in nodes {

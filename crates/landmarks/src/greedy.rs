@@ -8,7 +8,7 @@
 //! approximation, so the levels stay small and Claim 2's sparsity holds
 //! in practice (it is still *verified* by callers).
 
-use graphkit::ids::ceil_log2;
+use graphkit::ids::{ceil_log2, octave_radius};
 use graphkit::{DistMatrix, NodeId};
 
 use crate::claims::claim1_threshold;
@@ -28,7 +28,9 @@ pub fn greedy_hierarchy(d: &DistMatrix, k: usize) -> LandmarkHierarchy {
         let mut sorted: Vec<u64> = row.to_vec();
         sorted.sort_unstable();
         for i in 0..=max_i {
-            let r = 1u64 << i;
+            // max_i = ⌈log₂Δ⌉ + 1 reaches 65 at near-u64::MAX weights;
+            // octave_radius saturates instead of overflowing the shift.
+            let r = octave_radius(i);
             let size = sorted.partition_point(|&x| x <= r);
             balls.push((u, r, size));
         }

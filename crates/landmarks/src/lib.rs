@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # landmarks — the low-discrepancy landmark hierarchy (§2.3)
 //!

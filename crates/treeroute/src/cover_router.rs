@@ -195,6 +195,7 @@ impl CoverStore {
     }
 
     /// Inverse of [`CoverStore::to_wire`] with CSR invariant checks.
+    // lint:allow-fn(panic-free-decode): validate-then-index — CSR invariants are checked before the indexing passes below
     pub fn from_wire(r: &mut Reader) -> io::Result<Self> {
         use wire::invalid;
         let fanout = r.u64()? as usize;

@@ -154,6 +154,7 @@ impl LabeledStore {
     /// Inverse of [`LabeledStore::to_wire`]: one decode pass plus O(m)
     /// invariant checks, so a corrupt record errors instead of leaving
     /// out-of-bounds indices for the read path to trip over.
+    // lint:allow-fn(panic-free-decode): validate-then-index — every array is length- and range-checked before the indexing passes below
     pub fn from_wire(r: &mut Reader) -> io::Result<Self> {
         use wire::invalid;
         let tree = wire::read_tree(r)?;

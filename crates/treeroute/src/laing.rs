@@ -121,6 +121,7 @@ impl ErtStore {
     /// Inverse of [`ErtStore::to_wire`] with O(m + directory) validation:
     /// corrupt bytes are an [`io::Error`], never a panic or a latent
     /// out-of-bounds index.
+    // lint:allow-fn(panic-free-decode): validate-then-index — CSR bounds and directory ranges are checked before the indexing passes below
     pub fn from_wire(r: &mut wire::Reader) -> io::Result<Self> {
         use graphkit::wire::invalid;
         let k = r.u64()? as usize;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # compact-routing — scale-free name-independent compact routing
 //!

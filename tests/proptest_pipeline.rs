@@ -13,6 +13,7 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
         use rand::rngs::SmallRng;
         use rand::SeedableRng;
         let mut rng = SmallRng::seed_from_u64(seed);
+        // lint:allow(no-raw-octave-shift): wexp < 20 by the strategy range above, so the shift cannot overflow
         let dist = graphkit::gen::WeightDist::UniformInt { lo: 1, hi: 1u64 << wexp };
         graphkit::gen::erdos_renyi(n, p, dist, &mut rng)
     })
