@@ -12,8 +12,10 @@ use landmarks::claims;
 use landmarks::LandmarkHierarchy;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use routing_core::churn::{run_churn, ChurnConfig, ChurnPlan};
 use routing_core::{
-    bench_record, ConstructionRecord, ForceMode, SBudgetMode, Scheme, SchemeParams,
+    bench_record, ConstructionRecord, EvaluationRecord, ForceMode, RepairOutcome, SBudgetMode,
+    Scheme, SchemeParams,
 };
 use sim::{
     evaluate_parallel, evaluate_parallel_lenient, pairs, Router, StorageAudit, StretchStats,
@@ -1070,5 +1072,118 @@ pub fn serve(cfg: &RunConfig) -> String {
     t.note("reconstructed purely from the snapshot's flat arenas. The sp-tables");
     t.note("baseline routes optimally but must be rebuilt from scratch (no snapshot)");
     t.note("and holds Θ(n²) next-hop state — the trade the paper's tables avoid.");
+    t.render()
+}
+
+/// Churn: a seeded edge-only mutation schedule driven through
+/// [`routing_core::churn::run_churn`]. Per epoch the *stale* scheme is
+/// replayed on the mutated graph (paths crossing a failed edge
+/// truncate to undelivered; surviving paths re-cost at current
+/// weights), then [`Scheme::repair`] patches the scheme and the same
+/// workload is measured again — degradation and recovery side by side.
+/// Honors `--pairs-sampled`, `--threads`, `--spill`, and
+/// `--per-node-budgets`. Each epoch also emits a machine-readable
+/// [`EvaluationRecord`]; the collected records land in
+/// `BENCH_evaluation.json` (path override: `BENCH_EVALUATION_OUT`;
+/// suppressed in `--quick` runs unless redirected, mirroring `sc`).
+pub fn churn(cfg: &RunConfig) -> String {
+    let (n, epochs, fails, reweights, pairs_default) =
+        if cfg.quick { (1_200, 3, 6, 6, 400) } else { (10_000, 3, 30, 30, 2_000) };
+    let k = 2;
+    let mut t = Table::new(
+        format!(
+            "CHURN — stale vs repaired scheme across mutation epochs (pref-attach n={n}, k={k})"
+        ),
+        &[
+            "epoch",
+            "batch Δ",
+            "pending Δ",
+            "stale deliv",
+            "stale p99",
+            "stale max",
+            "outcome",
+            "trees reused",
+            "repair s",
+            "fixed deliv",
+            "fixed p99",
+        ],
+    );
+    let mut rng = SmallRng::seed_from_u64(0xC4A0 + n as u64);
+    let g = gen::preferential_attachment(n, 3, WeightDist::PowerOfTwo { max_exp: 30 }, &mut rng);
+    let churn_cfg = ChurnConfig::edges_only(0xC4A1, epochs, fails, reweights);
+    let plan = ChurnPlan::generate(&g, &churn_cfg);
+
+    let mut params = SchemeParams::new(k, 0xC4A0);
+    if cfg.spill {
+        params = params.with_spill();
+    }
+    if cfg.per_node_budgets {
+        params = params.with_s_budget_mode(SBudgetMode::PerNode);
+    }
+    let pairs_per_epoch = cfg.pairs_sampled.unwrap_or(pairs_default);
+    let rows = run_churn(&g, params, &plan, pairs_per_epoch, 0xC4A2, cfg.threads);
+
+    let mut records: Vec<EvaluationRecord> = Vec::new();
+    for row in &rows {
+        records.push(EvaluationRecord::collect(n, k, row));
+        let (outcome, reused, repair_s) = match &row.outcome {
+            RepairOutcome::Repaired(r) => (
+                "repaired".to_string(),
+                format!("{}/{}", r.trees_reused, r.trees_reused + r.trees_rebuilt),
+                r.seconds,
+            ),
+            RepairOutcome::RebuiltFull { reason, seconds } => {
+                (format!("rebuilt ({reason:?})"), "—".to_string(), *seconds)
+            }
+            RepairOutcome::Deferred { reason } => {
+                (format!("deferred ({reason:?})"), "—".to_string(), 0.0)
+            }
+        };
+        // Edge-only schedules stay connected, so every epoch must come
+        // back current — and once repaired, Theorem 1 holds on the
+        // mutated graph: nothing may fail.
+        assert!(
+            !matches!(row.outcome, RepairOutcome::Deferred { .. }),
+            "edge-only churn deferred in epoch {}",
+            row.epoch
+        );
+        let post = row.post.as_ref().expect("repair ran");
+        assert_eq!(post.failures, 0, "repaired scheme dropped pairs in epoch {}", row.epoch);
+        t.row(vec![
+            row.epoch.to_string(),
+            row.batch_deltas.to_string(),
+            row.pending_deltas.to_string(),
+            f(row.pre_delivery_rate()),
+            f(row.pre.p99_stretch),
+            f(row.pre.max_stretch),
+            outcome,
+            reused,
+            f(repair_s),
+            f(row.post_delivery_rate().unwrap_or(0.0)),
+            f(post.p99_stretch),
+        ]);
+    }
+    // Quick runs never overwrite the checked-in full-size baseline
+    // unless explicitly redirected.
+    let out = std::env::var("BENCH_EVALUATION_OUT").ok();
+    match (out, cfg.quick) {
+        (None, true) => {
+            t.note("Evaluation records not persisted in --quick mode (set");
+            t.note("BENCH_EVALUATION_OUT to capture them).");
+        }
+        (out, _) => {
+            let out = out.unwrap_or_else(|| "BENCH_evaluation.json".to_string());
+            match std::fs::write(&out, bench_record::render_evaluation_json(&records)) {
+                Ok(()) => t.note(format!("Evaluation records written to {out}.")),
+                Err(e) => t.note(format!("Evaluation records NOT written to {out}: {e}.")),
+            };
+        }
+    }
+    t.note("Stale rows replay the pre-mutation scheme's paths on the mutated graph:");
+    t.note("a path crossing a failed edge counts as undelivered, surviving paths");
+    t.note("re-cost at the current weights. 'trees reused' counts center trees");
+    t.note("carried over bit-identically — reuse tracks how close the batch lands");
+    t.note("to the pref-attach hubs (a hub-adjacent change dirties most distance");
+    t.note("vectors; locality families reuse more — see the repair_parity tests).");
     t.render()
 }

@@ -98,6 +98,7 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "Serving: snapshot load + sharded query batches vs sp-tables",
             experiments::serve,
         ),
+        ("churn", "Churn: stale vs repaired scheme across mutation epochs", experiments::churn),
     ]
 }
 
@@ -111,6 +112,6 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), before);
-        assert_eq!(before, 17);
+        assert_eq!(before, 18);
     }
 }

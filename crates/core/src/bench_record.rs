@@ -5,18 +5,24 @@
 //! records are rendered and scanned by hand through a small generic
 //! layer: a [`TopicRecord`] is an ordered list of typed fields, and
 //! [`render_topic_json`] renders any list of them as a
-//! `BENCH_<topic>.json` document. Two concrete schemas ride on it:
+//! `BENCH_<topic>.json` document. Three concrete schemas ride on it:
 //!
 //! * [`ConstructionRecord`] → `BENCH_construction.json` (the `sc`
 //!   experiment; the CI construction smoke compares its peak RSS
 //!   against the checked-in baseline and fails on a >2× regression);
 //! * [`ServingRecord`] → `BENCH_serving.json` (the `serve`
 //!   experiment and the CI serving smoke: routes/sec and p50/p99
-//!   latency against a loaded snapshot).
+//!   latency against a loaded snapshot);
+//! * [`EvaluationRecord`] → `BENCH_evaluation.json` (the `churn`
+//!   experiment: one record per mutate→repair epoch — stale vs
+//!   repaired delivery rate and stretch percentiles, plus what the
+//!   repair reused).
 //!
 //! Baseline scanning works on any topic document via
 //! [`baseline_value`], anchored on the record's leading `"n"` field.
 
+use crate::churn::EpochRow;
+use crate::repair::RepairOutcome;
 use crate::serve::ServeReport;
 use crate::BuildStats;
 
@@ -31,6 +37,9 @@ pub enum FieldValue {
     IntList(Vec<u64>),
     /// An ordered string→float map (e.g. per-phase seconds).
     FloatMap(Vec<(String, f64)>),
+    /// A short enum-like string (rendered quoted; must not need
+    /// escaping).
+    Str(String),
 }
 
 impl FieldValue {
@@ -38,6 +47,7 @@ impl FieldValue {
         match self {
             FieldValue::Int(x) => x.to_string(),
             FieldValue::Float(x) => format!("{x:.3}"),
+            FieldValue::Str(s) => format!("\"{s}\""),
             FieldValue::IntList(xs) => {
                 let items: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
                 format!("[{}]", items.join(", "))
@@ -209,6 +219,131 @@ pub fn render_serving_json(records: &[ServingRecord]) -> String {
     render_topic_json("agm-theorem1-serving", &topics)
 }
 
+/// One churn-epoch datapoint: the stale scheme's degradation on the
+/// mutated graph next to the repaired scheme on the same workload,
+/// plus how much of the structure the repair reused.
+#[derive(Clone, Debug)]
+pub struct EvaluationRecord {
+    /// Graph size (nodes).
+    pub n: usize,
+    /// Trade-off parameter.
+    pub k: usize,
+    /// Epoch index within the schedule (0-based).
+    pub epoch: usize,
+    /// Deltas applied this epoch.
+    pub batch_deltas: usize,
+    /// Deltas still outstanding after the repair attempt (nonzero only
+    /// while repair defers on a disconnected graph).
+    pub pending_deltas: usize,
+    /// Delivered fraction of the stale (pre-repair) measurement.
+    pub pre_delivery_rate: f64,
+    /// Stale stretch percentiles over delivered pairs.
+    pub pre_p50_stretch: f64,
+    /// Stale 99th-percentile stretch.
+    pub pre_p99_stretch: f64,
+    /// Stale maximum stretch.
+    pub pre_max_stretch: f64,
+    /// What repair did: `repaired`, `rebuilt-<reason>`, or
+    /// `deferred-<reason>`.
+    pub outcome: String,
+    /// Nodes whose distance vector changed (zero unless `repaired`).
+    pub dirty_nodes: usize,
+    /// Center trees rebuilt by the repair (zero unless `repaired`).
+    pub trees_rebuilt: usize,
+    /// Center trees reused bit-identically (zero unless `repaired`).
+    pub trees_reused: usize,
+    /// Wall clock of the repair or fallback rebuild (zero while
+    /// deferred).
+    pub repair_seconds: f64,
+    /// Post-repair measurements on the same workload (`None` while
+    /// deferred — those fields are omitted from the record).
+    pub post_delivery_rate: Option<f64>,
+    /// Repaired median stretch.
+    pub post_p50_stretch: Option<f64>,
+    /// Repaired 99th-percentile stretch.
+    pub post_p99_stretch: Option<f64>,
+    /// Repaired maximum stretch.
+    pub post_max_stretch: Option<f64>,
+}
+
+impl EvaluationRecord {
+    /// Lower one epoch of a churn run into the record schema.
+    pub fn collect(n: usize, k: usize, row: &EpochRow) -> Self {
+        let (outcome, dirty_nodes, trees_rebuilt, trees_reused, repair_seconds) = match &row.outcome
+        {
+            RepairOutcome::Repaired(r) => {
+                ("repaired".to_string(), r.dirty_nodes, r.trees_rebuilt, r.trees_reused, r.seconds)
+            }
+            RepairOutcome::RebuiltFull { reason, seconds } => {
+                (format!("rebuilt-{reason:?}").to_lowercase(), 0, 0, 0, *seconds)
+            }
+            RepairOutcome::Deferred { reason } => {
+                (format!("deferred-{reason:?}").to_lowercase(), 0, 0, 0, 0.0)
+            }
+        };
+        EvaluationRecord {
+            n,
+            k,
+            epoch: row.epoch,
+            batch_deltas: row.batch_deltas,
+            pending_deltas: row.pending_deltas,
+            pre_delivery_rate: row.pre_delivery_rate(),
+            pre_p50_stretch: row.pre.p50_stretch,
+            pre_p99_stretch: row.pre.p99_stretch,
+            pre_max_stretch: row.pre.max_stretch,
+            outcome,
+            dirty_nodes,
+            trees_rebuilt,
+            trees_reused,
+            repair_seconds,
+            post_delivery_rate: row.post_delivery_rate(),
+            post_p50_stretch: row.post.as_ref().map(|s| s.p50_stretch),
+            post_p99_stretch: row.post.as_ref().map(|s| s.p99_stretch),
+            post_max_stretch: row.post.as_ref().map(|s| s.max_stretch),
+        }
+    }
+
+    /// Lower into the generic topic schema (field order is the
+    /// document format; never reorder). Post-repair fields are present
+    /// only when repair ran this epoch.
+    pub fn to_topic(&self) -> TopicRecord {
+        let mut r = TopicRecord::new()
+            .field("n", FieldValue::Int(self.n as u64))
+            .field("k", FieldValue::Int(self.k as u64))
+            .field("epoch", FieldValue::Int(self.epoch as u64))
+            .field("batch_deltas", FieldValue::Int(self.batch_deltas as u64))
+            .field("pending_deltas", FieldValue::Int(self.pending_deltas as u64))
+            .field("pre_delivery_rate", FieldValue::Float(self.pre_delivery_rate))
+            .field("pre_p50_stretch", FieldValue::Float(self.pre_p50_stretch))
+            .field("pre_p99_stretch", FieldValue::Float(self.pre_p99_stretch))
+            .field("pre_max_stretch", FieldValue::Float(self.pre_max_stretch))
+            .field("outcome", FieldValue::Str(self.outcome.clone()))
+            .field("dirty_nodes", FieldValue::Int(self.dirty_nodes as u64))
+            .field("trees_rebuilt", FieldValue::Int(self.trees_rebuilt as u64))
+            .field("trees_reused", FieldValue::Int(self.trees_reused as u64))
+            .field("repair_seconds", FieldValue::Float(self.repair_seconds));
+        if let (Some(rate), Some(p50), Some(p99), Some(max)) = (
+            self.post_delivery_rate,
+            self.post_p50_stretch,
+            self.post_p99_stretch,
+            self.post_max_stretch,
+        ) {
+            r = r
+                .field("post_delivery_rate", FieldValue::Float(rate))
+                .field("post_p50_stretch", FieldValue::Float(p50))
+                .field("post_p99_stretch", FieldValue::Float(p99))
+                .field("post_max_stretch", FieldValue::Float(max));
+        }
+        r
+    }
+}
+
+/// Render the full `BENCH_evaluation.json` document.
+pub fn render_evaluation_json(records: &[EvaluationRecord]) -> String {
+    let topics: Vec<TopicRecord> = records.iter().map(|r| r.to_topic()).collect();
+    render_topic_json("agm-theorem1-evaluation", &topics)
+}
+
 /// Scan a rendered topic document for the record whose `anchor` field
 /// (rendered first, e.g. `"n"`) equals `anchor_val`, and return the
 /// raw text of `key` within that record (fields render in fixed
@@ -332,5 +467,51 @@ mod tests {
             baseline_value(&json, "n", 50_000, "baseline_sp_tables_p50_us"),
             Some("150.250")
         );
+    }
+
+    #[test]
+    fn evaluation_record_shape() {
+        let stats = |failures: usize| sim::StretchStats {
+            pairs: 200,
+            failures,
+            max_stretch: 4.0,
+            mean_stretch: 1.2,
+            p50_stretch: 1.0,
+            p99_stretch: 3.5,
+            mean_hops: 2.0,
+        };
+        let repaired = EpochRow {
+            epoch: 0,
+            batch_deltas: 7,
+            pending_deltas: 0,
+            pre: stats(10),
+            outcome: RepairOutcome::Repaired(crate::RepairReport {
+                dirty_nodes: 42,
+                trees_rebuilt: 5,
+                trees_reused: 95,
+                seconds: 1.25,
+                ..Default::default()
+            }),
+            post: Some(stats(0)),
+        };
+        let deferred = EpochRow {
+            epoch: 1,
+            batch_deltas: 3,
+            pending_deltas: 3,
+            pre: stats(20),
+            outcome: RepairOutcome::Deferred { reason: crate::DeferReason::Disconnected },
+            post: None,
+        };
+        let records: Vec<EvaluationRecord> =
+            [&repaired, &deferred].iter().map(|r| EvaluationRecord::collect(500, 2, r)).collect();
+        let json = render_evaluation_json(&records);
+        assert!(json.contains("\"benchmark\": \"agm-theorem1-evaluation\""));
+        assert_eq!(baseline_value(&json, "epoch", 0, "trees_reused"), Some("95"));
+        assert_eq!(baseline_value(&json, "epoch", 0, "post_delivery_rate"), Some("1.000"));
+        assert!(json.contains("\"outcome\": \"repaired\""));
+        assert!(json.contains("\"outcome\": \"deferred-disconnected\""));
+        // Deferred epochs omit the post-repair fields entirely.
+        assert_eq!(baseline_value(&json, "epoch", 1, "post_delivery_rate"), None);
+        assert_eq!(baseline_value(&json, "epoch", 1, "pre_delivery_rate"), Some("0.900"));
     }
 }

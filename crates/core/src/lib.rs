@@ -30,13 +30,16 @@
 
 pub mod bench_record;
 mod center_store;
+pub mod churn;
 pub mod directed;
+mod repair;
 mod scheme;
 pub mod serve;
 mod snapshot;
 
-pub use bench_record::{ConstructionRecord, ServingRecord};
+pub use bench_record::{ConstructionRecord, EvaluationRecord, ServingRecord};
 pub use directed::{validate_directed_trace, DirectedScheme};
+pub use repair::{DeferReason, RebuildReason, RepairOutcome, RepairReport};
 pub use scheme::{
     BuildStats, ForceMode, HierarchySource, SBudgetMode, Scheme, SchemeParams, StorageBreakdown,
 };

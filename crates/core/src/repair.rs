@@ -1,0 +1,457 @@
+//! Incremental repair: patch a built [`Scheme`] after a batch of
+//! [`GraphDelta`]s instead of rebuilding it from scratch.
+//!
+//! ## Strategy (see DESIGN.md §"Churn & incremental repair")
+//!
+//! The build's cost is wildly skewed: at 50k nodes the per-center tree
+//! pipeline is ~96% of assembly, while classification, S budgets,
+//! membership, `b(u,i)`, and cover trees are a few percent combined.
+//! Repair therefore does not patch the cheap phases — it *recomputes*
+//! them on the mutated graph with exactly the code the fresh build
+//! runs ([`Scheme::prepare`] and friends), which makes their output
+//! bit-identical to a rebuild by construction, with no invalidation
+//! logic to get wrong. Only the expensive artifacts carry reuse
+//! logic:
+//!
+//! * **center trees** — a tree `T(c)` is reused iff `c` was a center
+//!   before, its member list `(v, d(v, c))` is unchanged, and every
+//!   changed edge sits strictly outside the tree's Dijkstra radius
+//!   `R(c)` on both the old and new graph
+//!   (`prox(c) > R(c)`, where `prox` is the distance from `c` to the
+//!   nearest changed-edge endpoint). Under those conditions the
+//!   bounded run never relaxes a changed edge, so the fresh tree —
+//!   and its Lemma 4 scheme, seeded by `c` alone — is bit-identical
+//!   to the stored one;
+//! * **cover trees** — a dense scale's whole cover collection is
+//!   reused iff its extended-range member set is unchanged and no
+//!   changed edge has both endpoints inside it (then the induced
+//!   subgraph, and hence the deterministic cover construction, is
+//!   identical);
+//! * **`b(u,i)`** — copied from the old plans when `u`'s distance
+//!   vector is unchanged and its center's tree was reused (same scope,
+//!   same tree ⇒ same bounded-search level), recomputed otherwise.
+//!
+//! Change detection is exact, not heuristic: `graphkit::delta_impact`
+//! compares per-endpoint distance columns on the two final graphs,
+//! and a node outside its dirty set provably has its *entire*
+//! distance vector unchanged — hence the same decomposition row,
+//! landmark lists, centers, and sorted positions. This is what makes
+//! `repair ≡ rebuild` hold bit-for-bit (asserted across families,
+//! `k`, and store types by `tests/repair_parity.rs`).
+//!
+//! ## Residue cases
+//!
+//! Repair declines in a few documented situations instead of risking
+//! a wrong patch: a scheme without retained
+//! [`crate::SchemeParams::repairable`] state, a greedy (matrix-bound)
+//! hierarchy, or a delta batch after which the seeded hierarchy
+//! re-verification picks a different landmark set — each falls back
+//! to a full rebuild and says so. A batch that leaves the graph
+//! disconnected is *deferred*: the scheme is left untouched (stale),
+//! and the caller accumulates deltas until connectivity returns —
+//! `core::churn` leans on this for node-leave/join epochs.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use decomposition::Decomposition;
+use graphkit::bits::bits_for_node;
+use graphkit::{apply_deltas, delta_impact, dijkstra, Cost, GraphDelta, NodeId, INFINITY};
+use landmarks::LandmarkHierarchy;
+
+use crate::center_store::{CenterStore, CenterTree, SpillWriter};
+use crate::scheme::{
+    b_for_scope, build_center_trees, build_scale_cover, index_and_bits, BuildSource,
+    HierarchySource, PhaseClock, Prepared, RepairState, ScaleCover, Scheme, TreeBatch,
+};
+
+/// Why repair declined to patch and rebuilt the scheme from scratch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RebuildReason {
+    /// The scheme carries no repair state — built without
+    /// [`crate::SchemeParams::repairable`] or loaded from a snapshot (which
+    /// never serializes it). The rebuild turns `repairable` on, so
+    /// subsequent repairs are incremental.
+    NotPrepared,
+    /// Greedy hierarchies are matrix-bound; the matrix-free repair
+    /// machinery cannot reproduce them incrementally.
+    GreedyHierarchy,
+    /// Re-verifying the seeded landmark hierarchy on the mutated graph
+    /// selected a different landmark set (a different sampling attempt
+    /// passed Claims 1–2), so every center assignment is suspect and
+    /// reuse potential is nil.
+    HierarchyChanged,
+}
+
+/// Why repair touched nothing at all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeferReason {
+    /// The mutated graph is disconnected — the Theorem 1 scheme is
+    /// only defined on connected graphs. The scheme is unchanged (its
+    /// routes are now stale); accumulate further deltas and repair
+    /// again once connectivity returns.
+    Disconnected,
+}
+
+/// Patch statistics for a successful incremental repair.
+#[derive(Clone, Debug, Default)]
+pub struct RepairReport {
+    /// Distinct edges changed by the delta batch.
+    pub changed_edges: usize,
+    /// Nodes whose distance vector changed (the exact invalidation
+    /// set; everything outside it kept its build state verbatim).
+    pub dirty_nodes: usize,
+    /// Distinct centers after repair.
+    pub centers_total: usize,
+    /// Center trees rebuilt (members or nearby edges changed).
+    pub trees_rebuilt: usize,
+    /// Center trees reused bit-identically.
+    pub trees_reused: usize,
+    /// Centers that exist now but not before.
+    pub centers_added: usize,
+    /// Centers that existed before but not now.
+    pub centers_removed: usize,
+    /// Dense scales whose cover collections were rebuilt.
+    pub scales_rebuilt: usize,
+    /// Dense scales whose cover collections were reused.
+    pub scales_reused: usize,
+    /// Sparse `(u, i)` pairs whose `b(u,i)` was re-derived (the rest
+    /// copied over; Lemma 3 counters in [`crate::BuildStats`] reflect
+    /// only these re-verified pairs after a repair).
+    pub b_recomputed: usize,
+    /// Wall-clock seconds for the whole repair.
+    pub seconds: f64,
+}
+
+/// What [`Scheme::repair`] did.
+#[derive(Clone, Debug)]
+pub enum RepairOutcome {
+    /// The scheme was patched in place — bit-identical to a fresh
+    /// build on the mutated graph.
+    Repaired(RepairReport),
+    /// A residue case forced a full rebuild (the scheme is still
+    /// correct and current — just not incrementally so).
+    RebuiltFull {
+        /// Which residue case fired.
+        reason: RebuildReason,
+        /// Wall-clock seconds for the rebuild.
+        seconds: f64,
+    },
+    /// The scheme was left untouched and is now stale.
+    Deferred {
+        /// Why nothing could be done yet.
+        reason: DeferReason,
+    },
+}
+
+impl Scheme {
+    /// Apply `deltas` to the underlying graph and bring the scheme up
+    /// to date, reusing every center tree and cover collection the
+    /// batch provably left untouched. On return (except
+    /// [`RepairOutcome::Deferred`]) the scheme routes exactly like a
+    /// fresh build on the mutated graph.
+    ///
+    /// Panics on malformed deltas (failing a missing edge, restoring a
+    /// present one — see [`GraphDelta`]): delta bookkeeping is the
+    /// caller's contract, not a recoverable condition.
+    pub fn repair(&mut self, deltas: &[GraphDelta]) -> RepairOutcome {
+        let t0 = std::time::Instant::now();
+        if deltas.is_empty() {
+            return RepairOutcome::Repaired(RepairReport {
+                centers_total: self.stats.num_center_trees,
+                trees_reused: self.stats.num_center_trees,
+                scales_reused: self.stats.num_scales,
+                seconds: t0.elapsed().as_secs_f64(),
+                ..Default::default()
+            });
+        }
+        let g2 = apply_deltas(&self.g, deltas);
+        if dijkstra(&g2, NodeId(0)).dist.contains(&INFINITY) {
+            return RepairOutcome::Deferred { reason: DeferReason::Disconnected };
+        }
+        // Rebuilds keep (or gain) repair state so the *next* repair
+        // can be incremental.
+        let mut params = self.params;
+        params.repairable = true;
+        if self.params.hierarchy == HierarchySource::Greedy {
+            *self = Scheme::build(g2, params);
+            return RepairOutcome::RebuiltFull {
+                reason: RebuildReason::GreedyHierarchy,
+                seconds: t0.elapsed().as_secs_f64(),
+            };
+        }
+        if self.repair_state.is_none() {
+            *self = Scheme::build_on_demand(g2, params);
+            return RepairOutcome::RebuiltFull {
+                reason: RebuildReason::NotPrepared,
+                seconds: t0.elapsed().as_secs_f64(),
+            };
+        }
+
+        // ---- fresh cheap phases on the mutated graph -----------------
+        let n = g2.n();
+        let k = params.k;
+        let diameter2 = graphkit::diameter_matrix_free(&g2);
+        let dec2 = Decomposition::build_on_demand_with_diameter(&g2, k, diameter2);
+        let (hier2, ld2) = LandmarkHierarchy::sample_verified_on_demand(
+            &g2,
+            k,
+            params.seed,
+            params.landmark_attempts,
+            diameter2,
+        );
+        if hier2.levels() != self.hier.levels() {
+            *self = Scheme::build_on_demand_parts(g2, params, dec2, hier2, ld2);
+            return RepairOutcome::RebuiltFull {
+                reason: RebuildReason::HierarchyChanged,
+                seconds: t0.elapsed().as_secs_f64(),
+            };
+        }
+        let impact = delta_impact(&self.g, &g2, deltas);
+        let scopes2 = Scheme::on_demand_scopes(&g2, &dec2, &params, n);
+        let src = BuildSource::OnDemand { ld: ld2 };
+        let mut clock = PhaseClock::start();
+        let Prepared { mut plans, centers, members, s_budgets } =
+            Scheme::prepare(&g2, &params, &dec2, &hier2, &src, &scopes2, &mut clock);
+
+        // ---- center-tree reuse classification ------------------------
+        let state = self.repair_state.as_ref().expect("checked above");
+        let mut reused = vec![false; centers.len()];
+        let mut jobs: Vec<(u32, &[(u32, Cost)])> = Vec::new();
+        let mut centers_added = 0usize;
+        for (ci, &c) in centers.iter().enumerate() {
+            let mem = members.members(ci);
+            match state.centers.binary_search(&c) {
+                Ok(oci) if state.members.members(oci) == mem => {
+                    let r = mem.iter().map(|&(_, d)| d).max().unwrap_or(0);
+                    if impact.old_prox[c as usize] > r && impact.new_prox[c as usize] > r {
+                        reused[ci] = true;
+                    } else {
+                        jobs.push((c, mem));
+                    }
+                }
+                Ok(_) => jobs.push((c, mem)),
+                Err(_) => {
+                    centers_added += 1;
+                    jobs.push((c, mem));
+                }
+            }
+        }
+        let removed: Vec<u32> =
+            state.centers.iter().copied().filter(|c| centers.binary_search(c).is_err()).collect();
+        let rebuilt_old: Vec<u32> = jobs
+            .iter()
+            .map(|&(c, _)| c)
+            .filter(|c| state.centers.binary_search(c).is_ok())
+            .collect();
+        let trees_rebuilt = jobs.len();
+        let trees_reused = centers.len() - trees_rebuilt;
+
+        // ---- rebuild invalidated trees; splice the store -------------
+        // Repair always runs the bounded (matrix-free) tree pipeline;
+        // for dense-built schemes this is bit-identical output (the
+        // bounded run settles every member exactly as the full run's
+        // ≤-radius prefix does — the same dense ≡ on-demand invariant
+        // tests/proptest_on_demand.rs asserts for whole builds).
+        let spill = params.spill.then(|| SpillWriter::create().expect("spill file creation"));
+        let batch = build_center_trees(&g2, &params, &jobs, true, spill.as_ref());
+        drop(jobs);
+        let TreeBatch { built, bix: mut bix2, lm_bits: batch_bits, labels: batch_labels } = batch;
+
+        // Exact storage re-accounting: subtract the decoded old
+        // contributions of rebuilt/removed trees, add the new batch's.
+        // Reused trees keep their (identical) contributions untouched.
+        let id_bits = bits_for_node(n);
+        let mut landmark_bits = self.landmark_bits.clone();
+        let mut center_labels = state.center_labels.clone();
+        for &c in removed.iter().chain(&rebuilt_old) {
+            let ct = self.center_store.get(c);
+            let (_, bits, _) = index_and_bits(&ct.ert, id_bits);
+            for (gid, b) in bits {
+                landmark_bits[gid as usize] -= b;
+            }
+            center_labels.remove(&c);
+        }
+        for (acc, add) in landmark_bits.iter_mut().zip(&batch_bits) {
+            *acc += add;
+        }
+        for &(c, l) in &batch_labels {
+            center_labels.insert(c, l);
+        }
+        let max_center_label_bits = center_labels.values().copied().max().unwrap_or(0);
+
+        let center_store = match spill {
+            Some(w) => {
+                // Rebuilt records are already in the file; reused ones
+                // are byte-copied — the stored payload of an identical
+                // tree IS the fresh encoding.
+                for (ci, &c) in centers.iter().enumerate() {
+                    if reused[ci] {
+                        let payload =
+                            self.center_store.payload(c).expect("reused center payload read");
+                        w.write(c, &payload);
+                    }
+                }
+                CenterStore::Spilled(w.finish())
+            }
+            None => {
+                let mut resident: HashMap<u32, Arc<CenterTree>> = built.into_iter().collect();
+                for (ci, &c) in centers.iter().enumerate() {
+                    if reused[ci] {
+                        resident.insert(c, self.center_store.get(c));
+                    }
+                }
+                CenterStore::Memory(resident)
+            }
+        };
+
+        // ---- selective b(u, i) ---------------------------------------
+        // Copy-safe iff u's distance vector is unchanged (same scope,
+        // same center) AND that center's tree was reused (same search
+        // levels). Everything else is re-derived, which needs a tree
+        // index — rebuilt centers have one in the batch; reused ones
+        // referenced by an affected pair are decoded once here.
+        let reused_set: HashSet<u32> =
+            centers.iter().enumerate().filter_map(|(ci, &c)| reused[ci].then_some(c)).collect();
+        for (u, row) in scopes2.iter().enumerate() {
+            for (i, scope) in row.iter().enumerate() {
+                if scope.is_none() {
+                    continue;
+                }
+                let c = plans[u][i].center;
+                if (impact.dirty[u] || !reused_set.contains(&c)) && !bix2.contains_key(&c) {
+                    let ct = center_store.get(c);
+                    let (entry, _, _) = index_and_bits(&ct.ert, id_bits);
+                    bix2.insert(c, entry);
+                }
+            }
+        }
+        let old_plans = &self.plans;
+        // merge: rows concatenated in chunk (= node id) order; the
+        // counters are sums, which commute.
+        let b_shards = graphkit::metrics::par_chunks(n, |nodes| {
+            let base = nodes.start;
+            let mut out = vec![0u8; nodes.len() * k];
+            let mut checked = 0usize;
+            let mut violations = 0usize;
+            let mut recomputed = 0usize;
+            for u in nodes {
+                for i in 0..k {
+                    let Some(scope) = &scopes2[u][i] else { continue };
+                    let c = plans[u][i].center;
+                    if !impact.dirty[u] && reused_set.contains(&c) {
+                        debug_assert_eq!(old_plans[u][i].center, c);
+                        debug_assert_eq!(old_plans[u][i].a, plans[u][i].a);
+                        out[(u - base) * k + i] = old_plans[u][i].b;
+                    } else {
+                        let (b, ch, vi) = b_for_scope(scope, &bix2[&c], n, k);
+                        out[(u - base) * k + i] = b;
+                        checked += ch;
+                        violations += vi;
+                        recomputed += 1;
+                    }
+                }
+            }
+            (out, checked, violations, recomputed)
+        });
+        let mut lemma3_checked = 0usize;
+        let mut lemma3_violations = 0usize;
+        let mut b_recomputed = 0usize;
+        let mut b_flat = Vec::with_capacity(n * k);
+        for (out, checked, violations, recomputed) in b_shards {
+            b_flat.extend(out);
+            lemma3_checked += checked;
+            lemma3_violations += violations;
+            b_recomputed += recomputed;
+        }
+        for (u, row) in plans.iter_mut().enumerate() {
+            for (i, plan) in row.iter_mut().enumerate() {
+                let b = b_flat[u * k + i];
+                if b != 0 {
+                    plan.b = b;
+                }
+            }
+        }
+        drop(bix2);
+
+        // ---- cover collections per dense scale -----------------------
+        let mut scales: Vec<u32> =
+            plans.iter().flatten().filter(|p| p.dense).map(|p| p.a).collect();
+        scales.sort_unstable();
+        scales.dedup();
+        let changed_pairs: Vec<(NodeId, NodeId)> = {
+            let mut ps: Vec<(u32, u32)> = deltas
+                .iter()
+                .map(|d| {
+                    let (u, v) = d.endpoints();
+                    (u.0.min(v.0), u.0.max(v.0))
+                })
+                .collect();
+            ps.sort_unstable();
+            ps.dedup();
+            ps.into_iter().map(|(u, v)| (NodeId(u), NodeId(v))).collect()
+        };
+        let mut scale_covers: HashMap<u32, ScaleCover> = HashMap::new();
+        let mut scales_reused = 0usize;
+        let mut scales_rebuilt = 0usize;
+        let mut num_cover_trees = 0usize;
+        for &s in &scales {
+            // Reusable iff the extended-range member set is unchanged
+            // (clean nodes keep their decomposition row; dirty ones are
+            // checked explicitly) and no changed edge lies inside it —
+            // then the induced subgraph, and the deterministic cover
+            // construction seeded by (s, tree index), are identical.
+            let reusable = self.scale_covers.contains_key(&s)
+                && impact.dirty_nodes.iter().all(|&v| {
+                    self.dec.in_extended_range(NodeId(v), s) == dec2.in_extended_range(NodeId(v), s)
+                })
+                && changed_pairs
+                    .iter()
+                    .all(|&(p, q)| !(dec2.in_extended_range(p, s) && dec2.in_extended_range(q, s)));
+            let sc = if reusable {
+                scales_reused += 1;
+                self.scale_covers.remove(&s).expect("checked contains_key")
+            } else {
+                scales_rebuilt += 1;
+                build_scale_cover(&g2, &dec2, &params, s)
+            };
+            num_cover_trees += sc.routers.len();
+            scale_covers.insert(s, sc);
+        }
+
+        // ---- commit --------------------------------------------------
+        let report = RepairReport {
+            changed_edges: changed_pairs.len(),
+            dirty_nodes: impact.dirty_nodes.len(),
+            centers_total: centers.len(),
+            trees_rebuilt,
+            trees_reused,
+            centers_added,
+            centers_removed: removed.len(),
+            scales_rebuilt,
+            scales_reused,
+            b_recomputed,
+            seconds: 0.0,
+        };
+        self.stats.s_budgets = s_budgets;
+        self.stats.num_center_trees = centers.len();
+        self.stats.total_members = members.items.len();
+        self.stats.lemma3_checked = lemma3_checked;
+        self.stats.lemma3_violations = lemma3_violations;
+        self.stats.num_scales = scale_covers.len();
+        self.stats.num_cover_trees = num_cover_trees;
+        // stats.phase_seconds still describes the original build; the
+        // repair's own timings live in the report.
+        self.g = g2;
+        self.params = params;
+        self.dec = dec2;
+        self.hier = hier2;
+        self.plans = plans;
+        self.center_store = center_store;
+        self.landmark_bits = landmark_bits;
+        self.max_center_label_bits = max_center_label_bits;
+        self.scale_covers = scale_covers;
+        self.repair_state = Some(RepairState { centers, members, center_labels });
+        RepairOutcome::Repaired(RepairReport { seconds: t0.elapsed().as_secs_f64(), ..report })
+    }
+}

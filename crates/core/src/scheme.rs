@@ -91,6 +91,15 @@ pub struct SchemeParams {
     /// of holding them all resident — trades route-time reloads for a
     /// build whose peak memory excludes the Õ(n^{1+1/k}) tree state.
     pub spill: bool,
+    /// Retain the build-time state (`RepairState`) that
+    /// [`Scheme::repair`] needs to patch the scheme in place after
+    /// graph deltas — old membership lists and per-center label sizes,
+    /// ~O(total members) extra resident memory. Off by default so the
+    /// construction-scale memory tripwires are unaffected; a scheme
+    /// built without it (or loaded from a snapshot, which never
+    /// serializes repair state) falls back to a full rebuild on the
+    /// first repair call.
+    pub repairable: bool,
 }
 
 impl SchemeParams {
@@ -106,6 +115,7 @@ impl SchemeParams {
             hierarchy: HierarchySource::default(),
             s_budget_mode: SBudgetMode::default(),
             spill: false,
+            repairable: false,
         }
     }
 
@@ -130,6 +140,12 @@ impl SchemeParams {
     /// Builder-style spill switch.
     pub fn with_spill(mut self) -> Self {
         self.spill = true;
+        self
+    }
+
+    /// Builder-style incremental-repair switch.
+    pub fn with_repair(mut self) -> Self {
+        self.repairable = true;
         self
     }
 }
@@ -188,7 +204,7 @@ impl Budgets {
 /// What the `b(u,i)` pass needs from one finished center tree, without
 /// keeping (or reloading) the tree itself: each member's bounded-search
 /// level, sorted by host id.
-struct BuildIndex {
+pub(crate) struct BuildIndex {
     /// `(host id, search level)`, sorted by id.
     levels: Vec<(u32, u8)>,
     /// Max over `levels` — lets a whole-graph `E(u,i)` read `b(u,i)`
@@ -199,21 +215,37 @@ struct BuildIndex {
 /// Per-center membership lists in CSR form: center `ci` (an index into
 /// the sorted distinct-centers array) owns `items[off[ci]..off[ci+1]]`
 /// as `(v, d(v, c))` with `v` ascending.
-struct CenterMembers {
+pub(crate) struct CenterMembers {
     off: Vec<usize>,
-    items: Vec<(u32, Cost)>,
+    pub(crate) items: Vec<(u32, Cost)>,
 }
 
 impl CenterMembers {
     #[inline]
-    fn members(&self, ci: usize) -> &[(u32, Cost)] {
+    pub(crate) fn members(&self, ci: usize) -> &[(u32, Cost)] {
         &self.items[self.off[ci]..self.off[ci + 1]]
     }
 }
 
+/// Build-time state retained (under [`SchemeParams::repairable`]) so
+/// [`Scheme::repair`] can tell which center trees a delta batch left
+/// untouched and keep the bit-exact storage accounting without
+/// re-deriving the whole scheme. Everything else repair needs is
+/// recomputed fresh on the mutated graph (see DESIGN.md §"Churn &
+/// incremental repair").
+pub(crate) struct RepairState {
+    /// The distinct centers of the previous build, ascending.
+    pub(crate) centers: Vec<u32>,
+    /// Their membership lists (CSR aligned with `centers`).
+    pub(crate) members: CenterMembers,
+    /// Per-center max routing-label bits — lets repair maintain
+    /// `max_center_label_bits` exactly when trees are added/removed.
+    pub(crate) center_labels: HashMap<u32, u64>,
+}
+
 /// How a sparse level's region `E(u, i)` is enumerated during
 /// construction.
-enum EScope {
+pub(crate) enum EScope {
     /// `a(u,i+1)` hit the `⌈log₂Δ⌉+3` cap, so `E(u,i) = V` exactly
     /// (see [`Decomposition::e_is_global`]); loops over it collapse
     /// to per-center aggregates instead of Θ(n) enumerations.
@@ -226,7 +258,7 @@ enum EScope {
 /// Where preprocessing reads distances from: the dense matrix (small
 /// n, exact parity oracle) or the matrix-free sources — landmark
 /// columns plus per-node bounded Dijkstras.
-enum BuildSource<'a> {
+pub(crate) enum BuildSource<'a> {
     Dense {
         d: &'a DistMatrix,
         /// `sorted[v][l]` = `C_l` as `(d(v,·), id)`, sorted — the
@@ -333,6 +365,9 @@ pub struct Scheme {
     pub(crate) max_center_label_bits: u64,
     pub(crate) scale_covers: HashMap<u32, ScaleCover>,
     pub(crate) stats: BuildStats,
+    /// Build-time state for [`Scheme::repair`]; `None` unless built
+    /// with [`SchemeParams::repairable`] (snapshots never carry it).
+    pub(crate) repair_state: Option<RepairState>,
 }
 
 impl Scheme {
@@ -410,7 +445,6 @@ impl Scheme {
             params.hierarchy == HierarchySource::SampledVerified,
             "on-demand construction supports the sampled-verified hierarchy only"
         );
-        let n = g.n();
         assert!(
             dijkstra::dijkstra(&g, NodeId(0)).dist.iter().all(|&x| x != INFINITY),
             "the scheme requires a connected graph"
@@ -424,7 +458,22 @@ impl Scheme {
             params.landmark_attempts,
             diameter,
         );
-        let scopes = Self::on_demand_scopes(&g, &dec, &params, n);
+        Self::build_on_demand_parts(g, params, dec, hier, ld)
+    }
+
+    /// The tail of [`Scheme::build_on_demand`] once the decomposition
+    /// and the verified hierarchy (with its landmark columns) exist —
+    /// shared with the repair path, which computes those parts itself
+    /// on the mutated graph and falls back here when the hierarchy
+    /// shape changed.
+    pub(crate) fn build_on_demand_parts(
+        g: Graph,
+        params: SchemeParams,
+        dec: Decomposition,
+        hier: LandmarkHierarchy,
+        ld: LandmarkDistances,
+    ) -> Self {
+        let scopes = Self::on_demand_scopes(&g, &dec, &params, g.n());
         Self::assemble(g, params, dec, hier, BuildSource::OnDemand { ld }, scopes)
     }
 
@@ -471,7 +520,7 @@ impl Scheme {
 
     /// Per-(u, i) `E(u,i)` scopes from radius-bounded Dijkstras,
     /// parallel over node chunks with per-worker scratch.
-    fn on_demand_scopes(
+    pub(crate) fn on_demand_scopes(
         g: &Graph,
         dec: &Decomposition,
         params: &SchemeParams,
@@ -524,43 +573,132 @@ impl Scheme {
         let n = g.n();
         let k = params.k;
         let mut stats = BuildStats::default();
-        // Phase timings: recorded into `BuildStats::phase_seconds`
-        // unconditionally (the `sc` experiment's construction
-        // benchmark reads them), echoed to stderr when SCHEME_TIMING
-        // is set.
-        let started = std::time::Instant::now();
-        let timing = std::env::var_os("SCHEME_TIMING").is_some();
-        let mut phase_seconds: Vec<(String, f64)> = Vec::new();
-        let mut lap_prev = 0f64;
-        macro_rules! lap {
-            ($name:expr) => {
-                lap!($name, String::new())
-            };
-            ($name:expr, $detail:expr) => {{
-                let t = started.elapsed().as_secs_f64();
-                phase_seconds.push(($name.to_string(), t - lap_prev));
-                lap_prev = t;
-                if timing {
-                    let detail: String = $detail;
-                    eprintln!("[scheme {t:>8.2}s] {} {detail}", $name);
-                }
-            }};
-        }
+        let mut clock = PhaseClock::start();
+        let Prepared { mut plans, centers, members, s_budgets } =
+            Self::prepare(&g, &params, &dec, &hier, &src, &scopes, &mut clock);
+        stats.s_budgets = s_budgets;
 
+        // ---- fused per-center pipeline -------------------------------
+        let bounded = matches!(src, BuildSource::OnDemand { .. });
+        let spill = params.spill.then(|| SpillWriter::create().expect("spill file creation"));
+        let jobs: Vec<(u32, &[(u32, Cost)])> =
+            centers.iter().enumerate().map(|(ci, &c)| (c, members.members(ci))).collect();
+        let TreeBatch { built, bix, lm_bits: landmark_bits, labels } =
+            build_center_trees(&g, &params, &jobs, bounded, spill.as_ref());
+        drop(jobs);
+        let max_center_label_bits = labels.iter().map(|&(_, l)| l).max().unwrap_or(0);
+        let center_store = match spill {
+            Some(w) => CenterStore::Spilled(w.finish()),
+            None => CenterStore::Memory(built.into_iter().collect()),
+        };
+        stats.num_center_trees = centers.len();
+        stats.total_members = members.items.len();
+        clock.lap("center_trees", String::new());
+
+        // ---- b(u, i) + Lemma 3 verification --------------------------
+        // merge: rows concatenated in chunk (= node id) order; the
+        // check counters are sums, which commute.
+        let b_shards = graphkit::metrics::par_chunks(n, |nodes| {
+            let base = nodes.start;
+            let mut out = vec![0u8; nodes.len() * k];
+            let mut checked = 0usize;
+            let mut violations = 0usize;
+            for u in nodes {
+                for i in 0..k {
+                    let Some(scope) = &scopes[u][i] else { continue };
+                    let entry = &bix[&plans[u][i].center];
+                    let (b, c, v) = b_for_scope(scope, entry, n, k);
+                    out[(u - base) * k + i] = b;
+                    checked += c;
+                    violations += v;
+                }
+            }
+            (out, checked, violations)
+        });
+        let mut b_flat = Vec::with_capacity(n * k);
+        for (out, checked, violations) in b_shards {
+            b_flat.extend(out);
+            stats.lemma3_checked += checked;
+            stats.lemma3_violations += violations;
+        }
+        for (u, row) in plans.iter_mut().enumerate() {
+            for (i, plan) in row.iter_mut().enumerate() {
+                let b = b_flat[u * k + i];
+                if b != 0 {
+                    plan.b = b;
+                }
+            }
+        }
+        drop(bix);
+        clock.lap("b_levels", String::new());
+
+        // ---- cover trees per dense scale -----------------------------
+        let mut scales: Vec<u32> =
+            plans.iter().flatten().filter(|p| p.dense).map(|p| p.a).collect();
+        scales.sort_unstable();
+        scales.dedup();
+        let mut scale_covers: HashMap<u32, ScaleCover> = HashMap::new();
+        for &s in &scales {
+            let sc = build_scale_cover(&g, &dec, &params, s);
+            stats.num_cover_trees += sc.routers.len();
+            scale_covers.insert(s, sc);
+        }
+        stats.num_scales = scale_covers.len();
+        clock.lap("covers", String::new());
+        stats.phase_seconds = clock.finish();
+
+        let repair_state = params.repairable.then(|| RepairState {
+            centers,
+            center_labels: labels.into_iter().collect(),
+            members,
+        });
+
+        Scheme {
+            g,
+            params,
+            dec,
+            hier,
+            plans,
+            center_store,
+            landmark_bits,
+            max_center_label_bits,
+            scale_covers,
+            stats,
+            repair_state,
+        }
+    }
+
+    /// Construction phases 1–3 — per-(u, i) classification and centers,
+    /// instance-tuned S budgets, and center-tree membership — shared
+    /// verbatim between [`Scheme::assemble`] and [`Scheme::repair`]
+    /// (which runs them against the mutated graph; their cost is a few
+    /// percent of a full build, so repair recomputes rather than
+    /// patches them — see DESIGN.md §"Churn & incremental repair").
+    pub(crate) fn prepare(
+        g: &Graph,
+        params: &SchemeParams,
+        dec: &Decomposition,
+        hier: &LandmarkHierarchy,
+        src: &BuildSource<'_>,
+        scopes: &[Vec<Option<EScope>>],
+        clock: &mut PhaseClock,
+    ) -> Prepared {
+        let n = g.n();
+        let k = params.k;
         // ---- per-(u, i) classification and centers -------------------
         // merge: per-node plan rows, flattened in chunk (= node id) order.
-        let mut plans: Vec<Vec<LevelPlan>> = graphkit::metrics::par_chunks(n, |nodes| {
+        let plans: Vec<Vec<LevelPlan>> = graphkit::metrics::par_chunks(n, |nodes| {
             nodes
                 .map(|u| {
                     let u_id = NodeId(u as u32);
                     (0..k)
                         .map(|i| {
                             let a = dec.a(u_id, i);
-                            let dense = level_is_dense(&dec, u_id, i, &params);
+                            let dense = level_is_dense(dec, u_id, i, params);
                             let center = if dense {
                                 u32::MAX
                             } else {
-                                src.center(&hier, u_id, dec.ball_radius(u_id, i))
+                                src.center(hier, u_id, dec.ball_radius(u_id, i))
                             };
                             LevelPlan { dense, a, center, b: 1 }
                         })
@@ -572,18 +710,18 @@ impl Scheme {
         .flatten()
         .collect();
 
-        lap!("plans");
+        clock.lap("plans", String::new());
         // ---- instance-tuned S budgets (see DESIGN.md) ----------------
         // Level-0 positions for the on-demand source: batched bounded
         // Dijkstras, one per queried node, covering every (v, center)
         // pair the local scopes produce.
-        let pos0 = match &src {
+        let pos0 = match src {
             BuildSource::Dense { .. } => HashMap::new(),
-            BuildSource::OnDemand { .. } => Self::level0_positions(&g, &hier, &plans, &scopes, n),
+            BuildSource::OnDemand { .. } => Self::level0_positions(g, hier, &plans, scopes, n),
         };
         let position_of = |v: u32, l: usize, c: u32| -> usize {
             if l == 0 {
-                if let BuildSource::OnDemand { .. } = &src {
+                if let BuildSource::OnDemand { .. } = src {
                     return pos0[&pos0_key(v, c)];
                 }
             }
@@ -605,7 +743,7 @@ impl Scheme {
         global_centers.dedup();
         let global_pos: HashMap<u32, Vec<u32>> = global_centers
             .iter()
-            .map(|&(c, l)| (c, Self::positions_over_v(&g, &src, n, l, c)))
+            .map(|&(c, l)| (c, Self::positions_over_v(g, src, n, l, c)))
             .collect();
         // Raw per-(v, level) requirement: max over the sparse regions
         // containing v of (position + 1 + margin). A region's members
@@ -665,8 +803,7 @@ impl Scheme {
             },
         };
         drop(raw);
-        stats.s_budgets = level_max;
-        lap!("budgets", format!("{:?}", stats.s_budgets));
+        clock.lap("budgets", format!("{level_max:?}"));
 
         // ---- landmark-tree membership --------------------------------
         // v stores τ(T(c), v) iff c ∈ S(v) under the tuned budgets,
@@ -676,233 +813,12 @@ impl Scheme {
             plans.iter().flatten().filter(|p| !p.dense).map(|p| p.center).collect();
         centers.sort_unstable();
         centers.dedup();
-        let members = Self::center_members(&g, &src, &hier, &centers, &budgets, n, k);
-        lap!(
+        let members = Self::center_members(g, src, hier, &centers, &budgets, n, k);
+        clock.lap(
             "members",
-            format!("{} centers, {} total members", centers.len(), members.items.len())
+            format!("{} centers, {} total members", centers.len(), members.items.len()),
         );
-
-        // ---- fused per-center pipeline -------------------------------
-        // One worker pass per center chunk: bounded Dijkstra → tree
-        // extraction against reusable scratch → Lemma 4 scheme →
-        // storage accounting → store (resident Arc or spill record) +
-        // the b-pass index. Nothing tree-sized survives the pass
-        // beyond what routing and the b-pass actually consume.
-        let sigma = graphkit::ids::nth_root_ceil(n as u64, k as u32).max(2);
-        let bounded = matches!(src, BuildSource::OnDemand { .. });
-        let spill = params.spill.then(|| SpillWriter::create().expect("spill file creation"));
-        let id_bits = bits_for_node(n);
-        struct CenterShard {
-            built: Vec<(u32, Arc<CenterTree>)>,
-            index: Vec<BuildIndex>,
-            lm_bits: Vec<u64>,
-            max_label: u64,
-        }
-        // merge: keyed by center id (maps), plus elementwise bit sums
-        // and a label max — shard order immaterial.
-        let shards = graphkit::metrics::par_chunks(centers.len(), |range| {
-            let mut scratch = DijkstraScratch::new(n);
-            let mut tscratch = TreeScratch::new(n);
-            let mut built = Vec::new();
-            let mut index = Vec::with_capacity(range.len());
-            let mut lm_bits = vec![0u64; n];
-            let mut max_label = 0u64;
-            for ci in range {
-                let c = centers[ci];
-                let mem = members.members(ci);
-                let radius = if bounded {
-                    mem.iter().map(|&(_, dist)| dist).max().unwrap_or(0)
-                } else {
-                    INFINITY - 1
-                };
-                scratch.run(&g, NodeId(c), radius, usize::MAX);
-                let tree = Tree::from_dist_parents_with(
-                    &mut tscratch,
-                    &g,
-                    NodeId(c),
-                    scratch.dists(),
-                    scratch.parents(),
-                    mem.iter().map(|&(v, _)| NodeId(v)),
-                );
-                let ert = ErrorReportingTree::with_sigma(
-                    tree,
-                    k,
-                    sigma,
-                    params.seed ^ (c as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                );
-                let size = ert.labeled().tree().size();
-                let mut levels: Vec<(u32, u8)> = Vec::with_capacity(size);
-                let mut max_search_level = 1u8;
-                for ix in 0..size as u32 {
-                    let gid = ert.labeled().tree().graph_id(ix).0;
-                    let lvl = ert
-                        .naming()
-                        .level_of_rank(ert.rank(ix) as usize)
-                        .clamp(1, u8::MAX as usize) as u8;
-                    max_search_level = max_search_level.max(lvl);
-                    levels.push((gid, lvl));
-                    lm_bits[gid as usize] += id_bits + ert.node_bits(ix);
-                    max_label = max_label.max(ert.labeled().label_bits(ix));
-                }
-                levels.sort_unstable();
-                index.push(BuildIndex { levels, max_search_level });
-                if let Some(w) = &spill {
-                    let mut rec = wire::Writer::new();
-                    ert.to_wire(&mut rec);
-                    w.write(c, &rec.into_bytes());
-                } else {
-                    built.push((c, Arc::new(CenterTree::new(ert))));
-                }
-            }
-            CenterShard { built, index, lm_bits, max_label }
-        });
-        let mut landmark_bits = vec![0u64; n];
-        let mut max_center_label_bits = 0u64;
-        let mut resident: HashMap<u32, Arc<CenterTree>> = HashMap::new();
-        let mut bix: HashMap<u32, BuildIndex> = HashMap::with_capacity(centers.len());
-        let mut shard_base = 0usize;
-        for shard in shards {
-            for (acc, add) in landmark_bits.iter_mut().zip(&shard.lm_bits) {
-                *acc += add;
-            }
-            max_center_label_bits = max_center_label_bits.max(shard.max_label);
-            resident.extend(shard.built);
-            let count = shard.index.len();
-            for (offset, entry) in shard.index.into_iter().enumerate() {
-                bix.insert(centers[shard_base + offset], entry);
-            }
-            shard_base += count;
-        }
-        let center_store = match spill {
-            Some(w) => CenterStore::Spilled(w.finish()),
-            None => CenterStore::Memory(resident),
-        };
-        stats.num_center_trees = centers.len();
-        stats.total_members = members.items.len();
-        lap!("center_trees");
-
-        // ---- b(u, i) + Lemma 3 verification --------------------------
-        // merge: rows concatenated in chunk (= node id) order; the
-        // check counters are sums, which commute.
-        let b_shards = graphkit::metrics::par_chunks(n, |nodes| {
-            let base = nodes.start;
-            let mut out = vec![0u8; nodes.len() * k];
-            let mut checked = 0usize;
-            let mut violations = 0usize;
-            for u in nodes {
-                for i in 0..k {
-                    let Some(scope) = &scopes[u][i] else { continue };
-                    let entry = &bix[&plans[u][i].center];
-                    let mut b = 1usize;
-                    match scope {
-                        EScope::Global => {
-                            // E(u,i) = V: every non-member is a Lemma 3
-                            // violation, and the members' worst search
-                            // level is a per-tree constant.
-                            checked += n;
-                            let missing = n - entry.levels.len();
-                            if missing > 0 {
-                                violations += missing;
-                                b = k;
-                            } else {
-                                b = entry.max_search_level as usize;
-                            }
-                        }
-                        EScope::Local(list) => {
-                            for &(v, _) in list {
-                                checked += 1;
-                                match entry.levels.binary_search_by_key(&v, |&(id, _)| id) {
-                                    Ok(p) => b = b.max(entry.levels[p].1 as usize),
-                                    Err(_) => {
-                                        violations += 1;
-                                        b = k; // fall back to the deepest search
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    out[(u - base) * k + i] = b.min(k).max(1) as u8;
-                }
-            }
-            (out, checked, violations)
-        });
-        let mut b_flat = Vec::with_capacity(n * k);
-        for (out, checked, violations) in b_shards {
-            b_flat.extend(out);
-            stats.lemma3_checked += checked;
-            stats.lemma3_violations += violations;
-        }
-        for (u, row) in plans.iter_mut().enumerate() {
-            for (i, plan) in row.iter_mut().enumerate() {
-                let b = b_flat[u * k + i];
-                if b != 0 {
-                    plan.b = b;
-                }
-            }
-        }
-        drop(bix);
-        lap!("b_levels");
-
-        // ---- cover trees per dense scale -----------------------------
-        let mut scales: Vec<u32> =
-            plans.iter().flatten().filter(|p| p.dense).map(|p| p.a).collect();
-        scales.sort_unstable();
-        scales.dedup();
-        let mut scale_covers: HashMap<u32, ScaleCover> = HashMap::new();
-        for &s in &scales {
-            let members: Vec<u32> =
-                (0..n as u32).filter(|&v| dec.in_extended_range(NodeId(v), s)).collect();
-            let sub = induced_subgraph(&g, &members);
-            let rho = octave_radius(s);
-            let cover = covers::build_cover(&sub.graph, k, rho);
-            let mut home = vec![u32::MAX; n];
-            for (local, &t) in cover.home.iter().enumerate() {
-                home[sub.to_host[local] as usize] = t;
-            }
-            let routers: Vec<CoverEntry> =
-                // merge: entries flattened in chunk (= tree index) order.
-                graphkit::metrics::par_chunks(cover.trees.len(), |range| {
-                    range
-                        .map(|ti| {
-                            let host_tree = remap_tree(&cover.trees[ti], &sub.to_host);
-                            let ix: HashMap<u32, TreeIx> = host_tree
-                                .graph_ids()
-                                .iter()
-                                .enumerate()
-                                .map(|(i, &gid)| (gid, i as TreeIx))
-                                .collect();
-                            let router = CoverTreeRouter::new(
-                                host_tree,
-                                sigma,
-                                params.seed ^ ((s as u64) << 32 | ti as u64),
-                            );
-                            CoverEntry { router, ix }
-                        })
-                        .collect::<Vec<CoverEntry>>()
-                })
-                .into_iter()
-                .flatten()
-                .collect();
-            stats.num_cover_trees += routers.len();
-            scale_covers.insert(s, ScaleCover { routers, home });
-        }
-        stats.num_scales = scale_covers.len();
-        lap!("covers");
-        let _ = lap_prev; // the final lap's delta is the last one recorded
-        stats.phase_seconds = phase_seconds;
-
-        Scheme {
-            g,
-            params,
-            dec,
-            hier,
-            plans,
-            center_store,
-            landmark_bits,
-            max_center_label_bits,
-            scale_covers,
-            stats,
-        }
+        Prepared { plans, centers, members, s_budgets: level_max }
     }
 
     /// Level-0 position oracle for the on-demand source: group every
@@ -1275,12 +1191,274 @@ impl Scheme {
 
 /// Effective dense/sparse classification of level `i` (force-mode
 /// aware; used identically by both construction sources).
-fn level_is_dense(dec: &Decomposition, u: NodeId, i: usize, params: &SchemeParams) -> bool {
+pub(crate) fn level_is_dense(
+    dec: &Decomposition,
+    u: NodeId,
+    i: usize,
+    params: &SchemeParams,
+) -> bool {
     match params.force_mode {
         None => dec.is_dense(u, i),
         Some(ForceMode::AllDense) => true,
         Some(ForceMode::AllSparse) => false,
     }
+}
+
+/// Phase wall-clock bookkeeping behind [`BuildStats::phase_seconds`],
+/// echoed to stderr when `SCHEME_TIMING` is set.
+pub(crate) struct PhaseClock {
+    started: std::time::Instant,
+    prev: f64,
+    timing: bool,
+    laps: Vec<(String, f64)>,
+}
+
+impl PhaseClock {
+    pub(crate) fn start() -> Self {
+        PhaseClock {
+            started: std::time::Instant::now(),
+            prev: 0.0,
+            timing: std::env::var_os("SCHEME_TIMING").is_some(),
+            laps: Vec::new(),
+        }
+    }
+
+    pub(crate) fn lap(&mut self, name: &str, detail: String) {
+        let t = self.started.elapsed().as_secs_f64();
+        self.laps.push((name.to_string(), t - self.prev));
+        self.prev = t;
+        if self.timing {
+            eprintln!("[scheme {t:>8.2}s] {name} {detail}");
+        }
+    }
+
+    pub(crate) fn finish(self) -> Vec<(String, f64)> {
+        self.laps
+    }
+}
+
+/// Output of [`Scheme::prepare`] — everything the per-center tree
+/// pipeline and the later passes consume.
+pub(crate) struct Prepared {
+    pub(crate) plans: Vec<Vec<LevelPlan>>,
+    /// Distinct sparse centers, ascending.
+    pub(crate) centers: Vec<u32>,
+    /// Membership CSR aligned with `centers`.
+    pub(crate) members: CenterMembers,
+    /// Effective per-level S budgets (for [`BuildStats::s_budgets`]).
+    pub(crate) s_budgets: Vec<usize>,
+}
+
+/// One finished batch from the fused per-center pipeline: resident
+/// trees (empty when spilled — the writer received them instead), the
+/// b-pass indexes keyed by center, per-node storage-bit contributions,
+/// and each tree's largest routing label.
+pub(crate) struct TreeBatch {
+    pub(crate) built: Vec<(u32, Arc<CenterTree>)>,
+    pub(crate) bix: HashMap<u32, BuildIndex>,
+    pub(crate) lm_bits: Vec<u64>,
+    pub(crate) labels: Vec<(u32, u64)>,
+}
+
+/// The fused per-center pipeline over an explicit job list: bounded
+/// Dijkstra → tree extraction against reusable scratch → Lemma 4
+/// scheme → storage accounting → store (resident Arc or spill
+/// record). Nothing tree-sized survives the pass beyond what routing
+/// and the b-pass actually consume. A full build passes every center;
+/// repair passes only the invalidated ones.
+pub(crate) fn build_center_trees(
+    g: &Graph,
+    params: &SchemeParams,
+    jobs: &[(u32, &[(u32, Cost)])],
+    bounded: bool,
+    spill: Option<&SpillWriter>,
+) -> TreeBatch {
+    let n = g.n();
+    let k = params.k;
+    let sigma = graphkit::ids::nth_root_ceil(n as u64, k as u32).max(2);
+    let id_bits = bits_for_node(n);
+    struct CenterShard {
+        built: Vec<(u32, Arc<CenterTree>)>,
+        index: Vec<(u32, BuildIndex)>,
+        lm_bits: Vec<u64>,
+        labels: Vec<(u32, u64)>,
+    }
+    // merge: keyed by center id (maps), plus elementwise bit sums and
+    // per-center label entries — shard order immaterial.
+    let shards = graphkit::metrics::par_chunks(jobs.len(), |range| {
+        let mut scratch = DijkstraScratch::new(n);
+        let mut tscratch = TreeScratch::new(n);
+        let mut built = Vec::new();
+        let mut index = Vec::with_capacity(range.len());
+        let mut lm_bits = vec![0u64; n];
+        let mut labels = Vec::with_capacity(range.len());
+        for ji in range {
+            let (c, mem) = jobs[ji];
+            let radius = if bounded {
+                mem.iter().map(|&(_, dist)| dist).max().unwrap_or(0)
+            } else {
+                INFINITY - 1
+            };
+            scratch.run(g, NodeId(c), radius, usize::MAX);
+            let tree = Tree::from_dist_parents_with(
+                &mut tscratch,
+                g,
+                NodeId(c),
+                scratch.dists(),
+                scratch.parents(),
+                mem.iter().map(|&(v, _)| NodeId(v)),
+            );
+            let ert = ErrorReportingTree::with_sigma(
+                tree,
+                k,
+                sigma,
+                params.seed ^ (c as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
+            let (entry, bits, max_label) = index_and_bits(&ert, id_bits);
+            for &(gid, b) in &bits {
+                lm_bits[gid as usize] += b;
+            }
+            labels.push((c, max_label));
+            index.push((c, entry));
+            if let Some(w) = spill {
+                let mut rec = wire::Writer::new();
+                ert.to_wire(&mut rec);
+                w.write(c, &rec.into_bytes());
+            } else {
+                built.push((c, Arc::new(CenterTree::new(ert))));
+            }
+        }
+        CenterShard { built, index, lm_bits, labels }
+    });
+    let mut built = Vec::new();
+    let mut bix: HashMap<u32, BuildIndex> = HashMap::with_capacity(jobs.len());
+    let mut lm_bits = vec![0u64; n];
+    let mut labels = Vec::with_capacity(jobs.len());
+    for shard in shards {
+        built.extend(shard.built);
+        for (acc, add) in lm_bits.iter_mut().zip(&shard.lm_bits) {
+            *acc += add;
+        }
+        bix.extend(shard.index);
+        labels.extend(shard.labels);
+    }
+    TreeBatch { built, bix, lm_bits, labels }
+}
+
+/// Per-tree derived data, usable on a freshly built tree or one
+/// decoded back from the spill/snapshot store: the b-pass index, each
+/// member's `(host id, storage-bit)` contribution (root id + τ), and
+/// the largest routing label.
+pub(crate) fn index_and_bits(
+    ert: &ErrorReportingTree,
+    id_bits: u64,
+) -> (BuildIndex, Vec<(u32, u64)>, u64) {
+    let size = ert.labeled().tree().size();
+    let mut levels: Vec<(u32, u8)> = Vec::with_capacity(size);
+    let mut bits: Vec<(u32, u64)> = Vec::with_capacity(size);
+    let mut max_search_level = 1u8;
+    let mut max_label = 0u64;
+    for ix in 0..size as u32 {
+        let gid = ert.labeled().tree().graph_id(ix).0;
+        let lvl =
+            ert.naming().level_of_rank(ert.rank(ix) as usize).clamp(1, u8::MAX as usize) as u8;
+        max_search_level = max_search_level.max(lvl);
+        levels.push((gid, lvl));
+        bits.push((gid, id_bits + ert.node_bits(ix)));
+        max_label = max_label.max(ert.labeled().label_bits(ix));
+    }
+    levels.sort_unstable();
+    (BuildIndex { levels, max_search_level }, bits, max_label)
+}
+
+/// `b(u, i)` for one sparse scope against its center's tree index,
+/// plus that region's Lemma 3 `(checked, violations)` counts.
+pub(crate) fn b_for_scope(
+    scope: &EScope,
+    entry: &BuildIndex,
+    n: usize,
+    k: usize,
+) -> (u8, usize, usize) {
+    let mut checked = 0usize;
+    let mut violations = 0usize;
+    let mut b = 1usize;
+    match scope {
+        EScope::Global => {
+            // E(u,i) = V: every non-member is a Lemma 3 violation, and
+            // the members' worst search level is a per-tree constant.
+            checked += n;
+            let missing = n - entry.levels.len();
+            if missing > 0 {
+                violations += missing;
+                b = k;
+            } else {
+                b = entry.max_search_level as usize;
+            }
+        }
+        EScope::Local(list) => {
+            for &(v, _) in list {
+                checked += 1;
+                match entry.levels.binary_search_by_key(&v, |&(id, _)| id) {
+                    Ok(p) => b = b.max(entry.levels[p].1 as usize),
+                    Err(_) => {
+                        violations += 1;
+                        b = k; // fall back to the deepest search
+                    }
+                }
+            }
+        }
+    }
+    (b.min(k).max(1) as u8, checked, violations)
+}
+
+/// All cover trees of one dense scale `s`: the extended-range member
+/// set, its induced subgraph, the AGM cover, and one Lemma 7 router
+/// per tree lifted back to host ids. Deterministic in
+/// `(g, dec, params, s)` — repair reuses a scale's covers only when
+/// each of those provably matches what a fresh build would pass here.
+pub(crate) fn build_scale_cover(
+    g: &Graph,
+    dec: &Decomposition,
+    params: &SchemeParams,
+    s: u32,
+) -> ScaleCover {
+    let n = g.n();
+    let k = params.k;
+    let sigma = graphkit::ids::nth_root_ceil(n as u64, k as u32).max(2);
+    let members: Vec<u32> =
+        (0..n as u32).filter(|&v| dec.in_extended_range(NodeId(v), s)).collect();
+    let sub = induced_subgraph(g, &members);
+    let rho = octave_radius(s);
+    let cover = covers::build_cover(&sub.graph, k, rho);
+    let mut home = vec![u32::MAX; n];
+    for (local, &t) in cover.home.iter().enumerate() {
+        home[sub.to_host[local] as usize] = t;
+    }
+    let routers: Vec<CoverEntry> =
+        // merge: entries flattened in chunk (= tree index) order.
+        graphkit::metrics::par_chunks(cover.trees.len(), |range| {
+            range
+                .map(|ti| {
+                    let host_tree = remap_tree(&cover.trees[ti], &sub.to_host);
+                    let ix: HashMap<u32, TreeIx> = host_tree
+                        .graph_ids()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &gid)| (gid, i as TreeIx))
+                        .collect();
+                    let router = CoverTreeRouter::new(
+                        host_tree,
+                        sigma,
+                        params.seed ^ ((s as u64) << 32 | ti as u64),
+                    );
+                    CoverEntry { router, ix }
+                })
+                .collect::<Vec<CoverEntry>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    ScaleCover { routers, home }
 }
 
 /// Key for the batched level-0 position map.

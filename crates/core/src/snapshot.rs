@@ -224,6 +224,7 @@ impl Scheme {
             max_center_label_bits,
             scale_covers,
             stats,
+            repair_state: None,
         })
     }
 
@@ -347,6 +348,9 @@ fn decode_meta(r: &mut Reader<'_>) -> io::Result<(SchemeParams, BuildStats, u64)
         hierarchy,
         s_budget_mode,
         spill,
+        // Repair state is build-time-only and never serialized; a
+        // loaded scheme's first repair() falls back to a full rebuild.
+        repairable: false,
     };
     Ok((params, stats, max_center_label_bits))
 }

@@ -1,0 +1,348 @@
+//! Graph mutations for churn workloads: edge-primitive deltas, strict
+//! application onto a frozen [`Graph`], and the repair-side impact
+//! analysis (which nodes' distance vectors changed, and how close each
+//! node sits to any changed edge).
+//!
+//! Node-level churn (leave/join) is deliberately *not* a primitive
+//! here: `core::churn` lowers it to failing/restoring the node's
+//! incident edges, so the node count `n` never changes and every
+//! per-node arena in the scheme keeps its indexing.
+//!
+//! ## The dirty-set theorem
+//!
+//! Let `E_Δ` be the changed edges between `G` and `G'` (same node
+//! set), `P` their endpoints, and
+//!
+//! ```text
+//! D = { v : d_G(v, p) ≠ d_G'(v, p) for some p ∈ P }.
+//! ```
+//!
+//! Then every `v ∉ D` has its **entire** distance vector unchanged:
+//! `d_G(v, x) = d_G'(v, x)` for all `x`. Proof sketch (decrease case;
+//! increase is symmetric with `G`/`G'` swapped, and removal/addition
+//! are the `w → ∞` limits): suppose `d'(v, x) < d(v, x)` with `v ∉ D`.
+//! The new shortest path must use a changed edge; take its *last*
+//! changed edge `(p, q)` (traversed `p → q`). The suffix `q ⇝ x` uses
+//! only unchanged edges, so it costs at least `d_G(q, x)`; the prefix
+//! costs at least `d'(v, p) = d_G(v, p)` (endpoint columns are stable
+//! for `v`). So `d'(v, x) ≥ d'(v, q) + d_G(q, x) = d_G(v, q) +
+//! d_G(q, x) ≥ d_G(v, x)` by the triangle inequality in `G` —
+//! contradiction. Hence comparing `2·|P|` Dijkstra columns (each
+//! endpoint on the *final* graphs only — no per-delta overlay
+//! sequencing) yields the exact invalidation set.
+//!
+//! The same columns give each node's proximity to the change set
+//! (`min_p d(v, p)`), which is what lets the scheme prove a bounded
+//! region around a center tree was untouched (see
+//! DESIGN.md §"Churn & incremental repair").
+
+use std::collections::HashMap;
+
+use crate::dijkstra::dijkstra;
+use crate::graph::{Graph, GraphBuilder};
+use crate::ids::{Cost, NodeId, Weight, INFINITY};
+
+/// One edge-level mutation. Semantics are strict: failing a missing
+/// edge, restoring a present one, or re-weighting a missing one is a
+/// caller bug and panics with a message naming the edge — churn
+/// drivers track live/failed state and never emit such deltas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphDelta {
+    /// Remove the existing edge `{u, v}`.
+    EdgeFail {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+    },
+    /// Re-insert the absent edge `{u, v}` with weight `w ≥ 1`.
+    EdgeRestore {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+        /// Restored weight.
+        w: Weight,
+    },
+    /// Change the weight of the existing edge `{u, v}` to `w ≥ 1`.
+    SetWeight {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+        /// New weight.
+        w: Weight,
+    },
+}
+
+impl GraphDelta {
+    /// The two endpoints the delta touches.
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        match *self {
+            GraphDelta::EdgeFail { u, v }
+            | GraphDelta::EdgeRestore { u, v, .. }
+            | GraphDelta::SetWeight { u, v, .. } => (u, v),
+        }
+    }
+}
+
+/// Canonical undirected key.
+#[inline]
+fn key(u: NodeId, v: NodeId) -> (u32, u32) {
+    (u.0.min(v.0), u.0.max(v.0))
+}
+
+/// Apply `deltas` in order to a frozen graph, producing a new frozen
+/// graph over the same node set. The output is deterministic in the
+/// *final* edge set ([`GraphBuilder`] canonicalizes and sorts at
+/// freeze time), so any two delta sequences with the same net effect
+/// yield byte-identical CSR arenas.
+///
+/// Panics on malformed deltas (see [`GraphDelta`]) and on self-loops,
+/// out-of-range endpoints, or zero weights — the same contract
+/// [`GraphBuilder::add_edge`] enforces.
+pub fn apply_deltas(g: &Graph, deltas: &[GraphDelta]) -> Graph {
+    let n = g.n();
+    let mut edges: HashMap<(u32, u32), Weight> =
+        g.all_edges().map(|(u, v, w)| ((u.0, v.0), w)).collect();
+    for (i, d) in deltas.iter().enumerate() {
+        let (u, v) = d.endpoints();
+        assert!(u != v, "delta {i}: self-loop at {u:?}");
+        assert!(u.idx() < n && v.idx() < n, "delta {i}: endpoint out of range");
+        let k = key(u, v);
+        match *d {
+            GraphDelta::EdgeFail { .. } => {
+                assert!(
+                    edges.remove(&k).is_some(),
+                    "delta {i}: EdgeFail on missing edge {{{}, {}}}",
+                    k.0,
+                    k.1
+                );
+            }
+            GraphDelta::EdgeRestore { w, .. } => {
+                assert!(w >= 1, "delta {i}: weight must be >= 1");
+                assert!(
+                    edges.insert(k, w).is_none(),
+                    "delta {i}: EdgeRestore on present edge {{{}, {}}}",
+                    k.0,
+                    k.1
+                );
+            }
+            GraphDelta::SetWeight { w, .. } => {
+                assert!(w >= 1, "delta {i}: weight must be >= 1");
+                let Some(slot) = edges.get_mut(&k) else {
+                    panic!("delta {i}: SetWeight on missing edge {{{}, {}}}", k.0, k.1);
+                };
+                *slot = w;
+            }
+        }
+    }
+    let mut b = GraphBuilder::with_nodes(n);
+    for (&(u, v), &w) in &edges {
+        b.add_edge(NodeId(u), NodeId(v), w);
+    }
+    b.build()
+}
+
+/// What a batch of deltas invalidated, computed on the *final* graphs
+/// only (see the module-level theorem).
+pub struct DeltaImpact {
+    /// `dirty[v]` — some distance out of `v` changed. Every `v` with
+    /// `dirty[v] == false` has its full distance vector (and hence its
+    /// decomposition ranges, landmark lists, and sorted positions)
+    /// bit-identical between the two graphs.
+    pub dirty: Vec<bool>,
+    /// The dirty nodes, ascending.
+    pub dirty_nodes: Vec<u32>,
+    /// `min_p d_G(v, p)` over all changed-edge endpoints `p` (old
+    /// graph); `INFINITY` when unreachable or no deltas.
+    pub old_prox: Vec<Cost>,
+    /// Same on the new graph.
+    pub new_prox: Vec<Cost>,
+    /// Distinct changed-edge endpoints, ascending.
+    pub endpoints: Vec<u32>,
+}
+
+/// Compare per-endpoint distance columns between `g_old` and `g_new`
+/// (two full Dijkstras per distinct endpoint) and reduce them to the
+/// dirty set plus per-node proximity to the change set.
+pub fn delta_impact(g_old: &Graph, g_new: &Graph, deltas: &[GraphDelta]) -> DeltaImpact {
+    assert_eq!(g_old.n(), g_new.n(), "delta application never changes the node set");
+    let n = g_old.n();
+    let mut endpoints: Vec<u32> = deltas
+        .iter()
+        .flat_map(|d| {
+            let (u, v) = d.endpoints();
+            [u.0, v.0]
+        })
+        .collect();
+    endpoints.sort_unstable();
+    endpoints.dedup();
+
+    // merge: per-shard (dirty, old_prox, new_prox) triples reduced by
+    // elementwise OR / min / min — commutative and exact (u64), so the
+    // result is independent of chunk count and merge order.
+    let shards = crate::metrics::par_chunks(endpoints.len(), |range| {
+        let mut dirty = vec![false; n];
+        let mut old_prox = vec![INFINITY; n];
+        let mut new_prox = vec![INFINITY; n];
+        for pi in range {
+            let p = NodeId(endpoints[pi]);
+            let old = dijkstra(g_old, p).dist;
+            let new = dijkstra(g_new, p).dist;
+            for v in 0..n {
+                if old[v] != new[v] {
+                    dirty[v] = true;
+                }
+                old_prox[v] = old_prox[v].min(old[v]);
+                new_prox[v] = new_prox[v].min(new[v]);
+            }
+        }
+        (dirty, old_prox, new_prox)
+    });
+    let mut dirty = vec![false; n];
+    let mut old_prox = vec![INFINITY; n];
+    let mut new_prox = vec![INFINITY; n];
+    for (sd, so, sn) in shards {
+        for v in 0..n {
+            dirty[v] |= sd[v];
+            old_prox[v] = old_prox[v].min(so[v]);
+            new_prox[v] = new_prox[v].min(sn[v]);
+        }
+    }
+    let dirty_nodes: Vec<u32> = (0..n as u32).filter(|&v| dirty[v as usize]).collect();
+    DeltaImpact { dirty, dirty_nodes, old_prox, new_prox, endpoints }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Family;
+    use crate::graph_from_edges;
+    use crate::metrics::apsp;
+
+    fn path4() -> Graph {
+        graph_from_edges(4, &[(0, 1, 2), (1, 2, 3), (2, 3, 4)])
+    }
+
+    #[test]
+    fn apply_fail_restore_set() {
+        let g = path4();
+        let g2 = apply_deltas(
+            &g,
+            &[
+                GraphDelta::EdgeFail { u: NodeId(1), v: NodeId(2) },
+                GraphDelta::EdgeRestore { u: NodeId(2), v: NodeId(1), w: 7 },
+                GraphDelta::SetWeight { u: NodeId(0), v: NodeId(1), w: 5 },
+            ],
+        );
+        assert_eq!(g2.n(), 4);
+        assert_eq!(g2.m(), 3);
+        assert_eq!(g2.edge_weight(NodeId(1), NodeId(2)), Some(7));
+        assert_eq!(g2.edge_weight(NodeId(0), NodeId(1)), Some(5));
+        assert_eq!(g2.edge_weight(NodeId(2), NodeId(3)), Some(4));
+    }
+
+    #[test]
+    fn apply_is_deterministic_in_net_effect() {
+        let g = Family::Geometric.generate(60, 11);
+        let (u, v, w) = g.all_edges().next().unwrap();
+        // Two routes to the same final edge set.
+        let a = apply_deltas(&g, &[GraphDelta::SetWeight { u, v, w: w + 1 }]);
+        let b = apply_deltas(
+            &g,
+            &[
+                GraphDelta::EdgeFail { u, v },
+                GraphDelta::EdgeRestore { u: v, v: u, w: 99 },
+                GraphDelta::SetWeight { u, v, w: w + 1 },
+            ],
+        );
+        let mut wa = crate::wire::Writer::new();
+        a.to_wire(&mut wa);
+        let mut wb = crate::wire::Writer::new();
+        b.to_wire(&mut wb);
+        assert_eq!(wa.into_bytes(), wb.into_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "EdgeFail on missing edge")]
+    fn fail_missing_panics() {
+        apply_deltas(&path4(), &[GraphDelta::EdgeFail { u: NodeId(0), v: NodeId(3) }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "EdgeRestore on present edge")]
+    fn restore_present_panics() {
+        apply_deltas(&path4(), &[GraphDelta::EdgeRestore { u: NodeId(0), v: NodeId(1), w: 1 }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "SetWeight on missing edge")]
+    fn set_missing_panics() {
+        apply_deltas(&path4(), &[GraphDelta::SetWeight { u: NodeId(0), v: NodeId(3), w: 1 }]);
+    }
+
+    /// The theorem, brute-forced: every node outside the computed dirty
+    /// set must have a bit-identical APSP row across the mutation.
+    #[test]
+    fn clean_nodes_keep_whole_distance_vectors() {
+        for (fam, seed) in
+            [(Family::Geometric, 21u64), (Family::PrefAttach, 22), (Family::ErdosRenyi, 23)]
+        {
+            let g = fam.generate(90, seed);
+            let edges: Vec<_> = g.all_edges().collect();
+            let (u1, v1, w1) = edges[edges.len() / 3];
+            let (u2, v2, _) = edges[2 * edges.len() / 3];
+            let deltas = vec![
+                GraphDelta::SetWeight { u: u1, v: v1, w: w1 * 3 + 1 },
+                GraphDelta::EdgeFail { u: u2, v: v2 },
+            ];
+            let g2 = apply_deltas(&g, &deltas);
+            let impact = delta_impact(&g, &g2, &deltas);
+            let d_old = apsp(&g);
+            let d_new = apsp(&g2);
+            for v in g.nodes() {
+                let row_changed = g.nodes().any(|x| d_old.d(v, x) != d_new.d(v, x));
+                if !impact.dirty[v.idx()] {
+                    assert!(!row_changed, "clean node {v:?} has a changed distance");
+                }
+                // Dirty is exact, not just sound: flagged ⇒ changed.
+                if impact.dirty[v.idx()] {
+                    assert!(row_changed, "node {v:?} flagged dirty but unchanged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn proximity_columns_match_direct_dijkstra() {
+        let g = Family::PrefAttach.generate(70, 31);
+        let (u, v, w) = g.all_edges().nth(5).unwrap();
+        let deltas = vec![GraphDelta::SetWeight { u, v, w: w + 9 }];
+        let g2 = apply_deltas(&g, &deltas);
+        let impact = delta_impact(&g, &g2, &deltas);
+        assert_eq!(impact.endpoints, {
+            let mut e = vec![u.0, v.0];
+            e.sort_unstable();
+            e
+        });
+        let ou = dijkstra(&g, u).dist;
+        let ov = dijkstra(&g, v).dist;
+        let nu = dijkstra(&g2, u).dist;
+        let nv = dijkstra(&g2, v).dist;
+        for x in 0..g.n() {
+            assert_eq!(impact.old_prox[x], ou[x].min(ov[x]));
+            assert_eq!(impact.new_prox[x], nu[x].min(nv[x]));
+        }
+    }
+
+    #[test]
+    fn empty_delta_batch_is_all_clean() {
+        let g = path4();
+        let g2 = apply_deltas(&g, &[]);
+        let impact = delta_impact(&g, &g2, &[]);
+        assert!(impact.dirty_nodes.is_empty());
+        assert!(impact.endpoints.is_empty());
+        assert!(impact.old_prox.iter().all(|&d| d == INFINITY));
+    }
+}

@@ -11,6 +11,9 @@
 //!   `(distance, id)` tie-breaking;
 //! * [`Tree`] — rooted weighted trees over graph-node subsets (landmark
 //!   shortest-path trees, cover trees);
+//! * [`mod@delta`] — churn primitives: [`GraphDelta`] batches applied onto
+//!   a frozen graph, plus the exact dirty-set / proximity analysis that
+//!   incremental repair builds on;
 //! * [`metrics`] — parallel APSP, diameter, aspect ratio Δ;
 //! * [`truth`] — [`truth::OnDemandTruth`], exact distances from lazy
 //!   per-source Dijkstra (bounded row cache + parallel pair prefetch)
@@ -32,6 +35,7 @@
 //! ```
 
 pub mod bits;
+pub mod delta;
 pub mod digraph;
 pub mod dijkstra;
 pub mod gen;
@@ -45,6 +49,7 @@ pub mod truth;
 pub mod wire;
 
 pub use bits::StorageCost;
+pub use delta::{apply_deltas, delta_impact, DeltaImpact, GraphDelta};
 pub use digraph::{DiGraph, DiGraphBuilder};
 pub use dijkstra::{
     ball, ball_size, dijkstra, dijkstra_bounded, m_closest_in_set, DijkstraScratch, Sssp,

@@ -20,6 +20,10 @@
 //!   sharded across threads (results are bit-identical either way);
 //! * [`StorageAudit`] — bits-per-node accounting with the max/mean/
 //!   total views the tables print;
+//! * [`ReplayRouter`] — a stale scheme's remembered paths replayed on
+//!   a mutated graph (the churn workloads' pre-repair measurement:
+//!   surviving paths re-costed at current weights, broken ones
+//!   truncated to undelivered);
 //! * [`pairs`] — deterministic all-pairs / sampled-pairs workloads.
 //!
 //! ## Evaluating beyond the n² wall
@@ -47,7 +51,7 @@
 //! assert_eq!(stats.failures, 0);
 //! ```
 
-use graphkit::{Cost, DistMatrix, Graph, NodeId, OnDemandTruth};
+use graphkit::{Cost, DistMatrix, Graph, NodeId, OnDemandTruth, INFINITY};
 
 /// The walk a message took through the graph.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -156,6 +160,63 @@ pub trait Router {
     fn node_storage_bits(&self, v: NodeId) -> u64;
 }
 
+/// A router's remembered paths, replayed on a (possibly mutated)
+/// graph: each hop of the inner router's trace is walked on `g` at
+/// *current* edge weights, truncating at the first edge that no
+/// longer exists.
+///
+/// This is how churn epochs measure a **stale** scheme against the
+/// live network (`core::churn`): the scheme built on `G` keeps
+/// emitting its old paths, and the replay scores them on `G′` —
+/// surviving paths are re-costed with the current weights, paths
+/// crossing a failed edge become undelivered (counted by the lenient
+/// evaluators as failures). The surviving prefix is kept so traces
+/// stay physically valid walks under [`validate_trace`].
+pub struct ReplayRouter<'a, R: Router> {
+    inner: &'a R,
+    g: &'a Graph,
+    name: String,
+}
+
+impl<'a, R: Router> ReplayRouter<'a, R> {
+    /// Replay `inner`'s routes on `g`.
+    pub fn new(inner: &'a R, g: &'a Graph) -> Self {
+        let name = format!("{}+replay", inner.name());
+        ReplayRouter { inner, g, name }
+    }
+}
+
+impl<R: Router> Router for ReplayRouter<'_, R> {
+    fn route(&self, src: NodeId, dst: NodeId) -> RouteTrace {
+        let inner = self.inner.route(src, dst);
+        let Some(&first) = inner.path.first() else {
+            return RouteTrace { path: vec![src], cost: 0, delivered: false };
+        };
+        let mut path = vec![first];
+        let mut cost: Cost = 0;
+        for win in inner.path.windows(2) {
+            match self.g.edge_weight(win[0], win[1]) {
+                Some(w) => {
+                    cost += w;
+                    path.push(win[1]);
+                }
+                // The next hop fell to churn: the message is stuck at
+                // the end of the surviving prefix.
+                None => return RouteTrace { path, cost, delivered: false },
+            }
+        }
+        RouteTrace { path, cost, delivered: inner.delivered }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn node_storage_bits(&self, v: NodeId) -> u64 {
+        self.inner.node_storage_bits(v)
+    }
+}
+
 /// Pluggable source of exact shortest-path distances for stretch
 /// evaluation. Implemented by the dense [`DistMatrix`] (Θ(n²) memory,
 /// small n) and by [`graphkit::OnDemandTruth`] (lazy per-source
@@ -261,6 +322,14 @@ fn route_shard(
             continue;
         }
         let opt = truth.d(s, t);
+        if opt == INFINITY {
+            // The pair is disconnected under the current ground truth
+            // (churn epochs evaluate against a mutated graph). Whatever
+            // the router claims, there is no finite baseline — count a
+            // failure instead of producing an infinite/zero stretch.
+            out.failures += 1;
+            continue;
+        }
         let stretch = if opt == 0 { 1.0 } else { trace.cost as f64 / opt as f64 };
         if strict {
             assert!(
@@ -712,5 +781,79 @@ mod tests {
         assert_eq!(t.hops(), 0);
         let g = small();
         assert!(validate_trace(&g, NodeId(3), NodeId(3), &t).is_ok());
+    }
+
+    #[test]
+    fn replay_recosts_surviving_paths_at_current_weights() {
+        // Same topology, one weight changed: the replayed path is the
+        // old walk priced at the new weights.
+        let g0 = small(); // 0-1:2, 1-2:3, 2-3:1, 0-3:10
+        let g1 = graph_from_edges(4, &[(0, 1, 2), (1, 2, 7), (2, 3, 1), (0, 3, 10)]);
+        let oracle = Oracle { g: &g0 };
+        let replay = ReplayRouter::new(&oracle, &g1);
+        let t = replay.route(NodeId(0), NodeId(2));
+        assert!(t.delivered);
+        assert_eq!(t.path, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(t.cost, 2 + 7);
+        assert!(validate_trace(&g1, NodeId(0), NodeId(2), &t).is_ok());
+        assert_eq!(replay.name(), "oracle+replay");
+        assert_eq!(replay.node_storage_bits(NodeId(0)), 64);
+    }
+
+    #[test]
+    fn replay_truncates_at_failed_edges() {
+        // Edge 1-2 failed: old paths through it keep only the prefix.
+        let g0 = small();
+        let g1 = graph_from_edges(4, &[(0, 1, 2), (2, 3, 1), (0, 3, 10)]);
+        let oracle = Oracle { g: &g0 };
+        let replay = ReplayRouter::new(&oracle, &g1);
+        let t = replay.route(NodeId(0), NodeId(2));
+        assert!(!t.delivered);
+        assert_eq!(t.path, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(t.cost, 2);
+        assert!(validate_trace(&g1, NodeId(0), NodeId(2), &t).is_ok());
+    }
+
+    #[test]
+    fn lenient_evaluators_count_disconnected_pairs_as_failures() {
+        // Mid-epoch partition: node 3 is cut off. The lenient
+        // evaluators must count every affected pair as a failure — no
+        // panic, no infinite stretch — and keep finite aggregates for
+        // the surviving pairs.
+        let g0 = small();
+        let g1 = graph_from_edges(4, &[(0, 1, 2), (1, 2, 3)]); // node 3 isolated
+        let oracle = Oracle { g: &g0 };
+        let replay = ReplayRouter::new(&oracle, &g1);
+        let workload: Vec<(NodeId, NodeId)> =
+            vec![(NodeId(0), NodeId(2)), (NodeId(0), NodeId(3)), (NodeId(3), NodeId(1))];
+        let mut truth = graphkit::OnDemandTruth::new(&g1);
+        truth.prefetch_pairs(&workload, 0);
+        for stats in [
+            evaluate_lenient(&g1, &truth, &replay, &workload),
+            evaluate_parallel_lenient(&g1, &truth, &replay, &workload, 2),
+        ] {
+            assert_eq!(stats.pairs, 3);
+            assert_eq!(stats.failures, 2);
+            assert!(stats.max_stretch.is_finite());
+            assert!(stats.max_stretch >= 1.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn disconnected_truth_never_yields_infinite_stretch() {
+        // The guard is defensive: when the ground truth disagrees with
+        // the routed graph (a churn driver could evaluate against a
+        // stale truth mid-swap), a delivered trace with no finite
+        // baseline must become a counted failure rather than a 0/INF
+        // stretch sample.
+        let g_route = graph_from_edges(4, &[(0, 1, 2), (1, 2, 3), (2, 3, 1)]);
+        let g_part = graph_from_edges(4, &[(0, 1, 2), (2, 3, 1)]); // 0-2 unreachable
+        let d = apsp(&g_part);
+        let oracle = Oracle { g: &g_route };
+        let workload = [(NodeId(0), NodeId(2)), (NodeId(0), NodeId(1))];
+        let stats = evaluate_lenient(&g_route, &d, &oracle, &workload);
+        assert_eq!(stats.pairs, 2);
+        assert_eq!(stats.failures, 1);
+        assert!(stats.max_stretch.is_finite());
     }
 }
