@@ -1,0 +1,144 @@
+//! Findings baseline: serialize the current findings as per-file,
+//! per-rule counts; diff a fresh run against the checked-in baseline
+//! so CI fails only on *new* findings while the pre-existing set burns
+//! down.
+//!
+//! The baseline keys on `(file, rule) -> count` rather than exact
+//! lines: unrelated edits shift line numbers constantly, and a
+//! line-keyed baseline would churn on every refactor. A count
+//! regression in a file is exactly the signal we want ("this change
+//! introduced another unwrap in the serve cone"), and a count
+//! *decrease* is burn-down, never a failure.
+//!
+//! The format is hand-rolled JSON (offline container — no serde),
+//! written sorted so the file is byte-deterministic:
+//!
+//! ```text
+//! {
+//!   "version": 1,
+//!   "entries": [
+//!     { "file": "crates/x/src/a.rs", "rule": "panic-free-serve", "count": 2 }
+//!   ]
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::engine::Report;
+
+/// Per-file, per-rule finding counts.
+pub type Counts = BTreeMap<(String, String), usize>;
+
+/// Aggregate a report into baseline counts.
+pub fn counts_of(report: &Report) -> Counts {
+    let mut c: Counts = BTreeMap::new();
+    for (file, f) in &report.findings {
+        *c.entry((file.clone(), f.rule.to_string())).or_insert(0) += 1;
+    }
+    c
+}
+
+/// Render counts as the baseline JSON document (sorted, trailing
+/// newline, byte-deterministic).
+pub fn render(counts: &Counts) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [\n");
+    let n = counts.len();
+    for (i, ((file, rule), count)) in counts.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"file\": \"{file}\", \"rule\": \"{rule}\", \"count\": {count} }}{}\n",
+            if i + 1 < n { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parse a baseline document back into counts. Tolerant scanner over
+/// the fixed shape above; malformed entries are skipped rather than
+/// fatal (a truncated baseline then reads as "everything is new",
+/// which fails loudly in diff mode).
+pub fn parse(doc: &str) -> Counts {
+    let mut c: Counts = BTreeMap::new();
+    let mut rest = doc;
+    while let Some(at) = rest.find("\"file\"") {
+        rest = &rest[at + "\"file\"".len()..];
+        let Some(file) = next_string(rest) else { break };
+        let Some(rat) = rest.find("\"rule\"") else { break };
+        let Some(rule) = next_string(&rest[rat + "\"rule\"".len()..]) else { break };
+        let Some(cat) = rest.find("\"count\"") else { break };
+        let Some(count) = next_number(&rest[cat + "\"count\"".len()..]) else { break };
+        c.insert((file, rule), count);
+    }
+    c
+}
+
+/// The first `"…"` string after a `:` in `s` (no escape handling —
+/// paths and rule names never contain quotes).
+fn next_string(s: &str) -> Option<String> {
+    let open = s.find('"')?;
+    let rest = &s[open + 1..];
+    let close = rest.find('"')?;
+    Some(rest[..close].to_string())
+}
+
+/// The first integer after a `:` in `s`.
+fn next_number(s: &str) -> Option<usize> {
+    let start = s.find(|c: char| c.is_ascii_digit())?;
+    let digits: String = s[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// One regression line of a baseline diff.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Regression {
+    /// Relative file path.
+    pub file: String,
+    /// Rule id.
+    pub rule: String,
+    /// Count recorded in the baseline.
+    pub baseline: usize,
+    /// Count in the current run.
+    pub now: usize,
+}
+
+/// Compare current counts to a baseline. Returns every `(file, rule)`
+/// whose count *grew* (new findings); shrinkage and disappearance are
+/// burn-down, never reported.
+pub fn diff(current: &Counts, baseline: &Counts) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for ((file, rule), &now) in current {
+        let base = baseline.get(&(file.clone(), rule.clone())).copied().unwrap_or(0);
+        if now > base {
+            out.push(Regression { file: file.clone(), rule: rule.clone(), baseline: base, now });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(entries: &[(&str, &str, usize)]) -> Counts {
+        entries.iter().map(|(f, r, n)| ((f.to_string(), r.to_string()), *n)).collect()
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let c = counts(&[("a.rs", "octave-taint", 2), ("b/c.rs", "pragma", 1)]);
+        assert_eq!(parse(&render(&c)), c);
+        assert_eq!(parse(&render(&Counts::new())), Counts::new());
+    }
+
+    #[test]
+    fn diff_flags_only_growth() {
+        let base = counts(&[("a.rs", "r", 2), ("gone.rs", "r", 5)]);
+        let cur = counts(&[("a.rs", "r", 3), ("new.rs", "r", 1)]);
+        let d = diff(&cur, &base);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().any(|x| x.file == "a.rs" && x.baseline == 2 && x.now == 3));
+        assert!(d.iter().any(|x| x.file == "new.rs" && x.baseline == 0 && x.now == 1));
+        // Burn-down (gone.rs) is not a regression.
+        assert!(diff(&base, &base).is_empty());
+    }
+}

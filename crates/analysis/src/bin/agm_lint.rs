@@ -1,18 +1,85 @@
 #![forbid(unsafe_code)]
 //! `agm-lint` — scan the workspace for invariant violations.
 //!
-//! Usage: `agm-lint [ROOT]`. With no argument, the workspace root is
-//! found by walking up from the current directory to the first
-//! `Cargo.toml` declaring `[workspace]`. Emits one
-//! `file:line: rule: message` line per finding, then a one-line JSON
-//! summary; exits nonzero when anything fired.
+//! ```text
+//! agm-lint [ROOT] [--root PATH]
+//!          [--format text|sarif] [--sarif-out FILE]
+//!          [--diff-baseline] [--write-baseline] [--baseline FILE]
+//! ```
+//!
+//! With no root argument, the workspace root is found by walking up
+//! from the current directory to the first `Cargo.toml` declaring
+//! `[workspace]`.
+//!
+//! Default mode emits one `file:line: rule: message` line per finding
+//! plus a one-line JSON summary, and exits nonzero when anything
+//! fired. `--diff-baseline` instead compares per-file/per-rule counts
+//! against the checked-in baseline (`crates/analysis/BASELINE.json`
+//! unless `--baseline` overrides) and exits nonzero only on *new*
+//! findings — burn-down never fails. `--write-baseline` regenerates
+//! the baseline from the current run. `--format sarif` renders the
+//! findings as a SARIF 2.1.0 document on stdout (diagnostics move to
+//! stderr); `--sarif-out FILE` writes the document to a file and keeps
+//! stdout textual — that is the CI spelling.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use analysis::{baseline, sarif};
+
+struct Opts {
+    root: Option<PathBuf>,
+    format: String,
+    sarif_out: Option<PathBuf>,
+    diff_baseline: bool,
+    write_baseline: bool,
+    baseline_path: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: None,
+        format: "text".to_string(),
+        sarif_out: None,
+        diff_baseline: false,
+        write_baseline: false,
+        baseline_path: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut grab = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match a.as_str() {
+            "--root" => opts.root = Some(PathBuf::from(grab("--root")?)),
+            "--format" => {
+                let v = grab("--format")?;
+                if v != "text" && v != "sarif" {
+                    return Err(format!("unknown format `{v}` (text|sarif)"));
+                }
+                opts.format = v;
+            }
+            "--sarif-out" => opts.sarif_out = Some(PathBuf::from(grab("--sarif-out")?)),
+            "--diff-baseline" => opts.diff_baseline = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--baseline" => opts.baseline_path = Some(PathBuf::from(grab("--baseline")?)),
+            _ if !a.starts_with('-') && opts.root.is_none() => {
+                opts.root = Some(PathBuf::from(a));
+            }
+            _ => return Err(format!("unknown argument `{a}`")),
+        }
+    }
+    Ok(opts)
+}
+
 fn main() -> ExitCode {
-    let root = match std::env::args().nth(1) {
-        Some(arg) => PathBuf::from(arg),
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("agm-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let root = match opts.root {
+        Some(r) => r,
         None => {
             let cwd = std::env::current_dir().expect("cannot read current directory");
             match analysis::find_workspace_root(&cwd) {
@@ -31,11 +98,77 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    for line in report.diagnostics() {
-        println!("{line}");
+
+    let baseline_path =
+        opts.baseline_path.unwrap_or_else(|| root.join("crates/analysis/BASELINE.json"));
+    let counts = baseline::counts_of(&report);
+
+    if opts.write_baseline {
+        if let Err(e) = std::fs::write(&baseline_path, baseline::render(&counts)) {
+            eprintln!("agm-lint: cannot write baseline {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "agm-lint: baseline written to {} ({} entries)",
+            baseline_path.display(),
+            counts.len()
+        );
     }
-    println!("{}", report.summary_json());
-    if report.findings.is_empty() {
+
+    let sarif_doc = sarif::render(&report);
+    if let Some(out) = &opts.sarif_out {
+        if let Err(e) = std::fs::write(out, &sarif_doc) {
+            eprintln!("agm-lint: cannot write SARIF {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    // With `--format sarif` the document owns stdout; diagnostics go
+    // to stderr so annotations and human output don't interleave.
+    let diag = |line: &str| {
+        if opts.format == "sarif" {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    for line in report.diagnostics() {
+        diag(&line);
+    }
+    diag(&report.summary_json());
+    if opts.format == "sarif" {
+        print!("{sarif_doc}");
+    }
+
+    if opts.diff_baseline {
+        let base = match std::fs::read_to_string(&baseline_path) {
+            Ok(doc) => baseline::parse(&doc),
+            Err(e) => {
+                eprintln!(
+                    "agm-lint: cannot read baseline {}: {e} (run --write-baseline first)",
+                    baseline_path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        let regressions = baseline::diff(&counts, &base);
+        if regressions.is_empty() {
+            diag(&format!(
+                "agm-lint: no new findings vs baseline ({} current, {} baselined entries)",
+                report.findings.len(),
+                base.len()
+            ));
+            return ExitCode::SUCCESS;
+        }
+        for r in &regressions {
+            diag(&format!(
+                "NEW: {}: {}: {} finding(s), baseline allows {}",
+                r.file, r.rule, r.now, r.baseline
+            ));
+        }
+        return ExitCode::FAILURE;
+    }
+
+    if report.findings.is_empty() || opts.write_baseline {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -1,0 +1,437 @@
+//! Workspace call graph: call-site extraction from fn bodies, name
+//! resolution by unique-name matching, and reachability.
+//!
+//! ## Resolution model (and its honest limits)
+//!
+//! The linter has no type information, so edges come from names:
+//!
+//! - `name(..)` — a free-fn call. Resolves when exactly one workspace
+//!   fn bears that name; a qualifier (`path::name(..)`, `Type::name`,
+//!   `Self::name`) filters candidates by owner or module first.
+//! - `.name(..)` — a method call. Resolves when exactly one workspace
+//!   *method* (fn with an owner) bears that name, **unless** the name
+//!   is on the [`COMMON_METHODS`] denylist (`get`, `len`, `clone`, …):
+//!   those shadow std methods on every receiver, so a unique-name
+//!   match would be silent misattribution. Denylisted calls resolve
+//!   only with an explicit `Type::name` qualifier.
+//! - More than one surviving candidate → the call lands in the
+//!   [`CallGraph::ambiguous`] bucket and contributes **no edge**.
+//!   Trait-object dispatch (`dyn Router`) is the canonical case: the
+//!   receiver's concrete type is unknowable here, so each `route` impl
+//!   must be rooted explicitly rather than discovered through the dyn
+//!   call. This is a documented blind spot, not a silent one — the
+//!   bucket is reported and testable.
+//! - Macro invocations (`name!(..)`) and keyword heads (`if`, `match`,
+//!   …) are never calls.
+//!
+//! Reachability is a plain BFS that records each node's discovery
+//! predecessor, so findings can cite a concrete call chain.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use crate::items::{parse_items, FnItem, Items};
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// Method names too generic to resolve by uniqueness: they collide
+/// with `std` methods on ubiquitous receivers (Vec, HashMap, Option,
+/// iterators), so a dot-call through one of these only resolves via an
+/// explicit `Type::name` qualifier.
+pub const COMMON_METHODS: [&str; 50] = [
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "len",
+    "is_empty",
+    "clone",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "take",
+    "new",
+    "default",
+    "clear",
+    "contains",
+    "extend",
+    "sort",
+    "write",
+    "read",
+    "flush",
+    "drain",
+    "join",
+    "send",
+    "recv",
+    "lock",
+    "min",
+    "max",
+    "chain",
+    "map",
+    "filter",
+    "fold",
+    "collect",
+    "zip",
+    "rev",
+    "skip",
+    "last",
+    "first",
+    "find",
+    "position",
+    "count",
+    "sum",
+    "any",
+    "all",
+    "retain",
+    "entry",
+    "copied",
+    "cloned",
+];
+
+/// Keywords and control heads that look like `ident (` but are not
+/// calls.
+const NOT_CALLS: [&str; 12] =
+    ["if", "while", "for", "match", "return", "loop", "fn", "impl", "where", "in", "as", "move"];
+
+/// One fn node in the workspace graph.
+#[derive(Clone, Debug)]
+pub struct FnNode {
+    /// Relative path of the defining file.
+    pub file: String,
+    /// The parsed item.
+    pub item: FnItem,
+}
+
+/// An unresolved multi-candidate call site.
+#[derive(Clone, Debug)]
+pub struct AmbiguousCall {
+    /// Calling fn (index into [`CallGraph::fns`]).
+    pub caller: usize,
+    /// Callee name as written.
+    pub name: String,
+    /// Source line of the call.
+    pub line: u32,
+    /// Indices of every candidate fn.
+    pub candidates: Vec<usize>,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Every fn in every file, in (file, declaration) order.
+    pub fns: Vec<FnNode>,
+    /// `edges[caller]` = called fn indices (deduped, sorted).
+    pub edges: Vec<Vec<usize>>,
+    /// Calls with more than one surviving candidate (no edge emitted).
+    pub ambiguous: Vec<AmbiguousCall>,
+    /// Parsed items per file (for pragma scoping and per-file rules).
+    pub items_by_file: BTreeMap<String, Items>,
+}
+
+impl CallGraph {
+    /// Build the graph from `(relative path, lexed source)` pairs.
+    pub fn build(files: &[(String, &Lexed)]) -> CallGraph {
+        let mut fns: Vec<FnNode> = Vec::new();
+        let mut items_by_file: BTreeMap<String, Items> = BTreeMap::new();
+        for (rel, lx) in files {
+            let items = parse_items(&lx.toks);
+            for item in &items.fns {
+                fns.push(FnNode { file: rel.clone(), item: item.clone() });
+            }
+            items_by_file.insert(rel.clone(), items);
+        }
+
+        // Name indexes. `by_name` holds every fn; `methods` only fns
+        // with an owner (dot-call candidates).
+        let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut methods: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, n) in fns.iter().enumerate() {
+            by_name.entry(n.item.name.clone()).or_default().push(i);
+            if n.item.owner.is_some() {
+                methods.entry(n.item.name.clone()).or_default().push(i);
+            }
+        }
+
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+        let mut ambiguous: Vec<AmbiguousCall> = Vec::new();
+        let mut fn_ix = 0usize;
+        for (rel, lx) in files {
+            let n_local = items_by_file[rel.as_str()].fns.len();
+            for local in 0..n_local {
+                let caller = fn_ix + local;
+                if let Some((body_start, body_end)) = fns[caller].item.body {
+                    let body = &lx.toks[body_start..=body_end.min(lx.toks.len() - 1)];
+                    extract_calls(Scan {
+                        edges: &mut edges,
+                        ambiguous: &mut ambiguous,
+                        caller,
+                        fns: &fns,
+                        body,
+                        by_name: &by_name,
+                        methods: &methods,
+                    });
+                }
+            }
+            fn_ix += n_local;
+        }
+        for e in &mut edges {
+            e.sort_unstable();
+            e.dedup();
+        }
+        CallGraph { fns, edges, ambiguous, items_by_file }
+    }
+
+    /// Indices of fns matching a predicate.
+    pub fn find<'a>(&'a self, pred: impl Fn(&FnNode) -> bool + 'a) -> Vec<usize> {
+        (0..self.fns.len()).filter(|&i| pred(&self.fns[i])).collect()
+    }
+
+    /// BFS from `roots`; returns, for each reachable fn, its discovery
+    /// predecessor (roots map to themselves).
+    pub fn reachable(&self, roots: &[usize]) -> HashMap<usize, usize> {
+        let mut pred: HashMap<usize, usize> = HashMap::new();
+        let mut q: VecDeque<usize> = VecDeque::new();
+        for &r in roots {
+            if r < self.fns.len() && !pred.contains_key(&r) {
+                pred.insert(r, r);
+                q.push_back(r);
+            }
+        }
+        while let Some(u) = q.pop_front() {
+            for &v in &self.edges[u] {
+                if let std::collections::hash_map::Entry::Vacant(e) = pred.entry(v) {
+                    e.insert(u);
+                    q.push_back(v);
+                }
+            }
+        }
+        pred
+    }
+
+    /// [`CallGraph::reachable`] with a node filter: fns matching
+    /// `skip` are neither included nor traversed. Rules use this for
+    /// cold boundaries — e.g. the allocation rule stops at decode
+    /// constructors, which allocate whole stores by design.
+    pub fn reachable_except(
+        &self,
+        roots: &[usize],
+        skip: impl Fn(&FnNode) -> bool,
+    ) -> HashMap<usize, usize> {
+        let mut pred: HashMap<usize, usize> = HashMap::new();
+        let mut q: VecDeque<usize> = VecDeque::new();
+        for &r in roots {
+            if r < self.fns.len() && !pred.contains_key(&r) && !skip(&self.fns[r]) {
+                pred.insert(r, r);
+                q.push_back(r);
+            }
+        }
+        while let Some(u) = q.pop_front() {
+            for &v in &self.edges[u] {
+                if !pred.contains_key(&v) && !skip(&self.fns[v]) {
+                    pred.insert(v, u);
+                    q.push_back(v);
+                }
+            }
+        }
+        pred
+    }
+
+    /// Human-readable call chain `root -> … -> fn` from a BFS
+    /// predecessor map.
+    pub fn chain(&self, pred: &HashMap<usize, usize>, mut at: usize) -> String {
+        let mut names = vec![self.fns[at].item.qual_name()];
+        let mut guard = 0usize;
+        while let Some(&p) = pred.get(&at) {
+            if p == at || guard > self.fns.len() {
+                break;
+            }
+            names.push(self.fns[p].item.qual_name());
+            at = p;
+            guard += 1;
+        }
+        names.reverse();
+        names.join(" -> ")
+    }
+}
+
+/// Borrowed state for one body scan.
+struct Scan<'a> {
+    edges: &'a mut Vec<Vec<usize>>,
+    ambiguous: &'a mut Vec<AmbiguousCall>,
+    caller: usize,
+    fns: &'a [FnNode],
+    body: &'a [Tok],
+    by_name: &'a HashMap<String, Vec<usize>>,
+    methods: &'a HashMap<String, Vec<usize>>,
+}
+
+/// Scan one fn body for call sites and append resolved edges /
+/// ambiguous records.
+fn extract_calls(s: Scan<'_>) {
+    let body = s.body;
+    let caller_owner = s.fns[s.caller].item.owner.clone();
+    for i in 0..body.len() {
+        let t = &body[i];
+        if t.kind != TokKind::Ident || NOT_CALLS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // A call is `name (` with the paren immediately after; macros
+        // are `name ! (` and so never match this shape.
+        if body.get(i + 1).map(|n| (n.kind, n.text.as_str())) != Some((TokKind::Punct, "(")) {
+            continue;
+        }
+        let is_method = i >= 1 && body[i - 1].kind == TokKind::Punct && body[i - 1].text == ".";
+        // Qualifier: `seg :: name (` — `::` is two `:` tokens.
+        let qualifier = if i >= 3
+            && body[i - 1].text == ":"
+            && body[i - 2].text == ":"
+            && body[i - 3].kind == TokKind::Ident
+        {
+            Some(body[i - 3].text.as_str())
+        } else {
+            None
+        };
+        let name = t.text.as_str();
+
+        let mut cands: Vec<usize> = if is_method {
+            if COMMON_METHODS.contains(&name) {
+                continue; // std-shadowing name: external unless qualified
+            }
+            s.methods.get(name).cloned().unwrap_or_default()
+        } else {
+            s.by_name.get(name).cloned().unwrap_or_default()
+        };
+        if let Some(q) = qualifier {
+            let q = if q == "Self" { caller_owner.as_deref().unwrap_or("Self") } else { q };
+            // An owner or trailing-module match narrows the candidate
+            // set; a qualifier matching nothing (std type, foreign
+            // crate) empties it — the call is external.
+            cands.retain(|&c| {
+                let it = &s.fns[c].item;
+                it.owner.as_deref() == Some(q) || it.module.last().map(String::as_str) == Some(q)
+            });
+        }
+        match cands.len() {
+            0 => {}
+            1 => s.edges[s.caller].push(cands[0]),
+            _ => {
+                cands.sort_unstable();
+                s.ambiguous.push(AmbiguousCall {
+                    caller: s.caller,
+                    name: name.to_string(),
+                    line: t.line,
+                    candidates: cands,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn graph(files: &[(&str, &str)]) -> CallGraph {
+        let lexed: Vec<(String, Lexed)> =
+            files.iter().map(|(p, s)| (p.to_string(), lex(s))).collect();
+        let refs: Vec<(String, &Lexed)> = lexed.iter().map(|(p, l)| (p.clone(), l)).collect();
+        CallGraph::build(&refs)
+    }
+
+    fn id(g: &CallGraph, name: &str) -> usize {
+        g.find(|n| n.item.name == name)[0]
+    }
+
+    #[test]
+    fn free_fn_edges_resolve_by_unique_name() {
+        let g = graph(&[("a.rs", "fn top() { helper(); } fn helper() { leaf(); } fn leaf() {}")]);
+        let r = g.reachable(&[id(&g, "top")]);
+        assert!(r.contains_key(&id(&g, "leaf")));
+        assert_eq!(g.chain(&r, id(&g, "leaf")), "top -> helper -> leaf");
+    }
+
+    #[test]
+    fn cross_file_edges() {
+        let g = graph(&[
+            ("a.rs", "fn top() { helper(); }"),
+            ("b.rs", "pub fn helper() { leaf(); } fn leaf() {}"),
+        ]);
+        let r = g.reachable(&[id(&g, "top")]);
+        assert!(r.contains_key(&id(&g, "leaf")));
+    }
+
+    #[test]
+    fn method_collision_lands_in_ambiguous_bucket() {
+        let g = graph(&[(
+            "a.rs",
+            "struct A; struct B; impl A { fn step(&self) {} } impl B { fn step(&self) {} } \
+             fn go(x: &A) { x.step(); }",
+        )]);
+        let go = id(&g, "go");
+        assert!(g.edges[go].is_empty(), "colliding method must not produce an edge");
+        assert_eq!(g.ambiguous.len(), 1);
+        assert_eq!(g.ambiguous[0].name, "step");
+        assert_eq!(g.ambiguous[0].candidates.len(), 2);
+    }
+
+    #[test]
+    fn qualified_call_disambiguates() {
+        let g = graph(&[(
+            "a.rs",
+            "struct A; struct B; impl A { fn step(&self) {} } impl B { fn step(&self) {} } \
+             fn go() { A::step(&a); }",
+        )]);
+        let go = id(&g, "go");
+        let a_step = g.find(|n| n.item.name == "step" && n.item.owner.as_deref() == Some("A"))[0];
+        assert_eq!(g.edges[go], vec![a_step]);
+        assert!(g.ambiguous.is_empty());
+    }
+
+    #[test]
+    fn self_qualifier_uses_enclosing_impl() {
+        let g = graph(&[(
+            "a.rs",
+            "struct A; struct B; impl A { fn go(&self) { Self::step(self); } fn step(&self) {} } \
+             impl B { fn step(&self) {} }",
+        )]);
+        let go = id(&g, "go");
+        let a_step = g.find(|n| n.item.name == "step" && n.item.owner.as_deref() == Some("A"))[0];
+        assert_eq!(g.edges[go], vec![a_step]);
+    }
+
+    #[test]
+    fn common_method_names_stay_external() {
+        let g = graph(&[(
+            "a.rs",
+            "struct Store; impl Store { fn get(&self) {} } fn go(m: &Store) { m.get(); }",
+        )]);
+        // `.get(` must NOT resolve to Store::get — it shadows
+        // HashMap::get and friends on every receiver in the workspace.
+        assert!(g.edges[id(&g, "go")].is_empty());
+        assert!(g.ambiguous.is_empty());
+        // The qualified spelling does resolve.
+        let g2 = graph(&[(
+            "a.rs",
+            "struct Store; impl Store { fn get(&self) {} } fn go(m: &Store) { Store::get(m); }",
+        )]);
+        assert_eq!(g2.edges[id(&g2, "go")].len(), 1);
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let g = graph(&[("a.rs", "fn f(n: u32) { if n > 0 { f(n - 1); } }")]);
+        let r = g.reachable(&[id(&g, "f")]);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let g = graph(&[(
+            "a.rs",
+            "fn f() { println!(\"x\"); if (a) { } match (b) { _ => {} } } fn println() {}",
+        )]);
+        assert!(g.edges[id(&g, "f")].is_empty());
+    }
+}

@@ -14,18 +14,33 @@
 //! the `fn` line of validate-then-index decoders, where per-line
 //! pragmas on dozens of guarded index sites would be pure noise. The
 //! broad grant is a distinct spelling on purpose: a reviewer can see
-//! the blast radius. Three pragma misuses are themselves findings: a
-//! pragma with no reason, a pragma naming an unknown rule, and a
-//! pragma that suppresses nothing (so stale exceptions cannot linger).
-//! Doc comments are never parsed as pragmas, so documentation may show
+//! the blast radius.
+//!
+//! `allow-fn` resolution is **block-aware**: the grant binds to the
+//! next `fn` *in the same brace block* as the pragma (same impl, same
+//! mod, top level). A pragma placed after the last method of an impl
+//! block does not silently leak to the next top-level fn — it is an
+//! error — and bodyless trait declarations can never receive a grant.
+//! Three pragma misuses are themselves findings: a pragma with no
+//! reason, a pragma naming an unknown rule, and a pragma that
+//! suppresses nothing (so stale exceptions cannot linger). Doc
+//! comments are never parsed as pragmas, so documentation may show
 //! pragma syntax freely.
+//!
+//! Linting is two-pass: pass 1 lexes every file, runs the per-line
+//! rules, and parses items; pass 2 builds the workspace call graph
+//! and runs the interprocedural rules ([`crate::cones`]); then pragmas
+//! are applied per file over the merged findings.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use crate::callgraph::CallGraph;
+use crate::cones::run_interproc;
+use crate::items::Items;
 use crate::lexer::{lex, Lexed};
-use crate::rules::{fn_spans, run_rules, Finding, PRAGMA_RULE, RULES};
+use crate::rules::{run_rules, Finding, PRAGMA_RULE, RULES};
 
 /// A parsed `lint:allow` / `lint:allow-fn` pragma.
 #[derive(Debug)]
@@ -47,9 +62,9 @@ fn is_doc_comment(text: &str) -> bool {
 }
 
 /// Parse all pragmas out of a lexed file; malformed ones are returned
-/// as findings immediately. `spans` (from [`fn_spans`]) resolves
-/// `allow-fn` pragmas to the body of the next `fn`.
-fn collect_pragmas(lx: &Lexed, spans: &[crate::rules::FnSpan]) -> (Vec<Pragma>, Vec<Finding>) {
+/// as findings immediately. `items` resolves `allow-fn` pragmas to the
+/// body of the next fn in the pragma's own block.
+fn collect_pragmas(lx: &Lexed, items: &Items) -> (Vec<Pragma>, Vec<Finding>) {
     let mut tok_lines: Vec<u32> = lx.toks.iter().map(|t| t.line).collect();
     tok_lines.dedup();
     let mut pragmas = Vec::new();
@@ -99,15 +114,25 @@ fn collect_pragmas(lx: &Lexed, spans: &[crate::rules::FnSpan]) -> (Vec<Pragma>, 
             continue;
         }
         let (start, end) = if fn_scoped {
-            // The next fn at or below the pragma line owns the grant
-            // (trailing on the `fn` line works: kw_line == c.line).
-            match spans.iter().find(|s| s.kw_line >= c.line) {
-                Some(s) => (s.kw_line, s.end_line),
+            // Block-aware grant: the next fn *with a body* at or below
+            // the pragma line, in the same brace block (trailing on
+            // the `fn` line also binds: kw_line == c.line). A pragma
+            // falling out the bottom of its impl/mod block is an
+            // error, not a silent leak to the next top-level fn.
+            let home = items.block_at_line(c.line);
+            let target = items.fns.iter().find(|f| {
+                f.kw_line >= c.line && f.body.is_some() && (f.kw_line == c.line || f.block == home)
+            });
+            match target {
+                Some(f) => (f.kw_line, f.end_line),
                 None => {
                     errors.push(Finding {
                         rule: PRAGMA_RULE,
                         line: c.line,
-                        msg: format!("`lint:allow-fn({rule})` has no following fn to scope to"),
+                        msg: format!(
+                            "`lint:allow-fn({rule})` has no following fn in this block to \
+                             scope to"
+                        ),
                     });
                     continue;
                 }
@@ -126,13 +151,10 @@ fn collect_pragmas(lx: &Lexed, spans: &[crate::rules::FnSpan]) -> (Vec<Pragma>, 
     (pragmas, errors)
 }
 
-/// Lint one file's source: run the rules, then apply pragmas. Returns
-/// the surviving findings (including pragma-misuse findings).
-pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
-    let lx = lex(src);
-    let raw = run_rules(rel_path, &lx);
-    let spans = fn_spans(&lx.toks);
-    let (mut pragmas, mut out) = collect_pragmas(&lx, &spans);
+/// Apply a file's pragmas to its merged findings. Returns the
+/// survivors (including pragma-misuse findings), sorted.
+fn apply_pragmas(lx: &Lexed, items: &Items, raw: Vec<Finding>) -> Vec<Finding> {
+    let (mut pragmas, mut out) = collect_pragmas(lx, items);
     for finding in raw {
         // Exact-line pragmas claim a finding before any fn-scoped
         // grant, so a broad grant can't starve a narrow one into an
@@ -170,6 +192,102 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
     out
 }
 
+/// The full report of one lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Files scanned.
+    pub files: usize,
+    /// Workspace fns in the call graph.
+    pub fns: usize,
+    /// Resolved call edges.
+    pub edges: usize,
+    /// Multi-candidate calls that produced no edge.
+    pub ambiguous: usize,
+    /// Surviving findings as `(relative path, finding)`.
+    pub findings: Vec<(String, Finding)>,
+}
+
+impl Report {
+    /// `file:line: rule: message` lines, sorted.
+    pub fn diagnostics(&self) -> Vec<String> {
+        self.findings
+            .iter()
+            .map(|(p, f)| format!("{p}:{}: {}: {}", f.line, f.rule, f.msg))
+            .collect()
+    }
+
+    /// Machine-readable one-line JSON summary (counts per rule).
+    pub fn summary_json(&self) -> String {
+        let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
+        for r in RULES.iter().chain(std::iter::once(&PRAGMA_RULE)) {
+            per_rule.insert(r, 0);
+        }
+        for (_, f) in &self.findings {
+            *per_rule.entry(f.rule).or_insert(0) += 1;
+        }
+        let rules =
+            per_rule.iter().map(|(r, n)| format!("\"{r}\":{n}")).collect::<Vec<_>>().join(",");
+        format!(
+            "{{\"files\":{},\"fns\":{},\"edges\":{},\"ambiguous\":{},\"findings\":{},\
+             \"rules\":{{{}}}}}",
+            self.files,
+            self.fns,
+            self.edges,
+            self.ambiguous,
+            self.findings.len(),
+            rules
+        )
+    }
+}
+
+/// Lint a set of in-memory files as one workspace: per-line rules,
+/// call-graph construction, interprocedural rules, then pragmas.
+pub fn lint_files(files: &[(String, String)]) -> Report {
+    let lexed: Vec<(String, Lexed)> =
+        files.iter().map(|(rel, src)| (rel.clone(), lex(src))).collect();
+    let refs: Vec<(String, &Lexed)> = lexed.iter().map(|(rel, lx)| (rel.clone(), lx)).collect();
+    let graph = CallGraph::build(&refs);
+    let sources: HashMap<String, &Lexed> =
+        lexed.iter().map(|(rel, lx)| (rel.clone(), lx)).collect();
+
+    let mut per_file: BTreeMap<&str, Vec<Finding>> = BTreeMap::new();
+    for (rel, lx) in &lexed {
+        per_file.insert(rel, run_rules(rel, lx));
+    }
+    for (rel, f) in run_interproc(&graph, &sources) {
+        if let Some(v) = per_file.get_mut(rel.as_str()) {
+            v.push(f);
+        }
+    }
+
+    let mut report = Report {
+        files: files.len(),
+        fns: graph.fns.len(),
+        edges: graph.edges.iter().map(Vec::len).sum(),
+        ambiguous: graph.ambiguous.len(),
+        findings: Vec::new(),
+    };
+    for (rel, lx) in &lexed {
+        let items = &graph.items_by_file[rel.as_str()];
+        let raw = per_file.remove(rel.as_str()).unwrap_or_default();
+        for f in apply_pragmas(lx, items, raw) {
+            report.findings.push((rel.clone(), f));
+        }
+    }
+    report.findings.sort_by(|a, b| (&a.0, a.1.line, a.1.rule).cmp(&(&b.0, b.1.line, b.1.rule)));
+    report
+}
+
+/// Lint one file's source in isolation (single-file call graph).
+/// Returns the surviving findings.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    lint_files(&[(rel_path.to_string(), src.to_string())])
+        .findings
+        .into_iter()
+        .map(|(_, f)| f)
+        .collect()
+}
+
 /// Directories never walked: build output, VCS, CI config, and the
 /// offline dependency shims (vendored API stand-ins, not our code).
 const SKIP_DIRS: [&str; 5] = ["target", ".git", ".github", "shims", "node_modules"];
@@ -205,55 +323,14 @@ pub fn workspace_files(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
     Ok(out)
 }
 
-/// The full report of one workspace lint run.
-#[derive(Debug, Default)]
-pub struct Report {
-    /// Files scanned.
-    pub files: usize,
-    /// Surviving findings as `(relative path, finding)`.
-    pub findings: Vec<(String, Finding)>,
-}
-
-impl Report {
-    /// `file:line: rule: message` lines, sorted.
-    pub fn diagnostics(&self) -> Vec<String> {
-        self.findings
-            .iter()
-            .map(|(p, f)| format!("{p}:{}: {}: {}", f.line, f.rule, f.msg))
-            .collect()
-    }
-
-    /// Machine-readable one-line JSON summary (counts per rule).
-    pub fn summary_json(&self) -> String {
-        let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
-        for r in RULES.iter().chain(std::iter::once(&PRAGMA_RULE)) {
-            per_rule.insert(r, 0);
-        }
-        for (_, f) in &self.findings {
-            *per_rule.entry(f.rule).or_insert(0) += 1;
-        }
-        let rules =
-            per_rule.iter().map(|(r, n)| format!("\"{r}\":{n}")).collect::<Vec<_>>().join(",");
-        format!(
-            "{{\"files\":{},\"findings\":{},\"rules\":{{{}}}}}",
-            self.files,
-            self.findings.len(),
-            rules
-        )
-    }
-}
-
 /// Lint every workspace source file under `root`.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
     let files = workspace_files(root)?;
-    let mut report = Report { files: files.len(), findings: Vec::new() };
+    let mut sources = Vec::with_capacity(files.len());
     for (rel, abs) in files {
-        let src = fs::read_to_string(&abs)?;
-        for f in lint_source(&rel, &src) {
-            report.findings.push((rel.clone(), f));
-        }
+        sources.push((rel, fs::read_to_string(&abs)?));
     }
-    Ok(report)
+    Ok(lint_files(&sources))
 }
 
 /// Find the workspace root: the nearest ancestor of `start` whose
@@ -338,5 +415,58 @@ fn g(a: u32) -> u64 { 1u64 << a }\n";
         let src = "// lint:allow(no-raw-octave-shift): nothing here shifts\nfn f() {}\n";
         let f = lint_source("crates/x/src/a.rs", src);
         assert!(f.iter().any(|x| x.msg.contains("unused pragma")));
+    }
+
+    #[test]
+    fn fn_pragma_between_impl_methods_scopes_to_next_method() {
+        // Satellite bugfix: the grant binds to `b` (same impl block),
+        // and `c` outside the impl still fires.
+        let src = "\
+struct S;\n\
+impl S {\n\
+    fn a(&self, x: u32) -> u64 { 1u64 << x }\n\
+\n\
+    // lint:allow-fn(no-raw-octave-shift): b's exponent is clamped at entry\n\
+    fn b(&self, x: u32) -> u64 {\n\
+        1u64 << x\n\
+    }\n\
+}\n\
+fn c(x: u32) -> u64 { 1u64 << x }\n";
+        let f = lint_source("crates/x/src/a.rs", src);
+        let lines: Vec<u32> = f.iter().map(|x| x.line).collect();
+        assert_eq!(lines, vec![3, 10], "{f:?}");
+    }
+
+    #[test]
+    fn fn_pragma_after_last_impl_method_is_an_error_not_a_leak() {
+        // Satellite bugfix: before v2 this grant leaked to the next
+        // *top-level* fn (`c`), silently suppressing its finding.
+        let src = "\
+struct S;\n\
+impl S {\n\
+    fn a(&self) -> u64 { 2 }\n\
+    // lint:allow-fn(no-raw-octave-shift): dangling grant\n\
+}\n\
+fn c(x: u32) -> u64 { 1u64 << x }\n";
+        let f = lint_source("crates/x/src/a.rs", src);
+        assert!(f.iter().any(|x| x.rule == "pragma" && x.msg.contains("no following fn")), "{f:?}");
+        assert!(f.iter().any(|x| x.rule == "no-raw-octave-shift" && x.line == 6), "{f:?}");
+    }
+
+    #[test]
+    fn fn_pragma_never_binds_to_bodyless_decl() {
+        // A bodyless trait declaration once produced a span running to
+        // end-of-file; the grant must skip it (and, finding no bodied
+        // fn in the trait block, error out) rather than swallow every
+        // finding below.
+        let src = "\
+trait T {\n\
+    // lint:allow-fn(no-raw-octave-shift): cannot grant a declaration\n\
+    fn sig(&self, x: u32) -> u64;\n\
+}\n\
+fn c(x: u32) -> u64 { 1u64 << x }\n";
+        let f = lint_source("crates/x/src/a.rs", src);
+        assert!(f.iter().any(|x| x.rule == "pragma" && x.msg.contains("no following fn")), "{f:?}");
+        assert!(f.iter().any(|x| x.rule == "no-raw-octave-shift" && x.line == 5), "{f:?}");
     }
 }

@@ -1,0 +1,382 @@
+//! Structured item model over the token stream: every `fn` definition
+//! with its module path, impl/trait-block owner, body extent, and
+//! enclosing block — the input layer for the call graph and for
+//! block-aware `lint:allow-fn` pragma scoping.
+//!
+//! The parser is a single forward pass that tracks the brace-block
+//! stack. It understands exactly as much Rust as the rules need:
+//!
+//! - `mod name { … }` pushes a module segment (`mod tests` marks test
+//!   scope);
+//! - `impl [<…>] Type [for Type2] { … }` and `trait Name { … }` push
+//!   an owner — for `impl Trait for Type` the owner is **`Type`**
+//!   (the implementing type), matching how call sites qualify methods;
+//! - `fn name … { … }` records a [`FnItem`]; a signature terminated by
+//!   `;` (trait method declaration, extern decl) records a **bodyless**
+//!   item whose span is empty — bodyless declarations must never
+//!   receive pragma grants or body scans (a pre-v2 bug let such a span
+//!   run to end-of-file, leaking fn-scoped pragmas across blocks).
+//!
+//! Everything else (`match`/closure/loop braces) is an anonymous
+//! block. `impl` inside a signature (`fn f() -> impl Iterator`,
+//! `arg: impl Fn()`) is ignored: an owner block is only armed when no
+//! `fn` signature is pending.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One `{ … }` region. Block 0 is the synthetic file root covering
+/// every line.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Line of the opening `{` (0 for the file root).
+    pub start_line: u32,
+    /// Line of the closing `}` (u32::MAX until closed / for the root).
+    pub end_line: u32,
+    /// Index of the enclosing block (root is its own parent).
+    pub parent: usize,
+}
+
+/// One `fn` item.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Implementing type (for `impl`/`trait` methods), else `None`.
+    pub owner: Option<String>,
+    /// Inline `mod` path from the crate file root, outermost first.
+    pub module: Vec<String>,
+    /// Line of the `fn` keyword.
+    pub kw_line: u32,
+    /// Last body line (the closing `}`); `kw_line` if bodyless.
+    pub end_line: u32,
+    /// Token range `[start, end]` of the body braces, if any.
+    pub body: Option<(usize, usize)>,
+    /// Inside a `mod tests { … }` block.
+    pub in_tests: bool,
+    /// Index into [`Items::blocks`] of the block *containing* the
+    /// `fn` keyword (not the body block).
+    pub block: usize,
+}
+
+impl FnItem {
+    /// `Owner::name` or plain `name`, for diagnostics.
+    pub fn qual_name(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The parsed items of one file.
+#[derive(Clone, Debug, Default)]
+pub struct Items {
+    /// Every `fn` item in declaration order.
+    pub fns: Vec<FnItem>,
+    /// Every brace block; index 0 is the synthetic file root.
+    pub blocks: Vec<Block>,
+}
+
+impl Items {
+    /// Innermost block whose line range contains `line`. Same-line
+    /// braces tie-break toward the latest-opened block.
+    pub fn block_at_line(&self, line: u32) -> usize {
+        let mut best = 0usize;
+        for (i, b) in self.blocks.iter().enumerate().skip(1) {
+            if b.start_line <= line
+                && line <= b.end_line
+                && b.start_line >= self.blocks[best].start_line
+            {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// What kind of scope a just-seen keyword will attach to the next `{`.
+#[derive(Clone, Debug)]
+enum Pending {
+    Fn { item: usize },
+    Mod { name: String },
+    Owner { name: String },
+}
+
+/// Parse the token stream into [`Items`].
+pub fn parse_items(toks: &[Tok]) -> Items {
+    let mut items = Items {
+        fns: Vec::new(),
+        blocks: vec![Block { start_line: 0, end_line: u32::MAX, parent: 0 }],
+    };
+    // Per open block: (block index, scope it introduced).
+    enum Opened {
+        Plain,
+        Mod,
+        Owner,
+        Fn(usize),
+    }
+    let mut stack: Vec<(usize, Opened)> = Vec::new();
+    let mut mods: Vec<String> = Vec::new();
+    let mut owners: Vec<String> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    // Keyword waiting for its name ident: "fn" | "mod" | "trait".
+    let mut awaiting: Option<&'static str> = None;
+    // An `impl` header in progress: collecting the type path.
+    let mut impl_hdr: Option<ImplHeader> = None;
+    let mut pdepth = 0i32;
+
+    let cur_block = |stack: &Vec<(usize, Opened)>| stack.last().map(|&(b, _)| b).unwrap_or(0);
+
+    for (i, t) in toks.iter().enumerate() {
+        // An impl header consumes tokens until its `{` (or a stray
+        // `;` — `impl Foo;` is not real Rust, treated as abandoned).
+        if let Some(h) = impl_hdr.as_mut() {
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Punct, "{") => {
+                    let name = h.owner_name();
+                    impl_hdr = None;
+                    pending = Some(Pending::Owner { name });
+                    // fall through to the `{` handling below
+                }
+                (TokKind::Punct, ";") => {
+                    impl_hdr = None;
+                    continue;
+                }
+                (TokKind::Punct, "<") => {
+                    h.angle += 1;
+                    continue;
+                }
+                (TokKind::Punct, ">") => {
+                    h.angle = (h.angle - 1).max(0);
+                    continue;
+                }
+                (TokKind::Ident, "for") if h.angle == 0 => {
+                    h.after_for = true;
+                    h.last = None;
+                    continue;
+                }
+                (TokKind::Ident, "where") if h.angle == 0 => {
+                    h.in_where = true;
+                    continue;
+                }
+                (TokKind::Ident, name) if h.angle == 0 && !h.in_where => {
+                    h.last = Some(name.to_string());
+                    continue;
+                }
+                _ => continue,
+            }
+        }
+
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Ident, name) if awaiting.is_some() => match awaiting.take() {
+                Some("fn") => {
+                    let in_tests = mods.iter().any(|m| m == "tests");
+                    items.fns.push(FnItem {
+                        name: name.to_string(),
+                        owner: owners.last().cloned(),
+                        module: mods.clone(),
+                        kw_line: t.line,
+                        end_line: t.line,
+                        body: None,
+                        in_tests,
+                        block: cur_block(&stack),
+                    });
+                    pending = Some(Pending::Fn { item: items.fns.len() - 1 });
+                }
+                Some("mod") => pending = Some(Pending::Mod { name: name.to_string() }),
+                Some("trait") => pending = Some(Pending::Owner { name: name.to_string() }),
+                _ => {}
+            },
+            (TokKind::Ident, "fn") => awaiting = Some("fn"),
+            (TokKind::Ident, "mod") => awaiting = Some("mod"),
+            (TokKind::Ident, "trait") => awaiting = Some("trait"),
+            // `impl` only opens an owner block at item position: not
+            // while a fn signature is pending (`-> impl Trait`,
+            // `arg: impl Fn()`), not inside parens/brackets.
+            (TokKind::Ident, "impl")
+                if pdepth == 0 && !matches!(pending, Some(Pending::Fn { .. })) =>
+            {
+                impl_hdr = Some(ImplHeader::default());
+            }
+            (TokKind::Punct, "{") => {
+                // A punct between keyword and name means this was no
+                // item (`fn(u32)` pointer type): cancel the wait.
+                awaiting = None;
+                let parent = cur_block(&stack);
+                items.blocks.push(Block { start_line: t.line, end_line: u32::MAX, parent });
+                let b = items.blocks.len() - 1;
+                let opened = match pending.take() {
+                    Some(Pending::Fn { item }) => {
+                        items.fns[item].body = Some((i, usize::MAX));
+                        Opened::Fn(item)
+                    }
+                    Some(Pending::Mod { name }) => {
+                        mods.push(name);
+                        Opened::Mod
+                    }
+                    Some(Pending::Owner { name }) => {
+                        owners.push(name);
+                        Opened::Owner
+                    }
+                    None => Opened::Plain,
+                };
+                stack.push((b, opened));
+            }
+            (TokKind::Punct, "}") => {
+                if let Some((b, opened)) = stack.pop() {
+                    items.blocks[b].end_line = t.line;
+                    match opened {
+                        Opened::Mod => {
+                            mods.pop();
+                        }
+                        Opened::Owner => {
+                            owners.pop();
+                        }
+                        Opened::Fn(item) => {
+                            items.fns[item].end_line = t.line;
+                            if let Some((s, _)) = items.fns[item].body {
+                                items.fns[item].body = Some((s, i));
+                            }
+                        }
+                        Opened::Plain => {}
+                    }
+                }
+            }
+            (TokKind::Punct, "(" | "[") => {
+                awaiting = None;
+                pdepth += 1;
+            }
+            (TokKind::Punct, ")" | "]") => {
+                awaiting = None;
+                pdepth -= 1;
+            }
+            // A `;` at item depth terminates a bodyless declaration:
+            // the pending fn stays recorded (it exists, for call-graph
+            // completeness) but keeps `body: None` and an empty span.
+            (TokKind::Punct, ";") if pdepth == 0 => {
+                awaiting = None;
+                pending = None;
+            }
+            _ => awaiting = None,
+        }
+    }
+
+    // Unterminated bodies (EOF mid-fn) run to the last token.
+    let last_line = toks.last().map(|t| t.line).unwrap_or(0);
+    let last_tok = toks.len().saturating_sub(1);
+    for f in &mut items.fns {
+        if let Some((s, e)) = f.body {
+            if e == usize::MAX {
+                f.body = Some((s, last_tok));
+                f.end_line = last_line;
+            }
+        }
+    }
+    for b in &mut items.blocks[1..] {
+        if b.end_line == u32::MAX {
+            b.end_line = last_line;
+        }
+    }
+    items
+}
+
+/// Scratch state while scanning an `impl … {` header.
+#[derive(Default)]
+struct ImplHeader {
+    /// Angle-bracket depth (generics are skipped wholesale).
+    angle: i32,
+    /// Seen `for`: subsequent idents name the implementing type.
+    after_for: bool,
+    /// Past the `where` clause: stop collecting.
+    in_where: bool,
+    /// Last ident seen at angle depth 0 in the current section.
+    last: Option<String>,
+}
+
+impl ImplHeader {
+    /// The implementing type's name: the last path segment before the
+    /// body brace — after `for` if present (`impl Trait for Type`),
+    /// else the type itself (`impl Type`).
+    fn owner_name(&self) -> String {
+        self.last.clone().unwrap_or_else(|| "?".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn fns(src: &str) -> Vec<FnItem> {
+        parse_items(&lex(src).toks).fns
+    }
+
+    #[test]
+    fn free_fn_and_method_owners() {
+        let f = fns("fn a() {} struct S; impl S { fn b(&self) {} } impl Clone for S { fn clone(&self) -> S { S } }");
+        assert_eq!(f.len(), 3);
+        assert_eq!((f[0].name.as_str(), f[0].owner.as_deref()), ("a", None));
+        assert_eq!((f[1].name.as_str(), f[1].owner.as_deref()), ("b", Some("S")));
+        assert_eq!((f[2].name.as_str(), f[2].owner.as_deref()), ("clone", Some("S")));
+    }
+
+    #[test]
+    fn generic_impl_and_where_clause() {
+        let f = fns("impl<T: Ord> Wrap<T> where T: Clone { fn get(&self) {} }");
+        assert_eq!(f[0].owner.as_deref(), Some("Wrap"));
+    }
+
+    #[test]
+    fn impl_in_signature_is_not_an_owner() {
+        let f = fns("fn mk() -> impl Iterator<Item = u32> { (0..3) } fn take(x: impl Fn()) {}");
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|x| x.owner.is_none()));
+    }
+
+    #[test]
+    fn bodyless_trait_decl_has_empty_span() {
+        let src =
+            "trait T {\n    fn sig(&self);\n    fn with_default(&self) { () }\n}\nfn tail() {}\n";
+        let f = fns(src);
+        assert_eq!(f[0].name, "sig");
+        assert!(f[0].body.is_none());
+        assert_eq!(f[0].end_line, f[0].kw_line, "bodyless span must not leak to EOF");
+        assert_eq!(f[1].name, "with_default");
+        assert_eq!(f[1].owner.as_deref(), Some("T"));
+        assert!(f[1].body.is_some());
+        assert_eq!(f[2].name, "tail");
+        assert_eq!(f[2].owner, None);
+    }
+
+    #[test]
+    fn fn_pointer_type_is_not_an_item() {
+        let f = fns("type F = fn(u32) -> bool; struct H { cb: fn(u8) } fn real() {}");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].name, "real");
+    }
+
+    #[test]
+    fn module_paths_and_tests_mod() {
+        let f = fns("mod a { mod tests { fn t() {} } fn u() {} }");
+        assert_eq!(f[0].module, vec!["a", "tests"]);
+        assert!(f[0].in_tests);
+        assert_eq!(f[1].module, vec!["a"]);
+        assert!(!f[1].in_tests);
+    }
+
+    #[test]
+    fn blocks_nest_and_resolve_by_line() {
+        let src = "impl S {\n    fn a(&self) {\n        ()\n    }\n\n    fn b(&self) { () }\n}\nfn c() {}\n";
+        let it = parse_items(&lex(src).toks);
+        // Line 5 (between a and b) sits in the impl block, which also
+        // contains both methods' kw lines.
+        let impl_block = it.block_at_line(5);
+        assert_ne!(impl_block, 0);
+        let a = &it.fns[0];
+        let b = &it.fns[1];
+        let c = &it.fns[2];
+        assert_eq!(a.block, impl_block);
+        assert_eq!(b.block, impl_block);
+        assert_eq!(c.block, 0);
+    }
+}

@@ -9,14 +9,22 @@
 //! regressions — the claims→evidence map (ROADMAP item 5) made
 //! executable.
 //!
-//! | rule | invariant | origin |
-//! |---|---|---|
-//! | `no-raw-octave-shift` | radius shifts go through `octave_radius` | PR 3: `1u64 << a` overflow at Δ ≥ 2⁶¹ |
-//! | `no-nan-unsafe-cmp` | comparators are total | PR 2: NaN-unsafe `partial_cmp().unwrap()` sorts |
-//! | `panic-free-decode` | decode surfaces error, never panic | PR 5: snapshot corruption contract |
-//! | `deterministic-serialization` | saves are byte-deterministic | PR 5: `Scheme::save` sorted-key contract |
-//! | `chunk-ordered-merge` | fan-out merges are thread-count-independent | PR 4: chunk-ordered merge discipline |
-//! | `forbid-unsafe` | the workspace stays `unsafe`-free | standing policy since PR 1 |
+//! Since v2 the linter is call-graph-aware: a hand-written item parser
+//! ([`items`]) and unique-name call resolution ([`callgraph`]) let
+//! four rules reason over *reachability* instead of single lines — an
+//! `unwrap()` three calls below `serve_batch` is now as visible as one
+//! inside it.
+//!
+//! | rule | scope | invariant | origin |
+//! |---|---|---|---|
+//! | `no-raw-octave-shift` | per line | radius shifts go through `octave_radius` | PR 3: `1u64 << a` overflow at Δ ≥ 2⁶¹ |
+//! | `no-nan-unsafe-cmp` | per line | comparators are total | PR 2: NaN-unsafe `partial_cmp().unwrap()` sorts |
+//! | `panic-free-serve` | serve/repair cones | route/serve/repair/decode never panic | PR 5 decode contract, widened to the whole serving call graph |
+//! | `deterministic-output` | save cones | saves are byte-deterministic | PR 5: `Scheme::save` sorted-key contract |
+//! | `no-alloc-in-route` | route cone | hot-path allocation is deliberate | PR 7 serving-engine latency work |
+//! | `octave-taint` | per fn, dataflow | radius arithmetic uses `cost_add` | PR 3/8: saturating-add discipline |
+//! | `chunk-ordered-merge` | per line | fan-out merges are thread-count-independent | PR 4: chunk-ordered merge discipline |
+//! | `forbid-unsafe` | per line | the workspace stays `unsafe`-free | standing policy since PR 1 |
 //!
 //! The scanner is a self-contained lexer (offline container — no
 //! `syn`): strings, raw strings, char literals, and nested comments
@@ -25,11 +33,22 @@
 //! `// lint:allow(rule): reason` pragmas; a pragma without a reason —
 //! or one that suppresses nothing — is itself an error.
 //!
+//! CI runs in baseline-diff mode: `agm-lint --diff-baseline` fails
+//! only on findings *new* relative to the checked-in
+//! `crates/analysis/BASELINE.json` ([`baseline`]), and
+//! `--format sarif` / `--sarif-out` emit SARIF 2.1.0 ([`sarif`]) for
+//! code-scanning annotations.
+//!
 //! Run it with `cargo run --release -p analysis --bin agm-lint`.
 
+pub mod baseline;
+pub mod callgraph;
+pub mod cones;
 pub mod engine;
+pub mod items;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
 
-pub use engine::{find_workspace_root, lint_source, lint_workspace, Report};
+pub use engine::{find_workspace_root, lint_files, lint_source, lint_workspace, Report};
 pub use rules::{Finding, RULES};

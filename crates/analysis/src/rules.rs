@@ -1,22 +1,27 @@
-//! The rule catalogue. Every rule is named after the bug class (or
-//! standing invariant) that motivated it; the mapping to the PR that
-//! fixed the original instance lives in DESIGN.md §"Invariants & lint
-//! rules".
+//! The per-line rule catalogue. Every rule is named after the bug
+//! class (or standing invariant) that motivated it; the mapping to the
+//! PR that fixed the original instance lives in DESIGN.md
+//! §"Invariants & lint rules".
 //!
-//! Rules operate on the token stream from [`crate::lexer`], plus a
-//! per-token scope context (innermost `fn` name, whether the token is
-//! inside a `#[cfg(test)] mod tests` block or a test-only file). All
+//! Rules here operate on one file's token stream from
+//! [`crate::lexer`]; the four interprocedural rules (panic-free-serve,
+//! deterministic-output, no-alloc-in-route, octave-taint) live in
+//! [`crate::cones`] and run over the workspace call graph. All
 //! matching is token-based, so text inside strings and comments can
 //! never fire a rule.
 
 use crate::lexer::{Lexed, Tok, TokKind};
 
-/// The six rule identifiers, in reporting order.
-pub const RULES: [&str; 6] = [
+/// The eight rule identifiers, in reporting order. The first two and
+/// last two are per-line lexical rules; the middle four are
+/// call-graph-aware (see [`crate::cones`]).
+pub const RULES: [&str; 8] = [
     "no-raw-octave-shift",
     "no-nan-unsafe-cmp",
-    "panic-free-decode",
-    "deterministic-serialization",
+    "panic-free-serve",
+    "deterministic-output",
+    "no-alloc-in-route",
+    "octave-taint",
     "chunk-ordered-merge",
     "forbid-unsafe",
 ];
@@ -36,117 +41,6 @@ pub struct Finding {
     pub msg: String,
 }
 
-/// Per-token scope context.
-#[derive(Clone, Debug, Default)]
-struct Ctx {
-    /// Innermost enclosing function name, if any.
-    fn_name: Option<String>,
-    /// Inside a `mod tests { … }` block.
-    in_tests_mod: bool,
-}
-
-#[derive(Clone, Debug)]
-enum Scope {
-    Fn(String),
-    Mod(String),
-    Brace,
-}
-
-/// One function's source extent, for `lint:allow-fn` pragmas.
-#[derive(Clone, Debug)]
-pub struct FnSpan {
-    /// Function name.
-    pub name: String,
-    /// Line of the `fn` keyword.
-    pub kw_line: u32,
-    /// Last line of the body (the closing `}`).
-    pub end_line: u32,
-}
-
-/// Source extents of every `fn` with a body, in declaration order.
-pub fn fn_spans(toks: &[Tok]) -> Vec<FnSpan> {
-    let mut out: Vec<FnSpan> = Vec::new();
-    let mut stack: Vec<Option<usize>> = Vec::new(); // index into `out` for Fn scopes
-    let mut pending: Option<usize> = None;
-    let mut awaiting_fn = false;
-    let mut kw_line = 0u32;
-    let mut pdepth = 0i32;
-    for t in toks {
-        match (t.kind, t.text.as_str()) {
-            (TokKind::Ident, name) if awaiting_fn => {
-                awaiting_fn = false;
-                out.push(FnSpan { name: name.to_string(), kw_line, end_line: 0 });
-                pending = Some(out.len() - 1);
-            }
-            (TokKind::Ident, "fn") => {
-                awaiting_fn = true;
-                kw_line = t.line;
-            }
-            (TokKind::Punct, "{") => stack.push(pending.take()),
-            (TokKind::Punct, "}") => {
-                if let Some(Some(ix)) = stack.pop() {
-                    out[ix].end_line = t.line;
-                }
-            }
-            (TokKind::Punct, "(" | "[") => pdepth += 1,
-            (TokKind::Punct, ")" | "]") => pdepth -= 1,
-            (TokKind::Punct, ";") if pdepth == 0 => pending = None,
-            _ => awaiting_fn = false,
-        }
-    }
-    // Unterminated bodies (EOF mid-fn) run to the last token.
-    let last = toks.last().map(|t| t.line).unwrap_or(0);
-    for s in &mut out {
-        if s.end_line == 0 {
-            s.end_line = last;
-        }
-    }
-    out
-}
-
-/// Compute the enclosing-scope context for every token. A `fn` or
-/// `mod` keyword arms a pending scope that attaches to the next `{`
-/// (a terminating `;` — trait method declaration, out-of-line module —
-/// discards it).
-fn contexts(toks: &[Tok]) -> Vec<Ctx> {
-    let mut out = Vec::with_capacity(toks.len());
-    let mut stack: Vec<Scope> = Vec::new();
-    let mut pending: Option<Scope> = None;
-    // Which keyword is waiting for its name ident.
-    let mut awaiting: Option<&'static str> = None;
-    // Paren/bracket depth: a `;` inside `[u8; 4]` in a signature must
-    // not cancel the pending scope.
-    let mut pdepth = 0i32;
-    for t in toks {
-        let fn_name = stack.iter().rev().find_map(|s| match s {
-            Scope::Fn(n) => Some(n.clone()),
-            _ => None,
-        });
-        let in_tests_mod = stack.iter().any(|s| matches!(s, Scope::Mod(n) if n == "tests"));
-        out.push(Ctx { fn_name, in_tests_mod });
-
-        match (t.kind, t.text.as_str()) {
-            (TokKind::Ident, name) if awaiting.is_some() => {
-                pending = Some(match awaiting.take().unwrap() {
-                    "fn" => Scope::Fn(name.to_string()),
-                    _ => Scope::Mod(name.to_string()),
-                });
-            }
-            (TokKind::Ident, "fn") => awaiting = Some("fn"),
-            (TokKind::Ident, "mod") => awaiting = Some("mod"),
-            (TokKind::Punct, "{") => stack.push(pending.take().unwrap_or(Scope::Brace)),
-            (TokKind::Punct, "}") => {
-                stack.pop();
-            }
-            (TokKind::Punct, "(" | "[") => pdepth += 1,
-            (TokKind::Punct, ")" | "]") => pdepth -= 1,
-            (TokKind::Punct, ";") if pdepth == 0 => pending = None,
-            _ => awaiting = None,
-        }
-    }
-    out
-}
-
 /// Is this integer literal the value 1 (any radix/suffix)?
 fn is_one(tok: &Tok) -> bool {
     if tok.kind != TokKind::Int {
@@ -163,22 +57,13 @@ fn is_one(tok: &Tok) -> bool {
 }
 
 /// Does `path` (forward-slash relative path) live in test-only code?
-fn test_path(path: &str) -> bool {
+pub(crate) fn test_path(path: &str) -> bool {
     path.split('/').any(|c| c == "tests" || c == "benches") || path.starts_with("examples/")
 }
 
-/// Is this file one of the designated decode surfaces for
-/// `panic-free-decode`? (Plus: any `fn from_wire` body anywhere.)
-fn decode_file(path: &str) -> bool {
-    path.ends_with("crates/graphkit/src/wire.rs")
-        || path == "crates/graphkit/src/wire.rs"
-        || path.ends_with("crates/core/src/snapshot.rs")
-        || path == "crates/core/src/snapshot.rs"
-}
-
-/// Is this function a serialization/save path for
-/// `deterministic-serialization`?
-fn save_fn(name: &str) -> bool {
+/// Is this function a serialization/save sink for
+/// `deterministic-output`?
+pub(crate) fn save_fn(name: &str) -> bool {
     name == "save"
         || name == "to_wire"
         || name.starts_with("encode_")
@@ -192,13 +77,11 @@ fn crate_root(path: &str) -> bool {
     path.ends_with("src/lib.rs")
 }
 
-/// Run all six rules over one lexed file. Pragma application happens
-/// later, in [`crate::engine`].
+/// Run the per-line rules over one lexed file. Pragma application and
+/// the interprocedural rules happen later, in [`crate::engine`].
 pub fn run_rules(path: &str, lx: &Lexed) -> Vec<Finding> {
     let toks = &lx.toks;
-    let ctx = contexts(toks);
     let mut f = Vec::new();
-    let in_test_file = test_path(path);
 
     let tk = |i: usize| toks.get(i).map(|t| (t.kind, t.text.as_str()));
     let is_punct = |i: usize, p: &str| tk(i) == Some((TokKind::Punct, p));
@@ -206,7 +89,6 @@ pub fn run_rules(path: &str, lx: &Lexed) -> Vec<Finding> {
 
     for i in 0..toks.len() {
         let t = &toks[i];
-        let in_tests = ctx[i].in_tests_mod || in_test_file;
 
         // ---- no-raw-octave-shift --------------------------------
         // `1 << <non-literal>`: the PR 3 overflow class. A literal
@@ -244,69 +126,6 @@ pub fn run_rules(path: &str, lx: &Lexed) -> Vec<Finding> {
                             .into(),
                     });
                 }
-            }
-        }
-
-        // ---- panic-free-decode ----------------------------------
-        // Decode surfaces must turn corrupt input into io::Error,
-        // never a panic. Scope: the wire/snapshot files (outside
-        // `mod tests`) plus every `fn from_wire` body.
-        let in_decode =
-            !in_tests && (decode_file(path) || ctx[i].fn_name.as_deref() == Some("from_wire"));
-        if in_decode {
-            let panic_msg: Option<&str> = if is_punct(i, ".")
-                && (is_ident(i + 1, "unwrap") || is_ident(i + 1, "expect"))
-                && is_punct(i + 2, "(")
-            {
-                Some(
-                    "`.unwrap()`/`.expect()` in a decode path: corrupt input must surface as \
-                      io::Error, never a panic",
-                )
-            } else if t.kind == TokKind::Ident
-                && matches!(t.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
-                && is_punct(i + 1, "!")
-            {
-                Some("panicking macro in a decode path: corrupt input must surface as io::Error")
-            } else if t.kind == TokKind::Punct
-                && t.text == "["
-                && i > 0
-                && (toks[i - 1].kind == TokKind::Ident
-                    || toks[i - 1].text == ")"
-                    || toks[i - 1].text == "]"
-                    || toks[i - 1].text == "?")
-                && toks[i - 1].text != "vec"
-            {
-                Some(
-                    "direct slice indexing in a decode path can panic on corrupt input; \
-                      bounds-check and return InvalidData instead",
-                )
-            } else {
-                None
-            };
-            if let Some(msg) = panic_msg {
-                f.push(Finding { rule: "panic-free-decode", line: t.line, msg: msg.into() });
-            }
-        }
-
-        // ---- deterministic-serialization ------------------------
-        // Byte-deterministic saves: a save/serialize path touching an
-        // unordered map must document (pragma) that keys are sorted
-        // before anything reaches the writer.
-        if !in_tests && ctx[i].fn_name.as_deref().is_some_and(save_fn) {
-            let unordered_ty =
-                t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet");
-            let unordered_iter = is_punct(i, ".")
-                && (is_ident(i + 1, "keys") || is_ident(i + 1, "values"))
-                && is_punct(i + 2, "(");
-            if unordered_ty || unordered_iter {
-                f.push(Finding {
-                    rule: "deterministic-serialization",
-                    line: t.line,
-                    msg: "unordered HashMap/HashSet feeding a serialization path breaks \
-                          byte-deterministic saves; sort keys before writing (and document \
-                          with a pragma)"
-                        .into(),
-                });
             }
         }
 
@@ -371,7 +190,7 @@ pub fn run_rules(path: &str, lx: &Lexed) -> Vec<Finding> {
 
 /// Index of the `)` matching the `(` at `open`, tracking only round
 /// parens (sufficient for call argument lists).
-fn matching_paren(toks: &[Tok], open: usize) -> Option<usize> {
+pub(crate) fn matching_paren(toks: &[Tok], open: usize) -> Option<usize> {
     let mut depth = 0usize;
     for (j, t) in toks.iter().enumerate().skip(open) {
         if t.kind == TokKind::Punct {
@@ -400,14 +219,11 @@ mod tests {
     }
 
     #[test]
-    fn each_rule_fires_on_its_seed() {
+    fn each_lexical_rule_fires_on_its_seed() {
         let p = "crates/x/src/lib.rs";
         assert!(rules_on(p, "fn f(a: u32) -> u64 { 1u64 << a }").contains(&"no-raw-octave-shift"));
         assert!(rules_on(p, "fn f() { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }")
             .contains(&"no-nan-unsafe-cmp"));
-        assert!(rules_on(p, "fn from_wire(b: &[u8]) -> u8 { b[0] }").contains(&"panic-free-decode"));
-        assert!(rules_on(p, "fn save(&self) { for k in self.covers.keys() { w(k); } }")
-            .contains(&"deterministic-serialization"));
         assert!(
             rules_on(p, "fn f(d: &[u64]) { d.par_chunks(8); }").contains(&"chunk-ordered-merge")
         );
@@ -419,7 +235,6 @@ mod tests {
         let src = "#![forbid(unsafe_code)]\n\
             fn f(a: u32) -> u64 { octave_radius(a) }\n\
             fn g() { v.sort_by(|a, b| a.total_cmp(b)); }\n\
-            fn from_wire(b: &[u8]) -> io::Result<u8> { b.first().copied().ok_or_else(bad) }\n\
             fn h(d: &[u64]) {\n\
                 // merge: shards concatenated in chunk order, thread-count-independent\n\
                 d.par_chunks(8);\n\
@@ -438,32 +253,6 @@ mod tests {
         assert!(rules_on(p, "fn f(a: u32) -> u64 { 3u64 << a }").is_empty());
         // Bait inside strings/comments must not fire.
         assert!(rules_on(p, "fn f() { let s = \"1u64 << a\"; } // 1u64 << a").is_empty());
-    }
-
-    #[test]
-    fn fn_and_mod_contexts() {
-        let src = "fn outer() { 1 } mod tests { fn inner() { 2 } } fn save() { 3 }";
-        let lx = lex(src);
-        let ctx = contexts(&lx.toks);
-        let at = |txt: &str| {
-            let i = lx.toks.iter().position(|t| t.text == txt).unwrap();
-            ctx[i].clone()
-        };
-        assert_eq!(at("1").fn_name.as_deref(), Some("outer"));
-        assert!(!at("1").in_tests_mod);
-        assert_eq!(at("2").fn_name.as_deref(), Some("inner"));
-        assert!(at("2").in_tests_mod);
-        assert_eq!(at("3").fn_name.as_deref(), Some("save"));
-    }
-
-    #[test]
-    fn fn_pointer_type_does_not_steal_a_name() {
-        // `type F = fn(u32) -> bool;` must not arm a bogus fn scope.
-        let src = "type F = fn(u32) -> bool; fn real() { body }";
-        let lx = lex(src);
-        let ctx = contexts(&lx.toks);
-        let i = lx.toks.iter().position(|t| t.text == "body").unwrap();
-        assert_eq!(ctx[i].fn_name.as_deref(), Some("real"));
     }
 
     #[test]

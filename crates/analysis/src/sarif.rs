@@ -1,0 +1,85 @@
+//! Minimal SARIF 2.1.0 emitter so findings render as code-scanning
+//! annotations. Hand-rolled JSON (offline container — no serde);
+//! only the fields the GitHub SARIF ingester requires.
+
+use crate::engine::Report;
+use crate::rules::{PRAGMA_RULE, RULES};
+
+/// JSON-escape a string value.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a report as a SARIF 2.1.0 document.
+pub fn render(report: &Report) -> String {
+    let rules_json = RULES
+        .iter()
+        .chain(std::iter::once(&PRAGMA_RULE))
+        .map(|r| format!("{{\"id\":\"{r}\"}}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let results = report
+        .findings
+        .iter()
+        .map(|(file, f)| {
+            format!(
+                "{{\"ruleId\":\"{}\",\"level\":\"error\",\"message\":{{\"text\":\"{}\"}},\
+                 \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+                 \"region\":{{\"startLine\":{}}}}}}}]}}",
+                f.rule,
+                esc(&f.msg),
+                esc(file),
+                f.line.max(1)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\"name\":\"agm-lint\",\
+         \"informationUri\":\"https://example.invalid/agm-lint\",\
+         \"rules\":[{rules_json}]}}}},\"results\":[{results}]}}]}}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Finding;
+
+    #[test]
+    fn sarif_document_shape() {
+        let report = Report {
+            files: 1,
+            fns: 1,
+            edges: 0,
+            ambiguous: 0,
+            findings: vec![(
+                "crates/x/src/a.rs".to_string(),
+                Finding { rule: "octave-taint", line: 7, msg: "raw \"+\" on radius".into() },
+            )],
+        };
+        let doc = render(&report);
+        assert!(doc.contains("\"version\":\"2.1.0\""));
+        assert!(doc.contains("\"ruleId\":\"octave-taint\""));
+        assert!(doc.contains("\"startLine\":7"));
+        assert!(doc.contains("\"uri\":\"crates/x/src/a.rs\""));
+        assert!(doc.contains("raw \\\"+\\\" on radius"));
+        // Every rule id is declared in the driver.
+        for r in RULES {
+            assert!(doc.contains(&format!("{{\"id\":\"{r}\"}}")));
+        }
+    }
+}

@@ -375,6 +375,30 @@ pub fn baseline_build_seconds(json: &str, n: usize) -> Option<f64> {
     baseline_value(json, "n", n as u64, "build_seconds")?.parse().ok()
 }
 
+/// Every value the `anchor` field takes across a rendered topic
+/// document, in record order — one entry per record.
+pub fn baseline_anchors(json: &str, anchor: &str) -> Vec<u64> {
+    let needle = format!("\"{anchor}\": ");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find(&needle) {
+        let val = &rest[at + needle.len()..];
+        let end = val.find(|c: char| !c.is_ascii_digit()).unwrap_or(val.len());
+        if let Ok(v) = val[..end].parse() {
+            out.push(v);
+        }
+        rest = &val[end..];
+    }
+    out
+}
+
+/// The anchor value of the record closest to `n` (ties break low) —
+/// the gating anchor when the current run's exact size has no
+/// checked-in epoch.
+pub fn baseline_nearest_anchor(json: &str, anchor: &str, n: u64) -> Option<u64> {
+    baseline_anchors(json, anchor).into_iter().min_by_key(|&a| (a.abs_diff(n), a))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,6 +438,18 @@ mod tests {
         assert_eq!(baseline_peak_rss_kib(&json, 50_000), Some(2_000_000));
         assert_eq!(baseline_build_seconds(&json, 50_000), Some(222.5));
         assert_eq!(baseline_peak_rss_kib(&json, 99), None);
+    }
+
+    #[test]
+    fn nearest_anchor_selection() {
+        let json = sample();
+        assert_eq!(baseline_anchors(&json, "n"), vec![10_000, 50_000]);
+        // Exact hit, nearest-below, nearest-above, and tie-breaks-low.
+        assert_eq!(baseline_nearest_anchor(&json, "n", 50_000), Some(50_000));
+        assert_eq!(baseline_nearest_anchor(&json, "n", 12_000), Some(10_000));
+        assert_eq!(baseline_nearest_anchor(&json, "n", 1_000_000), Some(50_000));
+        assert_eq!(baseline_nearest_anchor(&json, "n", 30_000), Some(10_000));
+        assert_eq!(baseline_nearest_anchor("{}", "n", 5), None);
     }
 
     #[test]

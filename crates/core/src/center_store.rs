@@ -70,13 +70,17 @@ pub(crate) enum CenterStore {
 }
 
 impl CenterStore {
-    /// The tree of center `c`. Panics if `c` has no tree (routing only
-    /// ever asks for centers the plans recorded) or, on the spilled
-    /// store, if the spill file has become unreadable.
-    pub fn get(&self, c: u32) -> Arc<CenterTree> {
+    /// The tree of center `c`. Routing only ever asks for centers the
+    /// plans recorded, so a miss — or, on the spilled store, an
+    /// unreadable/corrupt record — is reported as an error for the
+    /// caller to degrade on (a route falls through to its next level)
+    /// rather than panicking the serving process.
+    pub fn center_tree(&self, c: u32) -> io::Result<Arc<CenterTree>> {
         match self {
-            CenterStore::Memory(m) => Arc::clone(&m[&c]),
-            CenterStore::Spilled(s) => s.get(c),
+            CenterStore::Memory(m) => {
+                m.get(&c).map(Arc::clone).ok_or_else(|| wire::invalid("unknown center"))
+            }
+            CenterStore::Spilled(s) => s.load_center(c),
         }
     }
 
@@ -84,7 +88,9 @@ impl CenterStore {
     /// these so section payloads are byte-deterministic).
     pub fn centers(&self) -> Vec<u32> {
         let mut cs: Vec<u32> = match self {
+            // lint:allow(deterministic-output): keys are collected then sorted below before any caller writes
             CenterStore::Memory(m) => m.keys().copied().collect(),
+            // lint:allow(deterministic-output): keys are collected then sorted below before any caller writes
             CenterStore::Spilled(s) => s.index.keys().copied().collect(),
         };
         cs.sort_unstable();
@@ -202,23 +208,28 @@ impl SpillStore {
     }
 
     /// Load (or fetch from cache) the tree of center `c`, decoding
-    /// the full Lemma 4 scheme from its flat-arena record.
-    fn get(&self, c: u32) -> Arc<CenterTree> {
+    /// the full Lemma 4 scheme from its flat-arena record. An index
+    /// miss, short read, or corrupt record surfaces as an error — the
+    /// route path treats it as "destination not found at this level".
+    /// The cache mutex recovers from poisoning (no invariant spans the
+    /// lock: the FIFO holds complete `Arc`s only).
+    fn load_center(&self, c: u32) -> io::Result<Arc<CenterTree>> {
         {
-            let cache = self.cache.lock().unwrap();
+            let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
             if let Some((_, ct)) = cache.iter().find(|&&(id, _)| id == c) {
-                return Arc::clone(ct);
+                return Ok(Arc::clone(ct));
             }
         }
-        let &(off, len) = self.index.get(&c).expect("center missing from spill index");
+        let &(off, len) =
+            self.index.get(&c).ok_or_else(|| wire::invalid("center missing from spill index"))?;
         let mut buf = vec![0u8; len as usize];
-        self.file.read_exact_at(&mut buf, off).expect("spill read failed");
+        self.file.read_exact_at(&mut buf, off)?;
         let mut r = wire::Reader::new(&buf);
-        let ert = ErrorReportingTree::from_wire(&mut r).expect("corrupt spill record");
+        let ert = ErrorReportingTree::from_wire(&mut r)?;
         let ct = Arc::new(CenterTree::new(ert));
-        let mut cache = self.cache.lock().unwrap();
+        let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
         cache.push_front((c, Arc::clone(&ct)));
         cache.truncate(Self::CACHE_CAP);
-        ct
+        Ok(ct)
     }
 }

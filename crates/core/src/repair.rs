@@ -215,7 +215,15 @@ impl Scheme {
             Scheme::prepare(&g2, &params, &dec2, &hier2, &src, &scopes2, &mut clock);
 
         // ---- center-tree reuse classification ------------------------
-        let state = self.repair_state.as_ref().expect("checked above");
+        // Checked at entry; kept as a non-panicking guard so a logic
+        // regression degrades to the same full rebuild, not a crash.
+        let Some(state) = self.repair_state.as_ref() else {
+            *self = Scheme::build_on_demand(g2, params);
+            return RepairOutcome::RebuiltFull {
+                reason: RebuildReason::NotPrepared,
+                seconds: t0.elapsed().as_secs_f64(),
+            };
+        };
         let mut reused = vec![false; centers.len()];
         let mut jobs: Vec<(u32, &[(u32, Cost)])> = Vec::new();
         let mut centers_added = 0usize;
@@ -253,7 +261,10 @@ impl Scheme {
         // bounded run settles every member exactly as the full run's
         // ≤-radius prefix does — the same dense ≡ on-demand invariant
         // tests/proptest_on_demand.rs asserts for whole builds).
-        let spill = params.spill.then(|| SpillWriter::create().expect("spill file creation"));
+        // Spill-file creation failing (tmpdir full or unwritable)
+        // degrades to the resident store: higher peak memory, same
+        // routing.
+        let spill = params.spill.then(SpillWriter::create).and_then(Result::ok);
         let batch = build_center_trees(&g2, &params, &jobs, true, spill.as_ref());
         drop(jobs);
         let TreeBatch { built, bix: mut bix2, lm_bits: batch_bits, labels: batch_labels } = batch;
@@ -265,10 +276,14 @@ impl Scheme {
         let mut landmark_bits = self.landmark_bits.clone();
         let mut center_labels = state.center_labels.clone();
         for &c in removed.iter().chain(&rebuilt_old) {
-            let ct = self.center_store.get(c);
-            let (_, bits, _) = index_and_bits(&ct.ert, id_bits);
-            for (gid, b) in bits {
-                landmark_bits[gid as usize] -= b;
+            // An unreadable old record leaves that center's old bits
+            // in place: the storage stats over-count (conservative),
+            // routing is unaffected.
+            if let Ok(ct) = self.center_store.center_tree(c) {
+                let (_, bits, _) = index_and_bits(&ct.ert, id_bits);
+                for (gid, b) in bits {
+                    landmark_bits[gid as usize] -= b;
+                }
             }
             center_labels.remove(&c);
         }
@@ -287,9 +302,13 @@ impl Scheme {
                 // tree IS the fresh encoding.
                 for (ci, &c) in centers.iter().enumerate() {
                     if reused[ci] {
-                        let payload =
-                            self.center_store.payload(c).expect("reused center payload read");
-                        w.write(c, &payload);
+                        // A reused record that can no longer be read
+                        // is dropped: routes through that center fall
+                        // through to their next level (degraded
+                        // delivery, no panic).
+                        if let Ok(payload) = self.center_store.payload(c) {
+                            w.write(c, &payload);
+                        }
                     }
                 }
                 CenterStore::Spilled(w.finish())
@@ -298,7 +317,12 @@ impl Scheme {
                 let mut resident: HashMap<u32, Arc<CenterTree>> = built.into_iter().collect();
                 for (ci, &c) in centers.iter().enumerate() {
                     if reused[ci] {
-                        resident.insert(c, self.center_store.get(c));
+                        // Same degradation as the spill branch: an
+                        // unreadable reused tree is dropped rather
+                        // than panicking the repair.
+                        if let Ok(ct) = self.center_store.center_tree(c) {
+                            resident.insert(c, ct);
+                        }
                     }
                 }
                 CenterStore::Memory(resident)
@@ -320,9 +344,10 @@ impl Scheme {
                 }
                 let c = plans[u][i].center;
                 if (impact.dirty[u] || !reused_set.contains(&c)) && !bix2.contains_key(&c) {
-                    let ct = center_store.get(c);
-                    let (entry, _, _) = index_and_bits(&ct.ert, id_bits);
-                    bix2.insert(c, entry);
+                    if let Ok(ct) = center_store.center_tree(c) {
+                        let (entry, _, _) = index_and_bits(&ct.ert, id_bits);
+                        bix2.insert(c, entry);
+                    }
                 }
             }
         }
@@ -343,12 +368,17 @@ impl Scheme {
                         debug_assert_eq!(old_plans[u][i].center, c);
                         debug_assert_eq!(old_plans[u][i].a, plans[u][i].a);
                         out[(u - base) * k + i] = old_plans[u][i].b;
-                    } else {
-                        let (b, ch, vi) = b_for_scope(scope, &bix2[&c], n, k);
+                    } else if let Some(ix) = bix2.get(&c) {
+                        let (b, ch, vi) = b_for_scope(scope, ix, n, k);
                         out[(u - base) * k + i] = b;
                         checked += ch;
                         violations += vi;
                         recomputed += 1;
+                    } else {
+                        // Index underivable (unreadable tree record):
+                        // keep the previous budget — routing stays
+                        // functional with a possibly stale b(u, i).
+                        out[(u - base) * k + i] = old_plans[u][i].b;
                     }
                 }
             }
@@ -408,12 +438,18 @@ impl Scheme {
                 && changed_pairs
                     .iter()
                     .all(|&(p, q)| !(dec2.in_extended_range(p, s) && dec2.in_extended_range(q, s)));
-            let sc = if reusable {
-                scales_reused += 1;
-                self.scale_covers.remove(&s).expect("checked contains_key")
-            } else {
-                scales_rebuilt += 1;
-                build_scale_cover(&g2, &dec2, &params, s)
+            // `remove` returning `None` despite `reusable` would mean
+            // the contains_key check above regressed — fold that case
+            // into the rebuild arm instead of asserting it away.
+            let sc = match reusable.then(|| self.scale_covers.remove(&s)).flatten() {
+                Some(sc) => {
+                    scales_reused += 1;
+                    sc
+                }
+                None => {
+                    scales_rebuilt += 1;
+                    build_scale_cover(&g2, &dec2, &params, s)
+                }
             };
             num_cover_trees += sc.routers.len();
             scale_covers.insert(s, sc);

@@ -580,7 +580,10 @@ impl Scheme {
 
         // ---- fused per-center pipeline -------------------------------
         let bounded = matches!(src, BuildSource::OnDemand { .. });
-        let spill = params.spill.then(|| SpillWriter::create().expect("spill file creation"));
+        // Spill-file creation failing (tmpdir full or unwritable)
+        // degrades to the resident store: higher peak memory, same
+        // routing.
+        let spill = params.spill.then(SpillWriter::create).and_then(Result::ok);
         let jobs: Vec<(u32, &[(u32, Cost)])> =
             centers.iter().enumerate().map(|(ci, &c)| (c, members.members(ci))).collect();
         let TreeBatch { built, bix, lm_bits: landmark_bits, labels } =
@@ -1032,10 +1035,16 @@ impl Scheme {
         if src == dst {
             return RouteTrace::trivial(src);
         }
+        // lint:allow(no-alloc-in-route): the returned RouteTrace owns its path; one Vec per route is the API
         let mut path = vec![src];
         let mut cost: Cost = 0;
+        // A source outside the scheme's node range is undeliverable,
+        // not a panic — serve_batch forwards caller-supplied ids.
+        let Some(row) = self.plans.get(src.idx()) else {
+            return RouteTrace { path, cost, delivered: false };
+        };
         for i in 0..self.params.k {
-            let plan = self.plans[src.idx()][i];
+            let Some(&plan) = row.get(i) else { break };
             let found = if plan.dense {
                 self.dense_phase(src, dst, plan, &mut path, &mut cost)
             } else {
@@ -1059,11 +1068,14 @@ impl Scheme {
         path: &mut Vec<NodeId>,
         cost: &mut Cost,
     ) -> bool {
-        let sc = &self.scale_covers[&plan.a];
-        let home = sc.home[src.idx()];
+        // Every lookup degrades to "not found at this level" rather
+        // than panicking: a stale plan (e.g. after a degraded repair)
+        // must cost an undelivered route, not the serving thread.
+        let Some(sc) = self.scale_covers.get(&plan.a) else { return false };
+        let Some(&home) = sc.home.get(src.idx()) else { return false };
         debug_assert_ne!(home, u32::MAX, "source must participate at its own scale");
-        let entry = &sc.routers[home as usize];
-        let from = entry.ix[&src.0];
+        let Some(entry) = sc.routers.get(home as usize) else { return false };
+        let Some(&from) = entry.ix.get(&src.0) else { return false };
         let (outcome, tpath) = entry.router.route(from, dst);
         append_tree_path(entry.router.labeled().tree(), &tpath, path);
         *cost += outcome.cost();
@@ -1080,11 +1092,18 @@ impl Scheme {
         path: &mut Vec<NodeId>,
         cost: &mut Cost,
     ) -> bool {
-        let ct = self.center_store.get(plan.center);
+        // A missing or unreadable center tree (torn spill file, bad
+        // disk) degrades to "not found at this level": the caller
+        // falls through to the next level and ultimately reports an
+        // undelivered route — never a panicked serving thread.
+        let Ok(ct) = self.center_store.center_tree(plan.center) else {
+            return false;
+        };
         let tree = ct.ert.labeled().tree();
         let src_ix = ct.ix_of.get(src.0).unwrap_or(u32::MAX);
         debug_assert_ne!(src_ix, u32::MAX, "source must be in its own center's tree");
         // Climb to the root along tree parents.
+        // lint:allow(no-alloc-in-route): per-route climb scratch, sized by tree depth; measured negligible vs the bounded search
         let mut climb = vec![src_ix];
         let mut at = src_ix;
         while let Some(p) = tree.parent(at) {
@@ -1487,7 +1506,7 @@ fn append_tree_path(tree: &Tree, tpath: &[TreeIx], path: &mut Vec<NodeId>) {
         *path.last().unwrap(),
         "tree walk must continue from the current node"
     );
-    for &t in &tpath[1..] {
+    for &t in tpath.iter().skip(1) {
         path.push(tree.graph_id(t));
     }
 }

@@ -67,7 +67,10 @@ pub fn serve_batch(
                 })
             })
             .collect();
-        workers.into_iter().map(|w| w.join().expect("serve worker panicked")).collect()
+        // A panicked worker contributes zero routes: its shard shows
+        // up as undelivered queries in the report (visible, bounded
+        // damage) instead of taking the whole batch down.
+        workers.into_iter().map(|w| w.join().unwrap_or((0, Vec::new()))).collect()
     });
     let elapsed_seconds = started.elapsed().as_secs_f64();
     let mut delivered = 0usize;
@@ -98,7 +101,7 @@ fn percentile_us(sorted_ns: &[u64], p: usize) -> f64 {
         return 0.0;
     }
     let idx = (sorted_ns.len() - 1) * p / 100;
-    sorted_ns[idx] as f64 / 1000.0
+    sorted_ns.get(idx).copied().unwrap_or(0) as f64 / 1000.0
 }
 
 #[cfg(test)]

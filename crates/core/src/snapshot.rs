@@ -110,12 +110,11 @@ impl Scheme {
         sw.section(SEC_CENTER_DIR, &dir.into_bytes())?;
 
         let mut w = Writer::new();
-        // lint:allow(deterministic-serialization): keys are collected then sorted on the next line before any write
+        // lint:allow(deterministic-output): keys are collected then sorted on the next line before any write
         let mut scales: Vec<u32> = self.scale_covers.keys().copied().collect();
         scales.sort_unstable();
         w.len(scales.len());
         for &s in &scales {
-            // lint:allow(panic-free-decode): writer side; s came from .keys() two lines up, so the entry exists
             let sc = &self.scale_covers[&s];
             w.u32(s);
             w.slice_u32(&sc.home);
@@ -363,7 +362,7 @@ fn decode_hierarchy(r: &mut Reader<'_>, n: usize, k: usize) -> io::Result<Landma
     LandmarkHierarchy::try_from_levels(n, k, levels).map_err(|msg| wire::invalid(&msg))
 }
 
-// lint:allow-fn(panic-free-decode): validate-then-index — all four tables are length-checked against n*k before the loop, and x < n*k
+// lint:allow-fn(panic-free-serve): validate-then-index — all four tables are length-checked against n*k before the loop, and x < n*k
 fn decode_plans(r: &mut Reader<'_>, n: usize, k: usize) -> io::Result<Vec<Vec<LevelPlan>>> {
     if r.u64()? as usize != n || r.u64()? as usize != k {
         return Err(wire::invalid("plan table does not match the graph"));
@@ -405,7 +404,7 @@ fn decode_center_dir(r: &mut Reader<'_>) -> io::Result<Vec<(u32, u64, u32)>> {
     for _ in 0..count {
         dir.push((r.u32()?, r.u64()?, r.u32()?));
     }
-    // lint:allow(panic-free-decode): windows(2) yields exactly-2-element slices, so p[0]/p[1] are in bounds
+    // lint:allow(panic-free-serve): windows(2) yields exactly-2-element slices, so p[0]/p[1] are in bounds
     if dir.windows(2).any(|p| p[0].0 >= p[1].0) {
         return Err(wire::invalid("center directory is not sorted"));
     }
@@ -425,9 +424,9 @@ fn decode_center_trees(
     let shards = graphkit::metrics::par_chunks(dir.len(), |range| {
         range
             .map(|di| {
-                // lint:allow(panic-free-decode): di ranges over 0..dir.len() by construction of par_chunks
+                // lint:allow(panic-free-serve): di ranges over 0..dir.len() by construction of par_chunks
                 let (c, off, len) = dir[di];
-                // lint:allow(panic-free-decode): every (off, len) was bounds-checked against the section above
+                // lint:allow(panic-free-serve): every (off, len) was bounds-checked against the section above
                 let record = &bytes[off as usize..off as usize + len as usize];
                 let ert = ErrorReportingTree::from_wire(&mut Reader::new(record))?;
                 Ok((c, Arc::new(CenterTree::new(ert))))

@@ -289,7 +289,7 @@ impl Decomposition {
         for row in ranges.chunks(k + 1) {
             // Ranges are radius exponents: non-decreasing per node,
             // capped at log_delta, with a(u, k) forced to the cap.
-            // lint:allow(panic-free-decode): chunks(k+1) yields rows of exactly k+1 > k elements, so row[k] is in bounds
+            // lint:allow(panic-free-serve): chunks(k+1) yields rows of exactly k+1 > k elements, so row[k] is in bounds
             if row.windows(2).any(|p| p[0] > p[1]) || row[k] != log_delta {
                 return Err(graphkit::wire::invalid("decomposition ranges are not monotone"));
             }

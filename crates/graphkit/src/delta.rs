@@ -131,6 +131,7 @@ pub fn apply_deltas(g: &Graph, deltas: &[GraphDelta]) -> Graph {
             GraphDelta::SetWeight { w, .. } => {
                 assert!(w >= 1, "delta {i}: weight must be >= 1");
                 let Some(slot) = edges.get_mut(&k) else {
+                    // lint:allow(panic-free-serve): delta validation — a malformed churn script is a caller bug, asserted like the sibling arms above
                     panic!("delta {i}: SetWeight on missing edge {{{}, {}}}", k.0, k.1);
                 };
                 *slot = w;

@@ -151,6 +151,7 @@ impl Graph {
 
     /// Neighbor ids of `u`, sorted ascending. Index = port number.
     #[inline(always)]
+    // lint:allow-fn(panic-free-serve): validate-then-index — span() bounds come from the frozen CSR offsets (checked monotone at decode)
     pub fn neighbors(&self, u: NodeId) -> &[u32] {
         let (s, e) = self.span(u);
         &self.targets[s..e]
@@ -158,6 +159,7 @@ impl Graph {
 
     /// Weights aligned with [`Graph::neighbors`].
     #[inline(always)]
+    // lint:allow-fn(panic-free-serve): validate-then-index — span() bounds come from the frozen CSR offsets (checked monotone at decode)
     pub fn neighbor_weights(&self, u: NodeId) -> &[Weight] {
         let (s, e) = self.span(u);
         &self.weights[s..e]
@@ -181,6 +183,7 @@ impl Graph {
     }
 
     /// Weight of the edge out of `u` via `port`.
+    // lint:allow-fn(panic-free-serve): validate-then-index — ports are produced by port_to's binary search over this same adjacency slice
     pub fn port_weight(&self, u: NodeId, port: u32) -> Weight {
         self.neighbor_weights(u)[port as usize]
     }
@@ -203,6 +206,7 @@ impl Graph {
     }
 
     #[inline(always)]
+    // lint:allow-fn(panic-free-serve): validate-then-index — u < n for every NodeId in a frozen graph; offsets has n+1 entries by construction
     fn span(&self, u: NodeId) -> (usize, usize) {
         (self.offsets[u.idx()] as usize, self.offsets[u.idx() + 1] as usize)
     }
@@ -218,7 +222,7 @@ impl Graph {
     /// Inverse of [`Graph::to_wire`]. Validates the CSR invariants
     /// (monotone offsets, aligned arrays, in-range sorted targets) so a
     /// corrupt record is an error, not latent out-of-bounds panics.
-    // lint:allow-fn(panic-free-decode): validate-then-index — CSR invariants (monotone offsets, aligned arrays, in-range targets) are checked before indexing
+    // lint:allow-fn(panic-free-serve): validate-then-index — CSR invariants (monotone offsets, aligned arrays, in-range targets) are checked before indexing
     pub fn from_wire(r: &mut crate::wire::Reader) -> std::io::Result<Graph> {
         use crate::wire::invalid;
         let offsets = r.slice_u64()?;

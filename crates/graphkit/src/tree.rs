@@ -69,6 +69,7 @@ impl Tree {
     ) -> Self {
         match Self::try_from_parents(graph_ids, parents, parent_weights) {
             Ok(t) => t,
+            // lint:allow(panic-free-serve): infallible wrapper over try_from_parents for internally-generated arrays; decode paths call try_from_parents directly
             Err(msg) => panic!("{msg}"),
         }
     }
@@ -243,8 +244,9 @@ impl Tree {
             let p = parent[v.idx()];
             if p != u32::MAX && v != source {
                 parents.push(ix[p as usize]);
-                parent_weights
-                    .push(g.edge_weight(NodeId(p), v).expect("SPT edge must be a graph edge"));
+                // lint:allow(panic-free-serve): p/v is a parent edge of the dijkstra run one call above on this same graph
+                let w = g.edge_weight(NodeId(p), v).expect("SPT edge must be a graph edge");
+                parent_weights.push(w);
             } else {
                 parents.push(u32::MAX);
                 parent_weights.push(0);
@@ -267,6 +269,7 @@ impl Tree {
 
     /// Host-graph id of tree node `t`.
     #[inline(always)]
+    // lint:allow-fn(panic-free-serve): validate-then-index — every TreeIx handed out by this tree is < size(); decode checks lengths
     pub fn graph_id(&self, t: TreeIx) -> NodeId {
         NodeId(self.graph_ids[t as usize])
     }
@@ -304,6 +307,7 @@ impl Tree {
 
     /// Weight of the edge from `t` to its parent.
     #[inline(always)]
+    // lint:allow-fn(panic-free-serve): validate-then-index — every TreeIx handed out by this tree is < size(); decode checks lengths
     pub fn parent_weight(&self, t: TreeIx) -> Weight {
         self.parent_weights[t as usize]
     }

@@ -137,7 +137,7 @@ impl<'a> Reader<'a> {
         if end > self.buf.len() {
             return Err(truncated());
         }
-        // lint:allow(panic-free-decode): end <= buf.len() checked two lines up; pos <= end by checked_add
+        // lint:allow(panic-free-serve): end <= buf.len() checked two lines up; pos <= end by checked_add
         let s = &self.buf[self.pos..end];
         self.pos = end;
         Ok(s)
@@ -145,19 +145,19 @@ impl<'a> Reader<'a> {
 
     /// Read a `u8`.
     pub fn u8(&mut self) -> io::Result<u8> {
-        // lint:allow(panic-free-decode): take(1) returned exactly one byte, so [0] is in bounds
+        // lint:allow(panic-free-serve): take(1) returned exactly one byte, so [0] is in bounds
         Ok(self.take(1)?[0])
     }
 
     /// Read a `u32`.
     pub fn u32(&mut self) -> io::Result<u32> {
-        // lint:allow(panic-free-decode): take(4) returns exactly 4 bytes — the try_into is infallible
+        // lint:allow(panic-free-serve): take(4) returns exactly 4 bytes — the try_into is infallible
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
     /// Read a `u64`.
     pub fn u64(&mut self) -> io::Result<u64> {
-        // lint:allow(panic-free-decode): take(8) returns exactly 8 bytes — the try_into is infallible
+        // lint:allow(panic-free-serve): take(8) returns exactly 8 bytes — the try_into is infallible
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
@@ -364,7 +364,6 @@ impl SnapshotWriter {
 
     /// Append payload bytes to the open section.
     pub fn write(&mut self, bytes: &[u8]) -> io::Result<()> {
-        // lint:allow(panic-free-decode): writer-side API-misuse contract (begin_section first), not corrupt input
         let (_, _, hash) = self.open.as_mut().expect("no open section");
         hash.update(bytes);
         self.file.write_all(bytes)?;
@@ -374,7 +373,6 @@ impl SnapshotWriter {
 
     /// Close the open section, recording its table entry.
     pub fn end_section(&mut self) {
-        // lint:allow(panic-free-decode): writer-side API-misuse contract (begin_section first), not corrupt input
         let (id, start, hash) = self.open.take().expect("no open section");
         self.sections.push(Section {
             id,
@@ -434,16 +432,16 @@ impl SnapshotReader {
         }
         let mut header = [0u8; HEADER_LEN as usize];
         file.read_exact_at(&mut header, 0)?;
-        // lint:allow(panic-free-decode): header is a fixed [u8; HEADER_LEN] stack array; constant ranges are in bounds
+        // lint:allow(panic-free-serve): header is a fixed [u8; HEADER_LEN] stack array; constant ranges are in bounds
         if header[..8] != SNAPSHOT_MAGIC {
             return Err(invalid("bad snapshot magic"));
         }
-        // lint:allow(panic-free-decode): constant 4-byte range of the fixed header array — try_into is infallible
+        // lint:allow(panic-free-serve): constant 4-byte range of the fixed header array — try_into is infallible
         let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
         if version != SNAPSHOT_VERSION {
             return Err(invalid("unsupported snapshot format version"));
         }
-        // lint:allow(panic-free-decode): constant 8-byte range of the fixed header array — try_into is infallible
+        // lint:allow(panic-free-serve): constant 8-byte range of the fixed header array — try_into is infallible
         let table_offset = u64::from_le_bytes(header[12..20].try_into().unwrap());
         if table_offset < HEADER_LEN || table_offset + 4 > file_len {
             return Err(invalid("section table offset out of bounds"));

@@ -84,7 +84,9 @@ impl LandmarkHierarchy {
                 best = Some((violations, h));
             }
         }
-        best.expect("at least one attempt").1
+        // attempts ≥ 1 via max(1), so `best` is Some here; the total
+        // fallback (fresh base-seed sample) keeps this panic-free.
+        best.map(|(_, h)| h).unwrap_or_else(|| Self::sample(n, k, seed))
     }
 
     /// Matrix-free [`LandmarkHierarchy::sample_verified`]: the same
@@ -116,8 +118,16 @@ impl LandmarkHierarchy {
                 best = Some((violations, h, ld));
             }
         }
-        let (_, h, ld) = best.expect("at least one attempt");
-        (h, ld)
+        // Same shape as sample_verified: attempts ≥ 1 makes `best`
+        // Some; the fallback stays total without a panic.
+        match best {
+            Some((_, h, ld)) => (h, ld),
+            None => {
+                let h = Self::sample(n, k, seed);
+                let ld = LandmarkDistances::build(g, &h);
+                (h, ld)
+            }
+        }
     }
 
     /// Build from explicit levels (used by the greedy construction).
@@ -137,17 +147,18 @@ impl LandmarkHierarchy {
         if levels.len() != k {
             return Err(format!("expected {k} levels, got {}", levels.len()));
         }
-        if levels[0].len() != n {
+        if levels.first().is_none_or(|l| l.len() != n) {
             return Err("C_0 must be V".to_string());
         }
         let mut rank = vec![0u8; n];
-        for (i, level) in levels.iter().enumerate().skip(1) {
-            let prev: std::collections::HashSet<u32> = levels[i - 1].iter().copied().collect();
+        for (i, pair) in levels.windows(2).enumerate() {
+            let [prev_level, level] = pair else { continue };
+            let prev: std::collections::HashSet<u32> = prev_level.iter().copied().collect();
             for &v in level {
-                if (v as usize) >= n || !prev.contains(&v) {
-                    return Err("levels must be nested".to_string());
+                match rank.get_mut(v as usize) {
+                    Some(r) if prev.contains(&v) => *r = (i + 1) as u8,
+                    _ => return Err("levels must be nested".to_string()),
                 }
-                rank[v as usize] = i as u8;
             }
         }
         let levels: Vec<Vec<u32>> = levels
@@ -157,7 +168,7 @@ impl LandmarkHierarchy {
                 l
             })
             .collect();
-        if !levels[0].iter().copied().eq(0..n as u32) {
+        if !levels.first().is_some_and(|l| l.iter().copied().eq(0..n as u32)) {
             return Err("C_0 must be V".to_string());
         }
         Ok(LandmarkHierarchy { k, n, rank, levels })

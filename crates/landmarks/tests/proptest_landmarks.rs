@@ -112,3 +112,42 @@ proptest! {
         prop_assert!(rep.ok(), "claims violated after verified sampling: {:?}", rep);
     }
 }
+
+// ---- try_from_levels degradation (panic-free decode) -------------------
+//
+// Regression tests for the checked-access rewrite surfaced by
+// `agm-lint`'s decode cone: malformed level sets from a corrupt
+// snapshot must come back as `Err`, never as an index panic.
+
+#[test]
+fn try_from_levels_rejects_empty_and_mismatched_shapes() {
+    // k=0 with no levels: there is no C_0 == V, so this is an error,
+    // reported without touching any level.
+    assert!(LandmarkHierarchy::try_from_levels(4, 0, vec![]).is_err());
+    // Level count != k.
+    assert!(LandmarkHierarchy::try_from_levels(4, 2, vec![vec![0, 1, 2, 3]]).is_err());
+    // C_0 too small.
+    assert!(LandmarkHierarchy::try_from_levels(4, 1, vec![vec![0, 1]]).is_err());
+    // C_0 right size but not exactly V.
+    assert!(LandmarkHierarchy::try_from_levels(4, 1, vec![vec![0, 1, 2, 9]]).is_err());
+}
+
+#[test]
+fn try_from_levels_rejects_out_of_range_and_non_nested_members() {
+    // A member id past n in a later level would index past `rank`
+    // without the checked `get_mut`.
+    assert!(LandmarkHierarchy::try_from_levels(4, 2, vec![vec![0, 1, 2, 3], vec![99]]).is_err());
+    // A level member absent from its predecessor breaks nesting.
+    let levels = vec![vec![0, 1, 2, 3], vec![1, 2], vec![3]];
+    assert!(LandmarkHierarchy::try_from_levels(4, 3, levels).is_err());
+}
+
+#[test]
+fn try_from_levels_roundtrips_a_sampled_hierarchy() {
+    let h = LandmarkHierarchy::sample(40, 3, 0xF00D);
+    let back = LandmarkHierarchy::try_from_levels(40, 3, h.levels().to_vec())
+        .expect("sampled levels are well-formed");
+    for v in 0..40u32 {
+        assert_eq!(h.rank(NodeId(v)), back.rank(NodeId(v)));
+    }
+}

@@ -161,11 +161,13 @@ impl CoverStore {
         }
     }
 
+    // lint:allow-fn(panic-free-serve): validate-then-index — from_wire checks the CSR offsets are monotone and in-bounds for every t < n
     fn child_guide(&self, t: TreeIx) -> &[(u32, TreeIx)] {
         &self.cg[self.cg_off[t as usize] as usize..self.cg_off[t as usize + 1] as usize]
     }
 
     /// Sibling guides led by `t`: `(dfs_start, dfs_end, entries)`.
+    // lint:allow-fn(panic-free-serve): validate-then-index — from_wire checks sg_off/sge_off monotone and in-bounds for every t < n
     fn sibling_guides(&self, t: TreeIx) -> impl Iterator<Item = (u32, u32, &[(u32, TreeIx)])> {
         let (s, e) = (self.sg_off[t as usize] as usize, self.sg_off[t as usize + 1] as usize);
         (s..e).map(move |i| {
@@ -174,6 +176,7 @@ impl CoverStore {
         })
     }
 
+    // lint:allow-fn(panic-free-serve): validate-then-index — from_wire checks bk_off monotone and in-bounds for every t < n
     fn bucket(&self, t: TreeIx) -> &[(u32, TreeIx)] {
         &self.bk[self.bk_off[t as usize] as usize..self.bk_off[t as usize + 1] as usize]
     }
@@ -195,7 +198,7 @@ impl CoverStore {
     }
 
     /// Inverse of [`CoverStore::to_wire`] with CSR invariant checks.
-    // lint:allow-fn(panic-free-decode): validate-then-index — CSR invariants are checked before the indexing passes below
+    // lint:allow-fn(panic-free-serve): validate-then-index — CSR invariants are checked before the indexing passes below
     pub fn from_wire(r: &mut Reader) -> io::Result<Self> {
         use wire::invalid;
         let fanout = r.u64()? as usize;
@@ -318,6 +321,7 @@ impl CoverTreeRouter {
         let labeled = &self.store.labeled;
         let tree = labeled.tree();
         let mut cost: Cost = 0;
+        // lint:allow(no-alloc-in-route): the returned walk owns its path; one Vec per route is the API
         let mut path = vec![from];
         let source_label = labeled.label(from); // carried in the header
         let mut at = from;
@@ -339,9 +343,12 @@ impl CoverTreeRouter {
                 break;
             }
             debug_assert!(pos > me.dfs_in && pos < me.dfs_out, "descent left the interval");
-            // Pick from my child guide the last boundary ≤ pos.
-            let mut next = guide_pick(self.store.child_guide(at), pos)
-                .expect("interior node with target below must have a guide entry");
+            // Pick from my child guide the last boundary ≤ pos. A
+            // missing entry means a corrupt guide arena: report a miss
+            // from where we stand rather than panicking the server.
+            let Some(mut next) = guide_pick(self.store.child_guide(at), pos) else {
+                return (CoverOutcome::NotFound { cost }, path);
+            };
             cost += edge_w(tree, at, next);
             let parent = at;
             path.push(next);
@@ -355,13 +362,17 @@ impl CoverTreeRouter {
                 let l = labeled.local(next);
                 pos >= l.dfs_in && pos < l.dfs_out
             } {
-                let cand = self
+                let Some(cand) = self
                     .store
                     .sibling_guides(next)
                     .filter(|&(start, end, _)| start <= pos && pos < end)
                     .min_by_key(|&(start, end, _)| end - start)
                     .and_then(|(_, _, entries)| guide_pick(entries, pos))
-                    .expect("a sibling guide must cover the position");
+                else {
+                    // Uncovered position = corrupt sibling guides;
+                    // same degradation as a missing child guide.
+                    return (CoverOutcome::NotFound { cost }, path);
+                };
                 assert_ne!(cand, next, "sibling guide made no progress");
                 // Correction: next -> parent -> cand (2 edges).
                 cost += edge_w(tree, next, parent) + edge_w(tree, parent, cand);
@@ -375,27 +386,27 @@ impl CoverTreeRouter {
         }
         // Phase 3: directory lookup.
         let hit = self.store.bucket(at).iter().find(|(gid, _)| *gid == target.0).map(|&(_, ix)| ix);
-        match hit {
-            Some(ix) => {
-                let (mut walk, c) =
-                    labeled.route(at, labeled.label(ix)).expect("bucket label must route");
+        // A bucket entry (or source header) whose label no longer
+        // routes is a corrupt directory; every arm below degrades to a
+        // miss instead of panicking.
+        if let Some(ix) = hit {
+            if let Some((mut walk, c)) = labeled.route(at, labeled.label(ix)) {
                 cost += c;
-                let delivered_at = *walk.last().unwrap();
+                let delivered_at = walk.last().copied().unwrap_or(at);
                 walk.remove(0);
                 path.extend(walk);
-                (CoverOutcome::Found { cost, delivered_at }, path)
+                return (CoverOutcome::Found { cost, delivered_at }, path);
             }
-            None => {
-                // Unknown name: report failure back to the source using
-                // the header's source label.
-                let (mut walk, c) =
-                    labeled.route(at, source_label).expect("source label must route");
-                cost += c;
-                walk.remove(0);
-                path.extend(walk);
-                (CoverOutcome::NotFound { cost }, path)
-            }
+            return (CoverOutcome::NotFound { cost }, path);
         }
+        // Unknown name: report failure back to the source using the
+        // header's source label.
+        if let Some((mut walk, c)) = labeled.route(at, source_label) {
+            cost += c;
+            walk.remove(0);
+            path.extend(walk);
+        }
+        (CoverOutcome::NotFound { cost }, path)
     }
 
     /// Storage bits of tree node `t` under this scheme (φ(T,t) in the
@@ -474,10 +485,13 @@ impl CoverBuild {
             GuideOwner::Node(x) => self.nodes[x as usize].child_guide = entries,
             GuideOwner::Leader(l) => {
                 // The DFS range this guide covers: from the first member's
-                // subtree start to the last member's subtree end.
-                let start = self.labeled.local(slice[0]).dfs_in;
-                let end = self.labeled.local(*slice.last().unwrap()).dfs_out;
-                self.nodes[l as usize].sibling_guides.push(Guide { start, end, entries });
+                // subtree start to the last member's subtree end. (An
+                // empty slice never recurses here; guard anyway.)
+                if let (Some(&first), Some(&last)) = (slice.first(), slice.last()) {
+                    let start = self.labeled.local(first).dfs_in;
+                    let end = self.labeled.local(last).dfs_out;
+                    self.nodes[l as usize].sibling_guides.push(Guide { start, end, entries });
+                }
             }
         }
         max_depth
@@ -502,11 +516,7 @@ enum GuideOwner {
 /// Last guide entry with boundary ≤ pos.
 fn guide_pick(guide: &[(u32, TreeIx)], pos: u32) -> Option<TreeIx> {
     let i = guide.partition_point(|&(b, _)| b <= pos);
-    if i == 0 {
-        None
-    } else {
-        Some(guide[i - 1].1)
-    }
+    i.checked_sub(1).and_then(|j| guide.get(j)).map(|&(_, t)| t)
 }
 
 /// Weight of the tree edge between adjacent nodes.

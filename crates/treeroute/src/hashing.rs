@@ -54,6 +54,7 @@ impl PolyHash {
     pub fn digits(&self, x: u64, sigma: u64, k: usize) -> Vec<u32> {
         assert!(sigma >= 1);
         let mut v = self.eval(x);
+        // lint:allow(no-alloc-in-route): k-word digit buffer (k ≤ ~8) allocated once per bounded search, returned to the caller
         let mut out = vec![0u32; k];
         for d in out.iter_mut().rev() {
             *d = (v % sigma) as u32;

@@ -154,7 +154,7 @@ impl LabeledStore {
     /// Inverse of [`LabeledStore::to_wire`]: one decode pass plus O(m)
     /// invariant checks, so a corrupt record errors instead of leaving
     /// out-of-bounds indices for the read path to trip over.
-    // lint:allow-fn(panic-free-decode): validate-then-index — every array is length- and range-checked before the indexing passes below
+    // lint:allow-fn(panic-free-serve): validate-then-index — every array is length- and range-checked before the indexing passes below
     pub fn from_wire(r: &mut Reader) -> io::Result<Self> {
         use wire::invalid;
         let tree = wire::read_tree(r)?;
@@ -366,7 +366,11 @@ impl LabeledTree {
     /// One forwarding decision at `at` toward `label` — uses only
     /// `µ(T,at)` and the label (plus physical ports).
     pub fn route_step(&self, at: TreeIx, label: LabelRef<'_>) -> Step {
-        let me = &self.store.locals[at as usize];
+        // An out-of-range position (corrupt caller state) is "not in
+        // this tree", not a panic.
+        let Some(me) = self.store.locals.get(at as usize) else {
+            return Step::NotInTree;
+        };
         if label.dfs == me.dfs_in {
             return Step::Deliver;
         }
@@ -396,9 +400,12 @@ impl LabeledTree {
     /// tree path (inclusive) and its cost, or `None` for foreign labels.
     pub fn route(&self, from: TreeIx, label: LabelRef<'_>) -> Option<(Vec<TreeIx>, Cost)> {
         let mut at = from;
+        // lint:allow(no-alloc-in-route): the returned walk owns its path; one Vec per tree route is the API
         let mut path = vec![at];
         let mut cost: Cost = 0;
-        // A tree walk never revisits nodes; size() + 1 steps means a bug.
+        // A tree walk never revisits nodes; size() + 1 steps means the
+        // label's invariants are broken (corrupt light path). Treat it
+        // like any other foreign label — undeliverable, not a panic.
         for _ in 0..=self.store.tree.size() {
             match self.route_step(at, label) {
                 Step::Deliver => return Some((path, cost)),
@@ -410,7 +417,7 @@ impl LabeledTree {
                 }
             }
         }
-        panic!("labeled routing failed to terminate — broken invariants");
+        None
     }
 
     /// Max light-path length over all labels (≤ ceil(log2 m)).

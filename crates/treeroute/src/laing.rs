@@ -121,7 +121,7 @@ impl ErtStore {
     /// Inverse of [`ErtStore::to_wire`] with O(m + directory) validation:
     /// corrupt bytes are an [`io::Error`], never a panic or a latent
     /// out-of-bounds index.
-    // lint:allow-fn(panic-free-decode): validate-then-index — CSR bounds and directory ranges are checked before the indexing passes below
+    // lint:allow-fn(panic-free-serve): validate-then-index — CSR bounds and directory ranges are checked before the indexing passes below
     pub fn from_wire(r: &mut wire::Reader) -> io::Result<Self> {
         use graphkit::wire::invalid;
         let k = r.u64()? as usize;
@@ -224,7 +224,11 @@ impl ErrorReportingTree {
                 best = Some((load, h));
             }
         }
-        let hash = chosen.unwrap_or_else(|| best.expect("at least one attempt").1);
+        // 32 attempts guarantee `best` when nothing verified; the
+        // final fallback (fresh seed-0 hash) is unreachable but keeps
+        // this total — an over-budget hash costs search time, not a
+        // panic.
+        let hash = chosen.or(best.map(|(_, h)| h)).unwrap_or_else(|| PolyHash::new(degree, seed));
         Self::assemble(labeled, naming, order, k, sigma, hash, verified)
     }
 
@@ -428,6 +432,7 @@ impl ErrorReportingTree {
     }
 
     /// Item (2) of node `t`'s storage: `(digit, name-child tree index)`.
+    // lint:allow-fn(panic-free-serve): validate-then-index — from_wire checks rank_of < n and nc_off monotone/in-bounds for every rank
     pub fn name_children(&self, t: TreeIx) -> &[(u32, TreeIx)] {
         let s = &self.store;
         let r = s.rank_of[t as usize] as usize;
@@ -435,6 +440,7 @@ impl ErrorReportingTree {
     }
 
     /// Item (3) of node `t`'s storage: `(target graph id, tree index)`.
+    // lint:allow-fn(panic-free-serve): validate-then-index — from_wire checks rank_of < n and hd_off monotone/in-bounds for every rank
     pub fn hash_dir(&self, t: TreeIx) -> &[(u32, TreeIx)] {
         let s = &self.store;
         let r = s.rank_of[t as usize] as usize;
@@ -476,39 +482,47 @@ impl ErrorReportingTree {
         let root = labeled.tree().root();
         let mut current = root;
         let mut cost: Cost = 0;
+        // lint:allow(no-alloc-in-route): the returned search owns its visited path; one Vec per search is the API
         let mut visited = vec![root];
         let mut round = 1usize;
+        // Every stored label below routes inside this tree by
+        // construction; a label that no longer routes means a corrupt
+        // store, and the search degrades to a failure from where it
+        // stands — never a panicked serving thread.
         loop {
             // Does `current` know the target?
             if let Some(tix) = self.lookup_at(current, target) {
-                let (mut path, c) = labeled
-                    .route(current, labeled.label(tix))
-                    .expect("stored label must belong to this tree");
+                let Some((mut path, c)) = labeled.route(current, labeled.label(tix)) else {
+                    return (SearchOutcome::NotFound { cost }, visited);
+                };
                 cost += c;
-                let delivered_at = *path.last().unwrap();
+                let delivered_at = path.last().copied().unwrap_or(current);
                 path.remove(0);
                 visited.extend(path);
                 return (SearchOutcome::Found { cost, delivered_at }, visited);
             }
             if round >= j {
                 // Bounded out: report failure back to the root.
-                let (mut path, c) =
-                    labeled.route(current, labeled.label(root)).expect("root label");
-                cost += c;
-                path.remove(0);
-                visited.extend(path);
+                if let Some((mut path, c)) = labeled.route(current, labeled.label(root)) {
+                    cost += c;
+                    path.remove(0);
+                    visited.extend(path);
+                }
                 return (SearchOutcome::NotFound { cost }, visited);
             }
-            // Move to the node named (y_1 … y_round).
-            let digit = y[round - 1];
+            // Move to the node named (y_1 … y_round). A missing digit
+            // (impossible for round < j ≤ k) falls through to the
+            // name-miss arm below.
+            let digit = y.get(round - 1).copied().unwrap_or(u32::MAX);
             let next =
                 self.name_children(current).iter().find(|(d, _)| *d == digit).map(|&(_, c)| c);
             match next {
                 Some(child) => {
-                    let (mut path, c) =
-                        labeled.route(current, labeled.label(child)).expect("child label");
+                    let Some((mut path, c)) = labeled.route(current, labeled.label(child)) else {
+                        return (SearchOutcome::NotFound { cost }, visited);
+                    };
                     cost += c;
-                    current = *path.last().unwrap();
+                    current = path.last().copied().unwrap_or(current);
                     path.remove(0);
                     visited.extend(path);
                     round += 1;
@@ -517,11 +531,11 @@ impl ErrorReportingTree {
                     // The name does not exist ⇒ the target is not in the
                     // tree at all (names fill rank-by-rank; see module
                     // docs). Report failure.
-                    let (mut path, c) =
-                        labeled.route(current, labeled.label(root)).expect("root label");
-                    cost += c;
-                    path.remove(0);
-                    visited.extend(path);
+                    if let Some((mut path, c)) = labeled.route(current, labeled.label(root)) {
+                        cost += c;
+                        path.remove(0);
+                        visited.extend(path);
+                    }
                     return (SearchOutcome::NotFound { cost }, visited);
                 }
             }

@@ -28,10 +28,12 @@ impl Naming {
         let mut level_end = vec![1usize];
         let mut total = 1u128;
         let mut level_size = 1u128;
-        while (*level_end.last().unwrap()) < count {
+        let mut end = 1usize;
+        while end < count {
             level_size = level_size.saturating_mul(sigma as u128);
             total = total.saturating_add(level_size);
-            level_end.push(total.min(count as u128) as usize);
+            end = total.min(count as u128) as usize;
+            level_end.push(end);
             // Guard: sigma == 1 grows levels by one node each; fine, but
             // cap the loop at count iterations via the level_end growth.
             if level_end.len() > count + 1 {

@@ -136,3 +136,22 @@ proptest! {
         prop_assert_eq!(names.len(), count, "names must be unique");
     }
 }
+
+// ---- out-of-tree degradation (panic-free-serve regressions) ------------
+//
+// The labeled-route path used to index `locals[at]` and panic on a
+// node id past the tree; after the call-graph lint pass it returns
+// `None`/`NotInTree`. Pin that contract.
+
+#[test]
+fn labeled_route_from_out_of_tree_node_is_none() {
+    let g = graphkit::gen::Family::Grid.generate(36, 0x0FF);
+    let lt = LabeledTree::new(rooted(&g, 0));
+    let m = lt.tree().size() as u32;
+    for bad in [m, m + 1, u32::MAX] {
+        assert!(lt.route(bad, lt.label(0)).is_none(), "route from {bad} must degrade");
+        assert!(matches!(lt.route_step(bad, lt.label(0)), treeroute::labeled::Step::NotInTree));
+    }
+    // In-range routing is unaffected.
+    assert!(lt.route(m - 1, lt.label(0)).is_some());
+}

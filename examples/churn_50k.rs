@@ -13,9 +13,12 @@
 //! schedule of `m/100` edge failures plus a tenth as many weight
 //! re-draws, drawn by [`ChurnPlan::generate`]. The run fails if repair
 //! defers (an edge-only schedule never disconnects), if the repaired
-//! scheme drops any pair, or if the post-repair serve drops any query.
-//! Set `BENCH_EVALUATION_OUT` to write the epoch's
-//! [`EvaluationRecord`].
+//! scheme drops any pair, if the post-repair serve drops any query, or
+//! if the stale measurement regresses vs the checked-in
+//! `BENCH_evaluation.json` (delivery rate within 0.05 absolute, p99
+//! stretch within 1.5x of the nearest-n baseline epoch; override the
+//! baseline file with `BENCH_BASELINE`). Set `BENCH_EVALUATION_OUT`
+//! to write the epoch's [`EvaluationRecord`].
 
 use std::time::Instant;
 
@@ -92,6 +95,51 @@ fn main() {
         stale.p99_stretch,
         stale.max_stretch
     );
+
+    // Evaluation-regression tripwire (ROADMAP item 5): the stale
+    // measurement must not regress vs the checked-in
+    // BENCH_evaluation.json — delivery within 0.05 absolute, p99
+    // stretch within 1.5x. Both metrics track the churn fraction (held
+    // at ~1% here), not the graph size, so the gate anchors at the
+    // nearest recorded n when this run's exact size has no epoch. Set
+    // BENCH_BASELINE to point at a different baseline file.
+    let baseline_path =
+        std::env::var("BENCH_BASELINE").unwrap_or_else(|_| "BENCH_evaluation.json".to_string());
+    let stale_rate = (stale.pairs - stale.failures) as f64 / stale.pairs.max(1) as f64;
+    let base = std::fs::read_to_string(&baseline_path).ok().and_then(|doc| {
+        let bn = routing_core::bench_record::baseline_nearest_anchor(&doc, "n", n as u64)?;
+        let rate: f64 =
+            routing_core::bench_record::baseline_value(&doc, "n", bn, "pre_delivery_rate")?
+                .parse()
+                .ok()?;
+        let p99: f64 =
+            routing_core::bench_record::baseline_value(&doc, "n", bn, "pre_p99_stretch")?
+                .parse()
+                .ok()?;
+        Some((bn, rate, p99))
+    });
+    match base {
+        Some((bn, base_rate, base_p99)) => {
+            println!(
+                "[{:>7.2}s] evaluation gate vs {baseline_path} (anchor n = {bn}): \
+                 delivery {stale_rate:.3} (floor {:.3}), p99 stretch {:.2} (ceiling {:.2})",
+                t0.elapsed().as_secs_f64(),
+                base_rate - 0.05,
+                stale.p99_stretch,
+                base_p99 * 1.5,
+            );
+            assert!(
+                stale_rate >= base_rate - 0.05,
+                "stale delivery rate regressed: {stale_rate:.3} vs baseline {base_rate:.3} - 0.05"
+            );
+            assert!(
+                stale.p99_stretch <= base_p99 * 1.5,
+                "stale p99 stretch regressed: {:.3} vs baseline {base_p99:.3} * 1.5",
+                stale.p99_stretch
+            );
+        }
+        None => println!("no usable evaluation baseline in {baseline_path}; gate skipped"),
+    }
 
     let outcome = scheme.repair(batch);
     match &outcome {
